@@ -1,0 +1,137 @@
+package thymesisflow_test
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"thymesisflow/internal/bench"
+)
+
+// benchOut routes harness tables to stdout when -v is set, else discards.
+func benchOut(b *testing.B) io.Writer {
+	if testing.Verbose() {
+		return os.Stdout
+	}
+	return io.Discard
+}
+
+// BenchmarkFig1DataCentreSim regenerates Figure 1: resource fragmentation
+// and switch-off potential, fixed vs disaggregated data-centre.
+func BenchmarkFig1DataCentreSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig1(benchOut(b), bench.Quick)
+	}
+}
+
+// BenchmarkRTT regenerates the Section V headline: the ~950ns datapath
+// round trip measured through the full transaction path.
+func BenchmarkRTT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RTT(benchOut(b))
+	}
+}
+
+// BenchmarkFig5Stream regenerates Figure 5: STREAM bandwidth per kernel,
+// thread count and configuration.
+func BenchmarkFig5Stream(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig5Stream(benchOut(b), bench.Quick)
+	}
+}
+
+// BenchmarkFig6VoltDBProfile regenerates Figure 6: VoltDB IPC/UCC profiling
+// plus the Section VI-D stall fractions.
+func BenchmarkFig6VoltDBProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig6Profile(benchOut(b), bench.Quick)
+	}
+}
+
+// BenchmarkFig7VoltDBThroughput regenerates Figure 7: YCSB A and E
+// throughput across partition counts and configurations.
+func BenchmarkFig7VoltDBThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig7Throughput(benchOut(b), bench.Quick)
+	}
+}
+
+// BenchmarkFig8Memcached regenerates Figure 8: the Memcached GET latency
+// distribution per configuration.
+func BenchmarkFig8Memcached(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig8Memcached(benchOut(b), bench.Quick)
+	}
+}
+
+// BenchmarkFig9Search regenerates Figure 9: the ESRally "nested" track
+// throughput across challenges, shard counts and configurations.
+func BenchmarkFig9Search(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig9Search(benchOut(b), bench.Quick)
+	}
+}
+
+// BenchmarkAblationReplay measures the LLC replay protocol's cost under
+// injected frame loss (ablation A1).
+func BenchmarkAblationReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblationReplay(benchOut(b))
+	}
+}
+
+// BenchmarkAblationBonding compares bonding against single-channel pinning
+// (ablation A2).
+func BenchmarkAblationBonding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblationBonding(benchOut(b))
+	}
+}
+
+// BenchmarkAblationMigration quantifies AutoNUMA page migration on the
+// interleaved configuration (ablation A3).
+func BenchmarkAblationMigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblationMigration(benchOut(b))
+	}
+}
+
+// BenchmarkAblationHBM evaluates the Section VII HBM caching layer
+// (ablation A4).
+func BenchmarkAblationHBM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblationHBM(benchOut(b), bench.Quick)
+	}
+}
+
+// BenchmarkAblationQoS demonstrates weighted channel sharing vs plain
+// round-robin (ablation A5, the Section IV-A3 extension).
+func BenchmarkAblationQoS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblationQoS(benchOut(b))
+	}
+}
+
+// BenchmarkProjectionIntegration prints the Section VII latency projections
+// for deeper hardware integration (P1).
+func BenchmarkProjectionIntegration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.ProjectionIntegration(benchOut(b))
+	}
+}
+
+// BenchmarkProjectionMultiStack sweeps channels/donors toward the POWER9
+// platform limit (P2).
+func BenchmarkProjectionMultiStack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.ProjectionMultiStack(benchOut(b), bench.Quick)
+	}
+}
+
+// BenchmarkProjectionSwitching compares direct attach against one-switch
+// rack fabrics (P3).
+func BenchmarkProjectionSwitching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.ProjectionSwitching(benchOut(b))
+	}
+}

@@ -1,0 +1,63 @@
+// Command tfagent runs a standalone ThymesisFlow node agent as an HTTP
+// daemon: it accepts configuration pushes (POST /v1/config) from the
+// control plane, enforcing the trust check of Section IV-C, and exposes its
+// applied-command log (GET /v1/log).
+//
+// In the simulated single-process deployments (tfd, examples) agents run
+// in-process; tfagent demonstrates the distributed form.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+
+	"thymesisflow/internal/agent"
+)
+
+func main() {
+	listen := flag.String("listen", ":8441", "HTTP listen address")
+	host := flag.String("host", "node0", "host this agent manages")
+	trusted := flag.String("trusted-token", "tfd-internal-trust", "control-plane token to trust")
+	flag.Parse()
+
+	a := agent.New(*host, *trusted)
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/v1/config", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		token := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+		var cmd agent.Command
+		if err := json.NewDecoder(r.Body).Decode(&cmd); err != nil {
+			http.Error(w, "bad command body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := a.Apply(token, cmd); err != nil {
+			http.Error(w, err.Error(), http.StatusForbidden)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{"status": "applied"}) //nolint:errcheck
+	})
+
+	mux.HandleFunc("/v1/log", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
+			"host":     a.Host(),
+			"applied":  a.Applied(),
+			"rejected": a.Rejected(),
+		})
+	})
+
+	log.Printf("tfagent: managing %s, listening on %s", *host, *listen)
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}

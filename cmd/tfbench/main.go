@@ -1,0 +1,76 @@
+// Command tfbench regenerates the paper's evaluation: every figure of the
+// MICRO 2020 ThymesisFlow paper plus this repository's ablations.
+//
+// Usage:
+//
+//	tfbench -experiment all            # everything, quick scale
+//	tfbench -experiment fig5 -full     # one experiment at calibrated scale
+//
+// Experiments: fig1, rtt, fig5 (stream), fig6 (voltdb-profile),
+// fig7 (voltdb-throughput), fig8 (memcached), fig9 (search),
+// ablation-replay, ablation-bonding, ablation-migration, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"thymesisflow/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment to run (fig1|rtt|fig5|fig6|fig7|fig8|fig9|ablation-replay|ablation-bonding|ablation-migration|ablation-hbm|projection-integration|projection-multistack|all)")
+	full := flag.Bool("full", false, "run at calibrated (paper) scale instead of quick scale")
+	flag.Parse()
+
+	scale := bench.Quick
+	if *full {
+		scale = bench.Full
+	}
+	w := os.Stdout
+
+	runners := []struct {
+		names []string
+		run   func()
+	}{
+		{[]string{"fig1"}, func() { bench.Fig1(w, scale) }},
+		{[]string{"rtt"}, func() { bench.RTT(w) }},
+		{[]string{"fig5", "stream"}, func() { bench.Fig5Stream(w, scale) }},
+		{[]string{"fig6", "voltdb-profile"}, func() { bench.Fig6Profile(w, scale) }},
+		{[]string{"fig7", "voltdb-throughput"}, func() { bench.Fig7Throughput(w, scale) }},
+		{[]string{"fig8", "memcached"}, func() { bench.Fig8Memcached(w, scale) }},
+		{[]string{"fig9", "search"}, func() { bench.Fig9Search(w, scale) }},
+		{[]string{"ablation-replay"}, func() { bench.AblationReplay(w) }},
+		{[]string{"ablation-bonding"}, func() { bench.AblationBonding(w) }},
+		{[]string{"ablation-migration"}, func() { bench.AblationMigration(w) }},
+		{[]string{"ablation-hbm"}, func() { bench.AblationHBM(w, scale) }},
+		{[]string{"ablation-qos"}, func() { bench.AblationQoS(w) }},
+		{[]string{"projection-integration"}, func() { bench.ProjectionIntegration(w) }},
+		{[]string{"projection-multistack"}, func() { bench.ProjectionMultiStack(w, scale) }},
+		{[]string{"projection-switching"}, func() { bench.ProjectionSwitching(w) }},
+	}
+
+	want := strings.ToLower(*experiment)
+	ran := 0
+	for _, r := range runners {
+		match := want == "all"
+		for _, n := range r.names {
+			if n == want {
+				match = true
+			}
+		}
+		if !match {
+			continue
+		}
+		r.run()
+		fmt.Fprintln(w)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "tfbench: unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

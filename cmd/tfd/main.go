@@ -1,0 +1,79 @@
+// Command tfd is the ThymesisFlow control-plane daemon: it brings up a
+// simulated rack (hosts, cabling, node agents), then serves the
+// software-defined memory REST API.
+//
+// Usage:
+//
+//	tfd -listen :8440 -hosts node0,node1,node2 -admin-token secret
+//
+// Then drive it with tfctl (or curl):
+//
+//	tfctl -server http://localhost:8440 -token secret \
+//	      attach -compute node0 -donor node1 -bytes 1073741824 -channels 2
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+
+	"thymesisflow/internal/agent"
+	"thymesisflow/internal/controlplane"
+	"thymesisflow/internal/core"
+)
+
+func main() {
+	listen := flag.String("listen", ":8440", "HTTP listen address")
+	hosts := flag.String("hosts", "node0,node1,node2", "comma-separated host names of the simulated rack")
+	transceivers := flag.Int("transceivers", 2, "transceivers per endpoint")
+	adminToken := flag.String("admin-token", "tf-admin", "bearer token with write access")
+	readerToken := flag.String("reader-token", "tf-reader", "bearer token with read-only access")
+	flag.Parse()
+
+	names := strings.Split(*hosts, ",")
+	if len(names) < 2 {
+		log.Fatal("tfd: need at least two hosts")
+	}
+
+	cluster := core.NewCluster()
+	model := controlplane.NewModel()
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if _, err := cluster.AddHost(core.DefaultHostConfig(n)); err != nil {
+			log.Fatalf("tfd: %v", err)
+		}
+		if err := model.AddHost(n, *transceivers); err != nil {
+			log.Fatalf("tfd: %v", err)
+		}
+	}
+	// Fully cabled point-to-point rack: compute transceiver i of each host
+	// to memory transceiver i of every other host.
+	for _, a := range names {
+		for _, b := range names {
+			if a == b {
+				continue
+			}
+			ct := model.Transceivers(a, controlplane.LabelComputeEP)
+			mt := model.Transceivers(b, controlplane.LabelMemoryEP)
+			for i := 0; i < len(ct) && i < len(mt); i++ {
+				if err := model.Cable(ct[i], mt[i]); err != nil {
+					log.Fatalf("tfd: cabling: %v", err)
+				}
+			}
+		}
+	}
+
+	const cpToken = "tfd-internal-trust"
+	svc := controlplane.NewService(model, controlplane.ClusterExecutor{Cluster: cluster}, cpToken)
+	for _, n := range names {
+		svc.RegisterAgent(agent.New(strings.TrimSpace(n), cpToken))
+	}
+	api := controlplane.NewAPI(svc, controlplane.AuthConfig{
+		AdminTokens:  []string{*adminToken},
+		ReaderTokens: []string{*readerToken},
+	})
+
+	log.Printf("tfd: rack of %d hosts up, serving on %s", len(names), *listen)
+	log.Fatal(http.ListenAndServe(*listen, api))
+}

@@ -1,0 +1,32 @@
+// Package thymesisflow is a from-scratch Go reproduction of the MICRO 2020
+// paper "ThymesisFlow: A Software-Defined, HW/SW co-Designed Interconnect
+// Stack for Rack-Scale Memory Disaggregation" (Pinto et al., IBM Research).
+//
+// The original system is an FPGA datapath on the POWER9 memory bus; this
+// repository rebuilds the entire stack as a deterministic discrete-event
+// simulation with functional software components on top:
+//
+//   - internal/sim — the discrete-event kernel (virtual time, processes,
+//     resources, bandwidth pipes).
+//   - internal/capi, rmmu, route, llc, phy, endpoint — the ThymesisFlow
+//     interconnect: OpenCAPI-style transactions, the Remote MMU section
+//     table, the routing layer with channel bonding, the credit/replay
+//     link-layer protocol, and the two endpoint personalities.
+//   - internal/mem, hotplug, numa — the memory-hierarchy and OS substrate:
+//     caches, NUMA nodes, sparse-section memory hotplug, page placement
+//     policies and AutoNUMA migration.
+//   - internal/graphdb, controlplane, agent — the software-defined control
+//     plane: graph-modelled topology, path planning with reservations, a
+//     REST API with access control, and trusted per-host agents.
+//   - internal/core — the public facade: Cluster/Host/Attach/Detach and the
+//     paper's five experimental memory configurations.
+//   - internal/dcsim, dctrace — the Figure 1 motivation study.
+//   - internal/workloads/... — STREAM, a VoltDB-like partitioned in-memory
+//     DB driven by YCSB, a Memcached-like cache driven by the Facebook ETC
+//     model, and an Elasticsearch-like engine driven by the Rally "nested"
+//     track.
+//   - internal/bench — the harness regenerating every table and figure.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package thymesisflow

@@ -1,0 +1,96 @@
+// elastic example: the paper's headline capability — run-time attachment
+// and detachment of byte-addressable disaggregated memory to a running
+// system. A host exhausts its local memory, grows into a neighbour's DRAM
+// without stopping the (simulated) application, then shrinks back: pages
+// are migrated off the disaggregated node and the memory is returned to
+// the donor.
+//
+//	go run ./examples/elastic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thymesisflow/internal/core"
+	"thymesisflow/internal/numa"
+	"thymesisflow/internal/sim"
+)
+
+func main() {
+	cluster := core.NewCluster()
+	cfg := core.DefaultHostConfig("app-host")
+	cfg.DRAMPerSocket = 1 << 30 // a deliberately small host: 2 GiB total
+	host, err := cluster.AddHost(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cluster.AddHost(core.DefaultHostConfig("donor")); err != nil {
+		log.Fatal(err)
+	}
+
+	free := func() int64 { return host.FreeLocalBytes() }
+	fmt.Printf("app-host local memory: %d MiB free\n", free()>>20)
+
+	// Fill most of local memory with a resident application.
+	resident, err := host.Mem.Alloc(1800<<20, numa.Preferred(host.Mem, host.LocalNode(0), host.LocalNode(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("application resident set: %d MiB; local free now %d MiB\n",
+		resident.Size>>20, free()>>20)
+
+	// A new 1 GiB allocation cannot fit locally...
+	if _, err := host.Mem.Alloc(1<<30, numa.Local(host.LocalNode(0))); err == nil {
+		log.Fatal("allocation unexpectedly fit")
+	} else {
+		fmt.Printf("1 GiB allocation fails locally: %v\n", err)
+	}
+
+	// ...so attach 1 GiB from the donor at runtime and retry on the new
+	// CPU-less NUMA node.
+	att, err := cluster.Attach(core.AttachSpec{
+		ComputeHost: "app-host", DonorHost: "donor", Bytes: 1 << 30, Channels: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attached %d MiB from donor as NUMA node %d (%d hotplugged sections)\n",
+		att.Bytes>>20, att.Node, len(att.Sections))
+
+	grown, err := host.Mem.Alloc(768<<20, numa.Local(att.Node))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grew into disaggregated memory: %d MiB allocated remotely\n", grown.Size>>20)
+
+	// Run some work against the grown region while it is remote.
+	k := cluster.K
+	k.Go("worker", func(p *sim.Proc) {
+		th := host.NewThread(0)
+		start := p.Now()
+		for off := int64(0); off < 64<<20; off += 64 << 10 {
+			th.Access(p, grown.Addr(off), 64, true)
+		}
+		fmt.Printf("touched 64 MiB of remote pages in %v (simulated)\n", p.Now()-start)
+	})
+	k.Run()
+
+	// Shrink: free the grown region, drain any remaining pages, detach.
+	host.Mem.Free(grown)
+	// Make room locally so the (empty) node drains trivially.
+	host.Mem.Free(resident)
+	if err := cluster.Detach(att.ID); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("detached; donor capacity restored, app-host back to %d MiB free local\n", free()>>20)
+
+	// The same host can re-attach immediately (fresh sections, fresh flow).
+	att2, err := cluster.Attach(core.AttachSpec{
+		ComputeHost: "app-host", DonorHost: "donor", Bytes: 256 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-attached %d MiB as node %d — elastic cycle complete\n", att2.Bytes>>20, att2.Node)
+}

@@ -1,0 +1,3 @@
+module thymesisflow
+
+go 1.22

@@ -1,0 +1,97 @@
+// Package agent implements the ThymesisFlow user-space node agent
+// (Section IV-B): a per-host daemon that applies configuration commands
+// received from the orchestration layer — donor-side memory stealing, or
+// compute-side attachment (RMMU section mapping, routing-layer flow setup,
+// and Linux memory hotplug of the new sections).
+//
+// Agents only accept configuration from a trusted control plane
+// (Section IV-C): every command carries the control-plane token, and
+// commands with an unknown token are rejected before touching hardware
+// state.
+package agent
+
+import (
+	"fmt"
+	"sync"
+)
+
+// CommandKind discriminates configuration commands.
+type CommandKind string
+
+// The command kinds an agent accepts.
+const (
+	CmdStealMemory   CommandKind = "steal-memory"
+	CmdAttachCompute CommandKind = "attach-compute"
+	CmdDetach        CommandKind = "detach"
+)
+
+// Command is one configuration push from the control plane.
+type Command struct {
+	Kind CommandKind
+	// AttachmentID correlates the commands of one attachment.
+	AttachmentID string
+	// Bytes is the memory amount (steal / attach).
+	Bytes int64
+	// Channels is the channel count for compute attachment.
+	Channels int
+	// NetworkID is the active-thymesisflow identifier.
+	NetworkID uint16
+	// DonorBase is the donor effective address of the stolen region.
+	DonorBase uint64
+}
+
+// Agent is one node's configuration daemon.
+type Agent struct {
+	mu       sync.Mutex
+	host     string
+	trusted  string // control-plane token
+	applied  []Command
+	rejected int
+}
+
+// New returns an agent for the named host trusting the given control-plane
+// token.
+func New(host, trustedToken string) *Agent {
+	return &Agent{host: host, trusted: trustedToken}
+}
+
+// Host returns the host this agent manages.
+func (a *Agent) Host() string { return a.host }
+
+// Apply validates and records a configuration command. Untrusted pushes are
+// rejected: no malicious software may install illegal forwarding
+// configurations (Section IV-C).
+func (a *Agent) Apply(token string, cmd Command) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if token != a.trusted {
+		a.rejected++
+		return fmt.Errorf("agent %s: configuration push with untrusted token rejected", a.host)
+	}
+	switch cmd.Kind {
+	case CmdStealMemory, CmdAttachCompute, CmdDetach:
+	default:
+		a.rejected++
+		return fmt.Errorf("agent %s: unknown command kind %q", a.host, cmd.Kind)
+	}
+	if cmd.Kind != CmdDetach && cmd.Bytes <= 0 {
+		a.rejected++
+		return fmt.Errorf("agent %s: %s with non-positive size", a.host, cmd.Kind)
+	}
+	a.applied = append(a.applied, cmd)
+	return nil
+}
+
+// Applied returns a copy of the accepted command log.
+func (a *Agent) Applied() []Command {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Command(nil), a.applied...)
+}
+
+// Rejected returns the count of rejected pushes.
+func (a *Agent) Rejected() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rejected
+}

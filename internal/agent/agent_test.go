@@ -1,0 +1,41 @@
+package agent
+
+import "testing"
+
+func TestTrustBoundary(t *testing.T) {
+	a := New("host0", "secret")
+	if a.Host() != "host0" {
+		t.Fatalf("host = %q", a.Host())
+	}
+	if err := a.Apply("wrong", Command{Kind: CmdStealMemory, Bytes: 1}); err == nil {
+		t.Fatal("untrusted push accepted")
+	}
+	if err := a.Apply("secret", Command{Kind: CmdStealMemory, Bytes: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Apply("secret", Command{Kind: CommandKind("bogus")}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := a.Apply("secret", Command{Kind: CmdAttachCompute, Bytes: 0}); err == nil {
+		t.Fatal("zero-size attach accepted")
+	}
+	if err := a.Apply("secret", Command{Kind: CmdDetach, AttachmentID: "att-0"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(a.Applied()); got != 2 {
+		t.Fatalf("applied = %d, want 2", got)
+	}
+	if got := a.Rejected(); got != 3 {
+		t.Fatalf("rejected = %d, want 3", got)
+	}
+}
+
+func TestAppliedIsACopy(t *testing.T) {
+	a := New("h", "tok")
+	a.Apply("tok", Command{Kind: CmdStealMemory, Bytes: 5}) //nolint:errcheck
+	log := a.Applied()
+	log[0].Bytes = 999
+	if a.Applied()[0].Bytes != 5 {
+		t.Fatal("Applied aliases internal state")
+	}
+}

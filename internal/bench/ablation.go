@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"thymesisflow/internal/capi"
+	"thymesisflow/internal/core"
+	"thymesisflow/internal/endpoint"
+	"thymesisflow/internal/llc"
+	"thymesisflow/internal/numa"
+	"thymesisflow/internal/phy"
+	"thymesisflow/internal/sim"
+)
+
+// AblationReplay measures the cost of the LLC replay protocol under
+// injected frame loss: goodput and replay counts for loss rates from 0 to
+// 1e-3 on the transaction datapath.
+func AblationReplay(w io.Writer) {
+	fmt.Fprintf(w, "Ablation A1 — LLC replay under frame loss (1000 loads of 128B)\n")
+	fmt.Fprintf(w, "  %-10s %12s %12s %12s\n", "loss", "avg load", "replays", "crc errors")
+	for _, loss := range []float64{0, 1e-5, 1e-4, 1e-3, 1e-2} {
+		k := sim.NewKernel()
+		ce, err := endpoint.NewCompute(k, "c", 4, 1<<20)
+		if err != nil {
+			panic(err)
+		}
+		me := endpoint.NewMemory(k, "m", 90*sim.Nanosecond)
+		link := phy.NewLink(k, "wire", phy.LanesPerChannel, phy.SerdesCrossing,
+			phy.FaultConfig{DropProb: loss, CorruptProb: loss, Seed: 42})
+		cp, mp := llc.NewPair(k, "llc", link, llc.DefaultConfig())
+		ce.AttachPort(cp)
+		me.AttachPort(mp)
+		reg, err := me.Steal("bench", 0x10000000, 1<<20, false)
+		if err != nil {
+			panic(err)
+		}
+		if err := ce.RMMU().Map(0, reg.Base, 1, false); err != nil {
+			panic(err)
+		}
+		if err := ce.Router().AddFlow(1, cp); err != nil {
+			panic(err)
+		}
+		const loads = 1000
+		var total sim.Time
+		k.Go("probe", func(p *sim.Proc) {
+			for i := 0; i < loads; i++ {
+				start := p.Now()
+				if _, err := ce.Load(p, uint64(i%8000)*capi.Cacheline, capi.Cacheline); err != nil {
+					panic(err)
+				}
+				total += p.Now() - start
+			}
+		})
+		k.RunUntil(10 * sim.Second)
+		st := cp.Stats()
+		fmt.Fprintf(w, "  %-10.0e %12v %12d %12d\n",
+			loss, total/loads, st.TxReplayed+mp.Stats().TxReplayed, cp.Stats().RxCRCErrors+mp.Stats().RxCRCErrors)
+	}
+}
+
+// AblationBonding compares round-robin bonding against single-channel
+// pinning for streaming bandwidth and for demand-access latency, showing
+// the trade the paper's Memcached and STREAM results straddle: bonding buys
+// bandwidth but costs response-reordering latency.
+func AblationBonding(w io.Writer) {
+	fmt.Fprintf(w, "Ablation A2 — channel bonding policy\n")
+	for _, channels := range []int{1, 2} {
+		k := sim.NewKernel()
+		// Streaming: a long transfer fully utilizes the bonded channels.
+		bStream := endpoint.NewRemoteBackend(k, "tf-stream", channels, nil, 90*sim.Nanosecond)
+		done := bStream.ReserveStream(1 << 30)
+		gibps := float64(1<<30) / done.Seconds() / (1 << 30)
+		// Demand access: one cacheline on an idle datapath.
+		bIdle := endpoint.NewRemoteBackend(k, "tf-idle", channels, nil, 90*sim.Nanosecond)
+		lat := bIdle.Access(capi.Cacheline, false)
+		fmt.Fprintf(w, "  channels=%d  stream=%6.2f GiB/s  demand-load=%v\n", channels, gibps, lat)
+	}
+	fmt.Fprintf(w, "  (bonding raises stream bandwidth toward the 16 GiB/s C1 ceiling\n")
+	fmt.Fprintf(w, "   but adds %v of response-reordering latency per demand access)\n",
+		endpoint.BondReorderPenalty)
+}
+
+// AblationMigration quantifies AutoNUMA-style page migration for the
+// interleaved configuration: hot pages pulled local convert remote demand
+// misses into local ones.
+func AblationMigration(w io.Writer) {
+	fmt.Fprintf(w, "Ablation A3 — NUMA page migration on the interleaved configuration\n")
+	for _, migrate := range []bool{false, true} {
+		tb, err := core.NewTestbed(core.ConfigInterleaved, 1<<30)
+		if err != nil {
+			panic(err)
+		}
+		k := tb.Cluster.K
+		buf, err := tb.Server.Mem.Alloc(64<<20, tb.Placer())
+		if err != nil {
+			panic(err)
+		}
+		bal := numa.NewBalancer(tb.Server.Mem, tb.Server.LocalNode(0), 100*sim.Microsecond)
+		th := tb.Server.NewThread(0)
+		// A skewed access pattern: 90% of accesses to 10% of pages.
+		pages := buf.Size / tb.Server.Mem.PageSize
+		var elapsed sim.Time
+		k.Go("app", func(p *sim.Proc) {
+			rngState := uint64(99)
+			start := p.Now()
+			for i := 0; i < 20000; i++ {
+				rngState = rngState*6364136223846793005 + 1
+				var pg int64
+				if rngState%10 < 9 {
+					pg = int64(rngState/16) % (pages / 10)
+				} else {
+					pg = int64(rngState/16) % pages
+				}
+				addr := buf.Addr(pg * tb.Server.Mem.PageSize)
+				th.Access(p, addr, 64, false)
+				if migrate {
+					bal.RecordAccess(addr)
+					if cost := bal.MaybeScan(p.Now()); cost > 0 {
+						p.Sleep(cost)
+					}
+				}
+			}
+			elapsed = p.Now() - start
+		})
+		k.Run()
+		migrated, _ := bal.Stats()
+		fmt.Fprintf(w, "  migration=%-5v  runtime=%v  pages-migrated=%d\n", migrate, elapsed, migrated)
+	}
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"thymesisflow/internal/endpoint"
+	"thymesisflow/internal/fabric"
+	"thymesisflow/internal/llc"
+	"thymesisflow/internal/phy"
+	"thymesisflow/internal/sim"
+)
+
+// ProjectionSwitching compares the direct-attached prototype against
+// one-switch rack fabrics (Section VII: "only rack-scale disaggregation
+// seems a feasible solution (i.e. at most one switching layer)"), for both
+// an optical circuit switch and an electrical packet switch.
+func ProjectionSwitching(w io.Writer) {
+	fmt.Fprintf(w, "Projection P3 — rack fabric: direct vs one switching layer\n")
+	fmt.Fprintf(w, "  %-28s %12s\n", "fabric", "128B load")
+	cc := fabric.DefaultCircuitConfig()
+	pc := fabric.DefaultPacketConfig()
+	for _, c := range []struct {
+		name string
+		cfg  *fabric.Config
+	}{
+		{"direct-attached (paper)", nil},
+		{"optical circuit switch", &cc},
+		{"electrical packet switch", &pc},
+	} {
+		fmt.Fprintf(w, "  %-28s %12v\n", c.name, measureSwitchedLoad(c.cfg))
+	}
+}
+
+// fabricCircuit and fabricPacket expose the default switch configurations
+// to tests.
+func fabricCircuit() fabric.Config { return fabric.DefaultCircuitConfig() }
+func fabricPacket() fabric.Config  { return fabric.DefaultPacketConfig() }
+
+// measureSwitchedLoad builds a compute/memory endpoint pair, optionally
+// through one switch, and measures a single cacheline load.
+func measureSwitchedLoad(swCfg *fabric.Config) sim.Time {
+	k := sim.NewKernel()
+	ce, err := endpoint.NewCompute(k, "c", 4, 1<<20)
+	if err != nil {
+		panic(err)
+	}
+	me := endpoint.NewMemory(k, "m", 90*sim.Nanosecond)
+	var cp, mp *llc.Port
+	if swCfg == nil {
+		link := phy.NewLink(k, "direct", phy.LanesPerChannel, phy.SerdesCrossing, phy.FaultConfig{})
+		cp, mp = llc.NewPair(k, "llc", link, llc.DefaultConfig())
+	} else {
+		sw := fabric.NewSwitch(k, "sw", *swCfg)
+		la := phy.NewLink(k, "a-sw", phy.LanesPerChannel, phy.SerdesCrossing, phy.FaultConfig{})
+		lb := phy.NewLink(k, "sw-b", phy.LanesPerChannel, phy.SerdesCrossing, phy.FaultConfig{})
+		cp, mp = llc.NewPair(k, "llc", &phy.Link{AtoB: la.AtoB, BtoA: lb.BtoA}, llc.DefaultConfig())
+		if err := sw.Connect(la.AtoB, lb.AtoB); err != nil {
+			panic(err)
+		}
+		if err := sw.Connect(lb.BtoA, la.BtoA); err != nil {
+			panic(err)
+		}
+		lb.AtoB.OnDeliver(mp.Deliver)
+		la.BtoA.OnDeliver(cp.Deliver)
+	}
+	ce.AttachPort(cp)
+	me.AttachPort(mp)
+	reg, err := me.Steal("bench", 0x10000000, 1<<20, false)
+	if err != nil {
+		panic(err)
+	}
+	if err := ce.RMMU().Map(0, reg.Base, 1, false); err != nil {
+		panic(err)
+	}
+	if err := ce.Router().AddFlow(1, cp); err != nil {
+		panic(err)
+	}
+	var lat sim.Time
+	k.Go("probe", func(p *sim.Proc) {
+		start := p.Now()
+		if _, err := ce.Load(p, 0, 128); err != nil {
+			panic(err)
+		}
+		lat = p.Now() - start
+	})
+	k.RunUntil(sim.Second)
+	return lat
+}

@@ -1,0 +1,218 @@
+package controlplane
+
+import (
+	"fmt"
+	"sort"
+
+	"thymesisflow/internal/core"
+)
+
+// HostMemory is one host's memory occupancy as seen by the orchestrator.
+type HostMemory struct {
+	Name string
+	// LocalFree/LocalCapacity describe the host's own DRAM (donated memory
+	// already excluded from capacity).
+	LocalFree     int64
+	LocalCapacity int64
+	// RemoteAttached is disaggregated memory currently attached to this
+	// host; RemoteFree the unallocated part of it.
+	RemoteAttached int64
+	RemoteFree     int64
+}
+
+// Inspector reports cluster memory state to the autoscaler.
+type Inspector interface {
+	HostMemory() []HostMemory
+}
+
+// ClusterInspector adapts core.Cluster.
+type ClusterInspector struct {
+	Cluster *core.Cluster
+}
+
+// HostMemory implements Inspector.
+func (ci ClusterInspector) HostMemory() []HostMemory {
+	var out []HostMemory
+	for _, h := range ci.Cluster.Hosts() {
+		hm := HostMemory{Name: h.Name}
+		for _, n := range h.Mem.Nodes() {
+			if n.CPULess {
+				hm.RemoteAttached += n.Capacity
+				hm.RemoteFree += n.Capacity - n.Used
+			} else {
+				hm.LocalCapacity += n.Capacity
+				hm.LocalFree += n.Capacity - n.Used
+			}
+		}
+		out = append(out, hm)
+	}
+	return out
+}
+
+// AutoscalePolicy tunes the orchestrator. The paper frames this layer as
+// future integration with cloud orchestrators (Section IV-C): transparent
+// resource allocation based on incoming placement demand.
+type AutoscalePolicy struct {
+	// LowWatermark: grow a host whose local+remote free fraction falls
+	// below this.
+	LowWatermark float64
+	// HighWatermark: shrink (detach) when an attachment is entirely free
+	// and overall free fraction exceeds this.
+	HighWatermark float64
+	// StepBytes is the attachment size per grow action.
+	StepBytes int64
+	// DonorReserve is the local free fraction a donor must retain.
+	DonorReserve float64
+	// MaxAttachmentsPerHost bounds fan-in.
+	MaxAttachmentsPerHost int
+}
+
+// DefaultAutoscalePolicy returns conservative watermarks.
+func DefaultAutoscalePolicy() AutoscalePolicy {
+	return AutoscalePolicy{
+		LowWatermark:          0.10,
+		HighWatermark:         0.60,
+		StepBytes:             1 << 30,
+		DonorReserve:          0.30,
+		MaxAttachmentsPerHost: 4,
+	}
+}
+
+// Action describes one orchestration decision.
+type Action struct {
+	Kind         string // "attach" or "detach"
+	ComputeHost  string
+	DonorHost    string
+	Bytes        int64
+	AttachmentID string
+}
+
+// Autoscaler grows and shrinks hosts' memory through the control plane.
+type Autoscaler struct {
+	svc    *Service
+	insp   Inspector
+	policy AutoscalePolicy
+}
+
+// NewAutoscaler builds an orchestrator over the control-plane service.
+func NewAutoscaler(svc *Service, insp Inspector, policy AutoscalePolicy) *Autoscaler {
+	return &Autoscaler{svc: svc, insp: insp, policy: policy}
+}
+
+// Evaluate inspects the cluster once and executes the resulting actions.
+// It returns what it did.
+func (a *Autoscaler) Evaluate() ([]Action, error) {
+	hosts := a.insp.HostMemory()
+	byName := make(map[string]HostMemory, len(hosts))
+	for _, h := range hosts {
+		byName[h.Name] = h
+	}
+	attachments := a.svc.Attachments()
+	perHost := make(map[string]int)
+	for _, rec := range attachments {
+		perHost[rec.ComputeHost]++
+	}
+
+	var actions []Action
+
+	// Shrink pass first: release fully-free attachments on comfortable
+	// hosts so their capacity is available to the grow pass.
+	for _, rec := range attachments {
+		hm, ok := byName[rec.ComputeHost]
+		if !ok {
+			continue
+		}
+		total := hm.LocalCapacity + hm.RemoteAttached
+		free := hm.LocalFree + hm.RemoteFree
+		if total == 0 {
+			continue
+		}
+		// Only detach when the attachment itself is unused (drain would be
+		// a no-op) and the host is comfortably free.
+		if hm.RemoteFree >= rec.Bytes && float64(free)/float64(total) > a.policy.HighWatermark {
+			if err := a.svc.Detach(rec.ID); err != nil {
+				return actions, fmt.Errorf("controlplane: autoscale detach %s: %w", rec.ID, err)
+			}
+			actions = append(actions, Action{
+				Kind: "detach", ComputeHost: rec.ComputeHost,
+				DonorHost: rec.DonorHost, Bytes: rec.Bytes, AttachmentID: rec.ID,
+			})
+			hm.RemoteAttached -= rec.Bytes
+			hm.RemoteFree -= rec.Bytes
+			byName[rec.ComputeHost] = hm
+			perHost[rec.ComputeHost]--
+		}
+	}
+
+	// Grow pass: find starving hosts, pick the freest viable donor.
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		hm := byName[name]
+		total := hm.LocalCapacity + hm.RemoteAttached
+		if total == 0 {
+			continue
+		}
+		free := hm.LocalFree + hm.RemoteFree
+		if float64(free)/float64(total) >= a.policy.LowWatermark {
+			continue
+		}
+		if perHost[name] >= a.policy.MaxAttachmentsPerHost {
+			continue
+		}
+		donor := a.pickDonor(byName, name)
+		if donor == "" {
+			continue // nobody can donate right now
+		}
+		rec, err := a.svc.Attach(AttachRequest{
+			ComputeHost: name, DonorHost: donor,
+			Bytes: a.policy.StepBytes, Channels: 1,
+		})
+		if err != nil {
+			// Path or capacity contention is not fatal; report what ran.
+			continue
+		}
+		actions = append(actions, Action{
+			Kind: "attach", ComputeHost: name, DonorHost: donor,
+			Bytes: rec.Bytes, AttachmentID: rec.ID,
+		})
+		dm := byName[donor]
+		dm.LocalFree -= rec.Bytes
+		dm.LocalCapacity -= rec.Bytes
+		byName[donor] = dm
+		perHost[name]++
+	}
+	return actions, nil
+}
+
+// pickDonor returns the host with the most spare local memory that can
+// donate a step while keeping its reserve, or "".
+func (a *Autoscaler) pickDonor(hosts map[string]HostMemory, exclude string) string {
+	best := ""
+	var bestFree int64 = -1
+	names := make([]string, 0, len(hosts))
+	for n := range hosts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if n == exclude {
+			continue
+		}
+		hm := hosts[n]
+		if hm.LocalCapacity == 0 {
+			continue
+		}
+		afterFree := hm.LocalFree - a.policy.StepBytes
+		if afterFree < int64(a.policy.DonorReserve*float64(hm.LocalCapacity)) {
+			continue
+		}
+		if hm.LocalFree > bestFree {
+			best, bestFree = n, hm.LocalFree
+		}
+	}
+	return best
+}

@@ -1,0 +1,147 @@
+package controlplane
+
+import (
+	"testing"
+
+	"thymesisflow/internal/core"
+	"thymesisflow/internal/numa"
+)
+
+// autoscaleService builds the 3-node service on small hosts (8 GiB each,
+// 16 MiB sections) so the 512 MiB autoscale steps fit the RMMU table.
+func autoscaleService(t *testing.T) (*Service, *core.Cluster) {
+	t.Helper()
+	return testServiceWith(t, func(cfg *core.HostConfig) {
+		cfg.DRAMPerSocket = 4 << 30
+		cfg.SectionSize = 16 << 20
+		cfg.RMMUSections = 256
+	})
+}
+
+// autoscaleRig builds the 3-node service plus an autoscaler over the real
+// cluster with small steps.
+func autoscaleRig(t *testing.T) (*Autoscaler, *Service, func(host string, bytes int64)) {
+	t.Helper()
+	svc, cluster := autoscaleService(t)
+	policy := DefaultAutoscalePolicy()
+	policy.StepBytes = 512 << 20
+	a := NewAutoscaler(svc, ClusterInspector{Cluster: cluster}, policy)
+	// fill allocates bytes of local memory on a host.
+	fill := func(host string, bytes int64) {
+		h, err := cluster.Host(host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Mem.Alloc(bytes, numa.Preferred(h.Mem, h.LocalNode(0), h.LocalNode(1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a, svc, fill
+}
+
+func TestAutoscalerIdleDoesNothing(t *testing.T) {
+	a, svc, _ := autoscaleRig(t)
+	actions, err := a.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 0 || len(svc.Attachments()) != 0 {
+		t.Fatalf("idle cluster produced actions: %+v", actions)
+	}
+}
+
+func TestAutoscalerGrowsStarvingHost(t *testing.T) {
+	a, svc, fill := autoscaleRig(t)
+	// node0: 8 GiB total (testService uses 4 GiB/socket); fill > 90%.
+	fill("node0", 7*1<<30+1<<29)
+	actions, err := a.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 1 || actions[0].Kind != "attach" || actions[0].ComputeHost != "node0" {
+		t.Fatalf("actions = %+v", actions)
+	}
+	if len(svc.Attachments()) != 1 {
+		t.Fatal("no attachment created")
+	}
+	// Second evaluation: the fresh attachment lifted free fraction above
+	// the watermark, so no further growth.
+	actions, err = a.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, act := range actions {
+		if act.Kind == "attach" {
+			t.Fatalf("grew again while satisfied: %+v", actions)
+		}
+	}
+}
+
+func TestAutoscalerShrinksComfortableHost(t *testing.T) {
+	// A host with an existing, completely unused attachment and plenty of
+	// free local memory (the workload exited): the next evaluation
+	// detaches and returns the memory to the donor.
+	svc, cluster := autoscaleService(t)
+	policy := DefaultAutoscalePolicy()
+	policy.StepBytes = 512 << 20
+	a := NewAutoscaler(svc, ClusterInspector{Cluster: cluster}, policy)
+	if _, err := svc.Attach(AttachRequest{ComputeHost: "node0", DonorHost: "node1", Bytes: 512 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	actions, err := a.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 1 || actions[0].Kind != "detach" {
+		t.Fatalf("actions = %+v, want one detach", actions)
+	}
+	if len(svc.Attachments()) != 0 {
+		t.Fatal("attachment not removed")
+	}
+}
+
+func TestAutoscalerRespectsDonorReserve(t *testing.T) {
+	a, _, fill := autoscaleRig(t)
+	// Starve node0 AND consume the donors so no one can give a step while
+	// keeping 30% reserve.
+	fill("node0", 7*1<<30+1<<29)
+	fill("node1", 6<<30)
+	fill("node2", 6<<30)
+	actions, err := a.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, act := range actions {
+		if act.Kind == "attach" {
+			t.Fatalf("attached despite exhausted donors: %+v", act)
+		}
+	}
+}
+
+func TestAutoscalerMaxAttachments(t *testing.T) {
+	svc, cluster := autoscaleService(t)
+	policy := DefaultAutoscalePolicy()
+	policy.StepBytes = 64 << 20
+	policy.MaxAttachmentsPerHost = 1
+	a := NewAutoscaler(svc, ClusterInspector{Cluster: cluster}, policy)
+	h, _ := cluster.Host("node0")
+	if _, err := h.Mem.Alloc(7*1<<30+1<<29, numa.Preferred(h.Mem, h.LocalNode(0), h.LocalNode(1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	// Still starving (64 MiB step is tiny), but capped at 1 attachment.
+	actions, err := a.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, act := range actions {
+		if act.Kind == "attach" {
+			t.Fatalf("exceeded MaxAttachmentsPerHost: %+v", act)
+		}
+	}
+	if len(svc.Attachments()) != 1 {
+		t.Fatalf("attachments = %d, want 1", len(svc.Attachments()))
+	}
+}

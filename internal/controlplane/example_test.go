@@ -1,0 +1,52 @@
+package controlplane_test
+
+import (
+	"fmt"
+
+	"thymesisflow/internal/agent"
+	"thymesisflow/internal/controlplane"
+	"thymesisflow/internal/core"
+)
+
+// Example drives the software-defined flow: model the rack topology, plan
+// and reserve a path, push configuration to trusted agents, and execute the
+// attachment on the datapath.
+func Example() {
+	// Physical rack.
+	cluster := core.NewCluster()
+	cluster.AddHost(core.DefaultHostConfig("node0")) //nolint:errcheck
+	cluster.AddHost(core.DefaultHostConfig("node1")) //nolint:errcheck
+
+	// Control-plane state graph: hosts, endpoints, transceivers, cables.
+	model := controlplane.NewModel()
+	model.AddHost("node0", 2) //nolint:errcheck
+	model.AddHost("node1", 2) //nolint:errcheck
+	ct := model.Transceivers("node0", controlplane.LabelComputeEP)
+	mt := model.Transceivers("node1", controlplane.LabelMemoryEP)
+	model.Cable(ct[0], mt[0]) //nolint:errcheck
+	model.Cable(ct[1], mt[1]) //nolint:errcheck
+
+	const token = "trusted"
+	svc := controlplane.NewService(model, controlplane.ClusterExecutor{Cluster: cluster}, token)
+	svc.RegisterAgent(agent.New("node0", token))
+	svc.RegisterAgent(agent.New("node1", token))
+
+	rec, err := svc.Attach(controlplane.AttachRequest{
+		ComputeHost: "node0", DonorHost: "node1", Bytes: 1 << 30, Channels: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("attachment %s: %d channels, paths of %v hops\n", rec.ID, rec.Channels, rec.PathLen)
+	fmt.Printf("free compute transceivers on node0: %d\n",
+		model.FreeTransceivers("node0", controlplane.LabelComputeEP))
+
+	if err := svc.Detach(rec.ID); err != nil {
+		panic(err)
+	}
+	fmt.Printf("after detach: %d\n", model.FreeTransceivers("node0", controlplane.LabelComputeEP))
+	// Output:
+	// attachment att-0: 2 channels, paths of [2 2] hops
+	// free compute transceivers on node0: 0
+	// after detach: 2
+}

@@ -1,0 +1,236 @@
+package controlplane
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"thymesisflow/internal/agent"
+	"thymesisflow/internal/core"
+	"thymesisflow/internal/mem"
+)
+
+// Executor carries out planned attachments on the physical (simulated)
+// cluster. *core.Cluster satisfies it through ClusterExecutor.
+type Executor interface {
+	Attach(computeHost, donorHost string, bytes int64, channels int) (id string, node mem.NodeID, err error)
+	Detach(id string) error
+}
+
+// ClusterExecutor adapts core.Cluster to the Executor interface.
+type ClusterExecutor struct {
+	Cluster *core.Cluster
+}
+
+// Attach implements Executor.
+func (ce ClusterExecutor) Attach(computeHost, donorHost string, bytes int64, channels int) (string, mem.NodeID, error) {
+	att, err := ce.Cluster.Attach(core.AttachSpec{
+		ComputeHost: computeHost,
+		DonorHost:   donorHost,
+		Bytes:       bytes,
+		Channels:    channels,
+	})
+	if err != nil {
+		return "", 0, err
+	}
+	return att.ID, att.Node, nil
+}
+
+// Detach implements Executor.
+func (ce ClusterExecutor) Detach(id string) error { return ce.Cluster.Detach(id) }
+
+// TrafficReporter is optionally implemented by executors that can report
+// per-attachment datapath counters; the REST layer exposes them under
+// GET /v1/attachments/{id}/stats.
+type TrafficReporter interface {
+	Traffic(id string) (core.TrafficStats, bool)
+}
+
+// Traffic implements TrafficReporter.
+func (ce ClusterExecutor) Traffic(id string) (core.TrafficStats, bool) {
+	att, ok := ce.Cluster.Attachment(id)
+	if !ok {
+		return core.TrafficStats{}, false
+	}
+	return att.Traffic(), true
+}
+
+// Traffic returns datapath counters for an attachment when the executor
+// supports reporting.
+func (s *Service) Traffic(id string) (core.TrafficStats, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, known := s.attachments[id]; !known {
+		return core.TrafficStats{}, false
+	}
+	tr, ok := s.exec.(TrafficReporter)
+	if !ok {
+		return core.TrafficStats{}, false
+	}
+	return tr.Traffic(id)
+}
+
+// AttachmentRecord is the control plane's book-keeping for one attachment.
+type AttachmentRecord struct {
+	ID          string `json:"id"`
+	ComputeHost string `json:"compute_host"`
+	DonorHost   string `json:"donor_host"`
+	Bytes       int64  `json:"bytes"`
+	Channels    int    `json:"channels"`
+	NUMANode    int    `json:"numa_node"`
+	PathLen     []int  `json:"path_len"`
+	paths       []Path
+}
+
+// Service is the control plane: topology model, agents, executor, and
+// attachment state.
+type Service struct {
+	mu     sync.Mutex
+	model  *Model
+	exec   Executor
+	agents map[string]*agent.Agent
+	token  string // the control plane's trusted token
+
+	attachments map[string]*AttachmentRecord
+	nextNetID   uint16
+}
+
+// NewService builds a control plane over the given model and executor. The
+// token authenticates the control plane toward node agents.
+func NewService(model *Model, exec Executor, token string) *Service {
+	return &Service{
+		model:       model,
+		exec:        exec,
+		agents:      make(map[string]*agent.Agent),
+		token:       token,
+		attachments: make(map[string]*AttachmentRecord),
+		nextNetID:   1,
+	}
+}
+
+// RegisterAgent attaches a node agent for a host.
+func (s *Service) RegisterAgent(a *agent.Agent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.agents[a.Host()] = a
+}
+
+// Model returns the topology model.
+func (s *Service) Model() *Model { return s.model }
+
+// AttachRequest is the external API request body.
+type AttachRequest struct {
+	ComputeHost string `json:"compute_host"`
+	DonorHost   string `json:"donor_host"`
+	Bytes       int64  `json:"bytes"`
+	Channels    int    `json:"channels"`
+}
+
+// Attach plans, reserves, configures, and executes one attachment.
+func (s *Service) Attach(req AttachRequest) (*AttachmentRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if req.Channels <= 0 {
+		req.Channels = 1
+	}
+	if req.Bytes <= 0 {
+		return nil, fmt.Errorf("controlplane: attach of %d bytes", req.Bytes)
+	}
+	computeAgent, ok := s.agents[req.ComputeHost]
+	if !ok {
+		return nil, fmt.Errorf("controlplane: no agent registered for host %q", req.ComputeHost)
+	}
+	donorAgent, ok := s.agents[req.DonorHost]
+	if !ok {
+		return nil, fmt.Errorf("controlplane: no agent registered for host %q", req.DonorHost)
+	}
+
+	// 1. Find and reserve fabric paths.
+	paths, err := s.model.PlanChannels(req.ComputeHost, req.DonorHost, req.Channels)
+	if err != nil {
+		return nil, err
+	}
+	netID := s.nextNetID
+	s.nextNetID++
+
+	rollback := func() { s.model.ReleasePaths(paths) }
+
+	// 2. Push configuration to the agents (donor first: memory must be
+	// pinned before the compute side can forward to it).
+	if err := donorAgent.Apply(s.token, agent.Command{
+		Kind: agent.CmdStealMemory, Bytes: req.Bytes, NetworkID: netID,
+	}); err != nil {
+		rollback()
+		return nil, err
+	}
+	if err := computeAgent.Apply(s.token, agent.Command{
+		Kind: agent.CmdAttachCompute, Bytes: req.Bytes,
+		Channels: req.Channels, NetworkID: netID,
+	}); err != nil {
+		rollback()
+		return nil, err
+	}
+
+	// 3. Execute on the datapath.
+	id, node, err := s.exec.Attach(req.ComputeHost, req.DonorHost, req.Bytes, req.Channels)
+	if err != nil {
+		rollback()
+		return nil, err
+	}
+	rec := &AttachmentRecord{
+		ID:          id,
+		ComputeHost: req.ComputeHost,
+		DonorHost:   req.DonorHost,
+		Bytes:       req.Bytes,
+		Channels:    req.Channels,
+		NUMANode:    int(node),
+		paths:       paths,
+	}
+	for _, p := range paths {
+		rec.PathLen = append(rec.PathLen, len(p.Vertices))
+	}
+	s.attachments[id] = rec
+	return rec, nil
+}
+
+// Detach tears an attachment down and releases its fabric reservations.
+func (s *Service) Detach(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.attachments[id]
+	if !ok {
+		return fmt.Errorf("controlplane: unknown attachment %q", id)
+	}
+	if err := s.exec.Detach(id); err != nil {
+		return err
+	}
+	if a, ok := s.agents[rec.ComputeHost]; ok {
+		a.Apply(s.token, agent.Command{Kind: agent.CmdDetach, AttachmentID: id}) //nolint:errcheck
+	}
+	if a, ok := s.agents[rec.DonorHost]; ok {
+		a.Apply(s.token, agent.Command{Kind: agent.CmdDetach, AttachmentID: id}) //nolint:errcheck
+	}
+	s.model.ReleasePaths(rec.paths)
+	delete(s.attachments, id)
+	return nil
+}
+
+// Attachments lists records sorted by ID.
+func (s *Service) Attachments() []*AttachmentRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*AttachmentRecord, 0, len(s.attachments))
+	for _, r := range s.attachments {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Attachment returns one record.
+func (s *Service) Attachment(id string) (*AttachmentRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.attachments[id]
+	return r, ok
+}

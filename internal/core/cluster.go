@@ -1,0 +1,438 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"thymesisflow/internal/endpoint"
+	"thymesisflow/internal/llc"
+	"thymesisflow/internal/mem"
+	"thymesisflow/internal/numa"
+	"thymesisflow/internal/phy"
+	"thymesisflow/internal/route"
+	"thymesisflow/internal/sim"
+)
+
+// Cluster is a rack of hosts joined by ThymesisFlow links. It owns the
+// attach/detach lifecycle.
+type Cluster struct {
+	K *sim.Kernel
+
+	hosts       map[string]*Host
+	hostOrder   []string
+	nextNetID   uint16
+	nextAttach  int
+	attachments map[string]*Attachment
+
+	// Faults configures error injection on newly created links.
+	Faults phy.FaultConfig
+}
+
+// NewCluster returns an empty cluster on a fresh kernel.
+func NewCluster() *Cluster {
+	return &Cluster{
+		K:           sim.NewKernel(),
+		hosts:       make(map[string]*Host),
+		attachments: make(map[string]*Attachment),
+		nextNetID:   1,
+	}
+}
+
+// AddHost creates and registers a host.
+func (c *Cluster) AddHost(cfg HostConfig) (*Host, error) {
+	if _, dup := c.hosts[cfg.Name]; dup {
+		return nil, fmt.Errorf("core: host %q already exists", cfg.Name)
+	}
+	h, err := NewHost(c.K, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.hosts[cfg.Name] = h
+	c.hostOrder = append(c.hostOrder, cfg.Name)
+	return h, nil
+}
+
+// Host returns a registered host.
+func (c *Cluster) Host(name string) (*Host, error) {
+	h, ok := c.hosts[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown host %q", name)
+	}
+	return h, nil
+}
+
+// Hosts returns hosts in registration order.
+func (c *Cluster) Hosts() []*Host {
+	out := make([]*Host, 0, len(c.hostOrder))
+	for _, n := range c.hostOrder {
+		out = append(out, c.hosts[n])
+	}
+	return out
+}
+
+// Attachment is one live disaggregated-memory binding: Bytes of the donor's
+// memory appear as the CPU-less NUMA node Node on the compute host.
+type Attachment struct {
+	ID          string
+	ComputeHost string
+	DonorHost   string
+	Bytes       int64
+	Channels    int
+	Bonded      bool
+	NetworkID   uint16
+
+	// Node is the CPU-less NUMA node on the compute host backed by the
+	// donor's memory.
+	Node mem.NodeID
+	// Backend prices accesses through the ThymesisFlow datapath.
+	Backend *endpoint.RemoteBackend
+	// Region is the pinned donor memory.
+	Region *endpoint.StolenRegion
+	// Sections are the hotplug section bases on the compute host.
+	Sections []uint64
+	// DeviceBase is the first device-internal address of the mapping (for
+	// functional Load/Store through the transaction datapath).
+	DeviceBase uint64
+
+	computePorts []*llc.Port
+	// qos shapes this flow when it shares channels with other attachments;
+	// sharers counts attachments reusing this one's channels.
+	qos        *route.QoS
+	sharedBase string
+	sharers    int
+}
+
+// QoS returns the shaping arbiter of the attachment's channel group (nil
+// when the channels are dedicated).
+func (a *Attachment) QoS() *route.QoS { return a.qos }
+
+// TrafficStats aggregates an attachment's observable datapath counters.
+type TrafficStats struct {
+	// Transaction-path counters (functional Load/Store traffic).
+	TxTransactions int64 `json:"tx_transactions"`
+	TxFrames       int64 `json:"tx_frames"`
+	TxReplayed     int64 `json:"tx_replayed"`
+	RxCRCErrors    int64 `json:"rx_crc_errors"`
+	CreditStalls   int64 `json:"credit_stalls"`
+	// Analytic-path counters (workload traffic priced via the backend).
+	BackendBytes int64 `json:"backend_bytes"`
+	// HBM cache counters (zero when the layer is disabled).
+	HBMHits   int64 `json:"hbm_hits"`
+	HBMMisses int64 `json:"hbm_misses"`
+}
+
+// Traffic returns the attachment's current counters.
+func (a *Attachment) Traffic() TrafficStats {
+	var ts TrafficStats
+	for _, p := range a.computePorts {
+		st := p.Stats()
+		ts.TxTransactions += st.TxTransactions
+		ts.TxFrames += st.TxFrames
+		ts.TxReplayed += st.TxReplayed
+		ts.RxCRCErrors += st.RxCRCErrors
+		ts.CreditStalls += st.CreditStalls
+	}
+	for _, pipe := range a.Backend.Channels() {
+		ts.BackendBytes += pipe.TotalBytes()
+	}
+	ts.HBMHits, ts.HBMMisses = a.Backend.HBMStats()
+	return ts
+}
+
+// AttachSpec parameterizes an attachment.
+type AttachSpec struct {
+	ComputeHost string
+	DonorHost   string
+	Bytes       int64 // rounded up to whole sections
+	Channels    int   // 1 = single-disaggregated, 2 = bonding-disaggregated
+	// Backing allocates a real byte store at the donor so functional
+	// Load/Store through the datapath verifies data integrity. Keep false
+	// for large timing-only attachments.
+	Backing bool
+	// HBMCacheBytes, when positive, enables the Section VII hardware
+	// caching layer on the compute endpoint: that much on-card HBM caches
+	// remote lines in front of the network.
+	HBMCacheBytes int64
+	// ShareChannelsWith names an existing attachment (same compute and
+	// donor hosts) whose physical channels this flow reuses instead of
+	// bringing up new links — the channel sharing of Section IV-A3. The
+	// two active thymesisflows then contend on the shared wire.
+	ShareChannelsWith string
+	// QoSWeight assigns this flow's bandwidth weight within the shared
+	// channel group (default 1). Only meaningful with sharing.
+	QoSWeight int
+}
+
+// Attach performs the full software-defined attachment: donor-side steal
+// (C1/PASID), per-section RMMU mappings, routing-layer flow with optional
+// bonding, LLC/phy channel bring-up, hotplug probe+online, and CPU-less
+// NUMA node creation on the compute host.
+func (c *Cluster) Attach(spec AttachSpec) (*Attachment, error) {
+	if spec.ComputeHost == spec.DonorHost {
+		return nil, fmt.Errorf("core: compute and donor host are both %q", spec.ComputeHost)
+	}
+	ch, err := c.Host(spec.ComputeHost)
+	if err != nil {
+		return nil, err
+	}
+	dh, err := c.Host(spec.DonorHost)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Channels <= 0 {
+		spec.Channels = 1
+	}
+	if spec.Bytes <= 0 {
+		return nil, fmt.Errorf("core: attach of %d bytes", spec.Bytes)
+	}
+	secSize := ch.Cfg.SectionSize
+	sections := int((spec.Bytes + secSize - 1) / secSize)
+	bytes := int64(sections) * secSize
+
+	// Donor side: pin memory and register the PASID with the C1 endpoint.
+	if free := dh.FreeLocalBytes(); free < bytes {
+		return nil, fmt.Errorf("core: donor %q has %d bytes free, need %d", dh.Name, free, bytes)
+	}
+	donorBase := dh.nextDonorBase
+	region, err := dh.Memory.Steal("tf-agent", donorBase, bytes, spec.Backing)
+	if err != nil {
+		return nil, err
+	}
+	dh.nextDonorBase += uint64(bytes)
+	// Account the pinned memory against the donor's local capacity: stolen
+	// memory is no longer available to the donor's own allocator.
+	donorNode := dh.Mem.Node(dh.LocalNode(0))
+	donorNode.Capacity -= bytes
+
+	id := fmt.Sprintf("att-%d", c.nextAttach)
+	c.nextAttach++
+	netID := c.nextNetID
+	c.nextNetID++
+	bonded := spec.Channels > 1
+
+	att := &Attachment{
+		ID:          id,
+		ComputeHost: ch.Name,
+		DonorHost:   dh.Name,
+		Bytes:       bytes,
+		Channels:    spec.Channels,
+		Bonded:      bonded,
+		NetworkID:   netID,
+		Region:      region,
+	}
+
+	var base *Attachment
+	if spec.ShareChannelsWith != "" {
+		// Channel sharing (Section IV-A3): reuse an existing flow's links.
+		base = c.attachments[spec.ShareChannelsWith]
+		if base == nil {
+			c.rollbackDonor(dh, region, bytes)
+			return nil, fmt.Errorf("core: share target %q not found", spec.ShareChannelsWith)
+		}
+		if base.ComputeHost != ch.Name || base.DonorHost != dh.Name {
+			c.rollbackDonor(dh, region, bytes)
+			return nil, fmt.Errorf("core: share target %q joins %s->%s, not %s->%s",
+				base.ID, base.ComputeHost, base.DonorHost, ch.Name, dh.Name)
+		}
+		att.computePorts = base.computePorts
+		att.Channels = base.Channels
+		att.Bonded = base.Bonded
+		bonded = base.Bonded
+	} else {
+		// Network bring-up: one LLC/phy link per channel.
+		for i := 0; i < spec.Channels; i++ {
+			f := c.Faults
+			f.Seed += int64(i) * 7919
+			link := phy.NewLink(c.K, fmt.Sprintf("%s-%s.ch%d", ch.Name, dh.Name, i),
+				phy.LanesPerChannel, phy.SerdesCrossing, f)
+			cp, mp := llc.NewPair(c.K, fmt.Sprintf("%s.llc%d", id, i), link, llc.DefaultConfig())
+			ch.Compute.AttachPort(cp)
+			dh.Memory.AttachPort(mp)
+			att.computePorts = append(att.computePorts, cp)
+		}
+	}
+	if err := ch.Compute.Router().AddFlow(netID, att.computePorts...); err != nil {
+		c.rollbackDonor(dh, region, bytes)
+		return nil, err
+	}
+	if base != nil {
+		// Shared channels are arbitrated by a per-group QoS: weights shape
+		// each flow's share of the common wire.
+		if base.qos == nil {
+			var rate float64
+			for _, p := range base.Backend.Channels() {
+				rate += p.Rate()
+			}
+			base.qos = route.NewQoS(c.K, rate)
+			base.qos.SetWeight(base.NetworkID, 1) //nolint:errcheck
+		}
+		weight := spec.QoSWeight
+		if weight <= 0 {
+			weight = 1
+		}
+		if err := base.qos.SetWeight(netID, weight); err != nil {
+			ch.Compute.Router().RemoveFlow(netID) //nolint:errcheck
+			c.rollbackDonor(dh, region, bytes)
+			return nil, err
+		}
+		att.qos = base.qos
+		att.sharedBase = base.ID
+		base.sharers++
+	}
+
+	// Compute side: map one RMMU section per hotplug section.
+	firstSection := ch.nextSection
+	att.DeviceBase = uint64(firstSection) * uint64(secSize)
+	for i := 0; i < sections; i++ {
+		sec := firstSection + i
+		remoteBase := region.Base + uint64(i)*uint64(secSize)
+		if err := ch.Compute.RMMU().Map(sec, remoteBase, netID, bonded); err != nil {
+			for j := 0; j < i; j++ {
+				ch.Compute.RMMU().Unmap(firstSection + j) //nolint:errcheck
+			}
+			ch.Compute.Router().RemoveFlow(netID) //nolint:errcheck
+			if base != nil {
+				base.qos.SetWeight(netID, 0) //nolint:errcheck
+				base.sharers--
+			}
+			c.rollbackDonor(dh, region, bytes)
+			return nil, err
+		}
+	}
+	ch.nextSection += sections
+
+	// OS side: CPU-less NUMA node + hotplug probe/online per section.
+	if base != nil {
+		// The analytic backend contends on the base flow's channel pipes,
+		// exactly as the flows contend on the shared wire.
+		att.Backend = endpoint.NewRemoteBackendWithPipes(c.K, id+".backend",
+			base.Backend.Channels(), dh.Memory.C1Pipe(), dh.Cfg.DRAMLatency)
+	} else {
+		att.Backend = endpoint.NewRemoteBackend(c.K, id+".backend", spec.Channels,
+			dh.Memory.C1Pipe(), dh.Cfg.DRAMLatency)
+	}
+	if spec.HBMCacheBytes > 0 {
+		hc := endpoint.DefaultHBMConfig()
+		hc.SizeBytes = spec.HBMCacheBytes
+		att.Backend.EnableHBMCache(hc)
+	}
+	dist := int(10 * att.Backend.BaseLatency() / ch.Cfg.DRAMLatency)
+	if dist > 250 {
+		dist = 250
+	}
+	att.Node = ch.Mem.AddNode(&mem.Node{
+		Name:     id + ".numa",
+		Socket:   0,
+		CPULess:  true,
+		Capacity: 0, // grows as sections come online
+		Backend:  att.Backend,
+		Distance: dist,
+	})
+	for i := 0; i < sections; i++ {
+		secBase := att.DeviceBase + uint64(i)*uint64(secSize)
+		if _, err := ch.Hotplug.Probe(secBase, att.Node); err != nil {
+			return nil, fmt.Errorf("core: hotplug probe: %w", err)
+		}
+		if err := ch.Hotplug.Online(secBase); err != nil {
+			return nil, fmt.Errorf("core: hotplug online: %w", err)
+		}
+		att.Sections = append(att.Sections, secBase)
+	}
+
+	c.attachments[id] = att
+	return att, nil
+}
+
+func (c *Cluster) rollbackDonor(dh *Host, region *endpoint.StolenRegion, bytes int64) {
+	dh.Memory.Release(region) //nolint:errcheck
+	dh.Mem.Node(dh.LocalNode(0)).Capacity += bytes
+}
+
+// Detach tears an attachment down. Pages still on the disaggregated node
+// are migrated to the compute host's local node first (the OS-level path a
+// planned removal takes); detach fails if local memory cannot absorb them.
+func (c *Cluster) Detach(id string) error {
+	att, ok := c.attachments[id]
+	if !ok {
+		return fmt.Errorf("core: unknown attachment %q", id)
+	}
+	if att.sharers > 0 {
+		return fmt.Errorf("core: attachment %q still shares its channels with %d flows", id, att.sharers)
+	}
+	ch := c.hosts[att.ComputeHost]
+	dh := c.hosts[att.DonorHost]
+
+	if _, err := numa.Drain(ch.Mem, att.Node, ch.LocalNode(0)); err != nil {
+		return fmt.Errorf("core: detach %s: %w", id, err)
+	}
+	for _, base := range att.Sections {
+		if err := ch.Hotplug.Offline(base); err != nil {
+			return err
+		}
+		if err := ch.Hotplug.Remove(base); err != nil {
+			return err
+		}
+	}
+	ch.Mem.RemoveNode(att.Node)
+	secSize := ch.Cfg.SectionSize
+	firstSection := int(att.DeviceBase / uint64(secSize))
+	for i := range att.Sections {
+		if err := ch.Compute.RMMU().Unmap(firstSection + i); err != nil {
+			return err
+		}
+	}
+	if err := ch.Compute.Router().RemoveFlow(att.NetworkID); err != nil {
+		return err
+	}
+	if att.sharedBase != "" {
+		att.qos.SetWeight(att.NetworkID, 0) //nolint:errcheck
+		if b, ok := c.attachments[att.sharedBase]; ok {
+			b.sharers--
+		}
+	}
+	c.rollbackDonor(dh, att.Region, att.Bytes)
+	delete(c.attachments, id)
+	return nil
+}
+
+// Attachment returns a live attachment by ID.
+func (c *Cluster) Attachment(id string) (*Attachment, bool) {
+	a, ok := c.attachments[id]
+	return a, ok
+}
+
+// Attachments lists live attachments sorted by ID.
+func (c *Cluster) Attachments() []*Attachment {
+	out := make([]*Attachment, 0, len(c.attachments))
+	for _, a := range c.attachments {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Load reads through the full transaction datapath (CPU -> RMMU -> routing
+// -> LLC -> phy -> donor C1 -> back). off is a byte offset within the
+// attachment.
+func (c *Cluster) Load(p *sim.Proc, att *Attachment, off int64, size int32) ([]byte, error) {
+	if off < 0 || off+int64(size) > att.Bytes {
+		return nil, fmt.Errorf("core: load offset %d+%d outside attachment of %d", off, size, att.Bytes)
+	}
+	if att.qos != nil {
+		att.qos.Admit(p, att.NetworkID, int64(size))
+	}
+	ch := c.hosts[att.ComputeHost]
+	return ch.Compute.Load(p, att.DeviceBase+uint64(off), size)
+}
+
+// Store writes through the full transaction datapath.
+func (c *Cluster) Store(p *sim.Proc, att *Attachment, off int64, data []byte) error {
+	if off < 0 || off+int64(len(data)) > att.Bytes {
+		return fmt.Errorf("core: store offset %d+%d outside attachment of %d", off, len(data), att.Bytes)
+	}
+	if att.qos != nil {
+		att.qos.Admit(p, att.NetworkID, int64(len(data)))
+	}
+	ch := c.hosts[att.ComputeHost]
+	return ch.Compute.Store(p, att.DeviceBase+uint64(off), data)
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"thymesisflow/internal/ethernet"
+	"thymesisflow/internal/mem"
+	"thymesisflow/internal/numa"
+)
+
+// MemoryConfig enumerates the five experimental configurations of the
+// paper's evaluation (Section VI-A, Figure 4).
+type MemoryConfig int
+
+// The experimental configurations.
+const (
+	// ConfigLocal serves all memory from the application host's own DRAM.
+	ConfigLocal MemoryConfig = iota
+	// ConfigSingleDisaggregated satisfies all application memory from the
+	// neighbour node over one 100 Gb/s ThymesisFlow channel.
+	ConfigSingleDisaggregated
+	// ConfigBondingDisaggregated is like single but bonds both channels
+	// (200 Gb/s).
+	ConfigBondingDisaggregated
+	// ConfigInterleaved round-robins pages 50/50 between local and
+	// disaggregated memory.
+	ConfigInterleaved
+	// ConfigScaleOut runs the application scaled across both server nodes
+	// with purely local memory, communicating over 100 Gb/s Ethernet.
+	ConfigScaleOut
+)
+
+var configNames = [...]string{
+	"local", "single-disaggregated", "bonding-disaggregated", "interleaved", "scale-out",
+}
+
+// String returns the paper's name for the configuration.
+func (c MemoryConfig) String() string {
+	if int(c) < len(configNames) {
+		return configNames[c]
+	}
+	return fmt.Sprintf("config(%d)", int(c))
+}
+
+// AllConfigs lists every configuration in presentation order.
+func AllConfigs() []MemoryConfig {
+	return []MemoryConfig{
+		ConfigLocal, ConfigSingleDisaggregated, ConfigBondingDisaggregated,
+		ConfigInterleaved, ConfigScaleOut,
+	}
+}
+
+// Testbed is the paper's three-node experimental setup: two AC922 servers
+// with ThymesisFlow FPGAs plus one client node (Section VI-A).
+type Testbed struct {
+	Cluster *Cluster
+	// Server runs the application server side; Donor donates memory (and
+	// hosts the second application instance under scale-out).
+	Server *Host
+	Donor  *Host
+	Client *Host
+
+	// Config is the active memory configuration.
+	Config MemoryConfig
+	// Att is the live attachment (nil for local and scale-out).
+	Att *Attachment
+
+	// ServerLink is the 100 Gb/s Ethernet between the server nodes
+	// (scale-out traffic); ClientLink the 10 Gb/s client connectivity.
+	ServerLink *ethernet.Conn
+	ClientLink *ethernet.Conn
+}
+
+// NewTestbed assembles the three-node setup under one memory configuration.
+// remoteBytes sizes the attachment for the disaggregated configurations.
+func NewTestbed(cfg MemoryConfig, remoteBytes int64) (*Testbed, error) {
+	return NewTestbedWith(cfg, remoteBytes, nil)
+}
+
+// NewTestbedWith is NewTestbed with a host-configuration hook applied to
+// every node (e.g. to rescale caches alongside a scaled-down working set).
+func NewTestbedWith(cfg MemoryConfig, remoteBytes int64, mutate func(*HostConfig)) (*Testbed, error) {
+	return NewTestbedSpec(TestbedSpec{Config: cfg, RemoteBytes: remoteBytes, HostMutate: mutate})
+}
+
+// TestbedSpec parameterizes testbed construction beyond the common cases:
+// per-host configuration and attachment extras (e.g. the HBM caching
+// layer).
+type TestbedSpec struct {
+	Config       MemoryConfig
+	RemoteBytes  int64
+	HostMutate   func(*HostConfig)
+	AttachMutate func(*AttachSpec)
+}
+
+// NewTestbedSpec assembles the three-node setup from a full specification.
+func NewTestbedSpec(spec TestbedSpec) (*Testbed, error) {
+	cfg, remoteBytes, mutate := spec.Config, spec.RemoteBytes, spec.HostMutate
+	c := NewCluster()
+	mkHost := func(name string) (*Host, error) {
+		hc := DefaultHostConfig(name)
+		if mutate != nil {
+			mutate(&hc)
+		}
+		return c.AddHost(hc)
+	}
+	server, err := mkHost("server0")
+	if err != nil {
+		return nil, err
+	}
+	donor, err := mkHost("server1")
+	if err != nil {
+		return nil, err
+	}
+	client, err := mkHost("client")
+	if err != nil {
+		return nil, err
+	}
+	tb := &Testbed{
+		Cluster:    c,
+		Server:     server,
+		Donor:      donor,
+		Client:     client,
+		Config:     cfg,
+		ServerLink: ethernet.DefaultServerLink(c.K, "eth100g"),
+		ClientLink: ethernet.DefaultClientLink(c.K, "eth10g"),
+	}
+	attach := func(channels int) (*Attachment, error) {
+		as := AttachSpec{
+			ComputeHost: server.Name, DonorHost: donor.Name,
+			Bytes: remoteBytes, Channels: channels,
+		}
+		if spec.AttachMutate != nil {
+			spec.AttachMutate(&as)
+		}
+		return c.Attach(as)
+	}
+	switch cfg {
+	case ConfigSingleDisaggregated, ConfigInterleaved:
+		tb.Att, err = attach(1)
+	case ConfigBondingDisaggregated:
+		tb.Att, err = attach(2)
+	case ConfigLocal, ConfigScaleOut:
+		// No attachment.
+	default:
+		return nil, fmt.Errorf("core: unknown config %v", cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return tb, nil
+}
+
+// Placer returns the page-placement policy an application buffer uses on
+// the Server host under the testbed's configuration. Scale-out instances
+// allocate locally on their own host (use numa.Local with that host's
+// node).
+func (tb *Testbed) Placer() numa.Placer {
+	switch tb.Config {
+	case ConfigSingleDisaggregated, ConfigBondingDisaggregated:
+		return numa.Local(tb.Att.Node)
+	case ConfigInterleaved:
+		return numa.Interleave(tb.Server.LocalNode(0), tb.Att.Node)
+	default:
+		return numa.Local(tb.Server.LocalNode(0))
+	}
+}
+
+// ServerInstances returns how many application-server instances run and on
+// which hosts: two for scale-out, one otherwise. Note the paper's caveat:
+// under scale-out the application gets twice the CPU cores of the
+// disaggregated configurations.
+func (tb *Testbed) ServerInstances() []*Host {
+	if tb.Config == ConfigScaleOut {
+		return []*Host{tb.Server, tb.Donor}
+	}
+	return []*Host{tb.Server}
+}
+
+// AppNodes returns the NUMA nodes an application on the given instance
+// should allocate from.
+func (tb *Testbed) AppNodes(instance *Host) []mem.NodeID {
+	if tb.Config == ConfigInterleaved {
+		return []mem.NodeID{instance.LocalNode(0), tb.Att.Node}
+	}
+	if tb.Att != nil && instance == tb.Server &&
+		(tb.Config == ConfigSingleDisaggregated || tb.Config == ConfigBondingDisaggregated) {
+		return []mem.NodeID{tb.Att.Node}
+	}
+	return []mem.NodeID{instance.LocalNode(0)}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"thymesisflow/internal/phy"
+	"thymesisflow/internal/sim"
+)
+
+// TestDeterministicClusterRuns exercises the repository's core guarantee:
+// the same seeds produce bit-identical simulations, even over lossy links
+// with replay and bonding in play.
+func TestDeterministicClusterRuns(t *testing.T) {
+	run := func() string {
+		c := NewCluster()
+		c.Faults = phy.FaultConfig{DropProb: 0.03, CorruptProb: 0.03, Seed: 77}
+		for _, n := range []string{"a", "b"} {
+			if _, err := c.AddHost(smallHostConfig(n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		att, err := c.Attach(AttachSpec{
+			ComputeHost: "a", DonorHost: "b", Bytes: 2 << 20, Channels: 2, Backing: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		host, _ := c.Host("a")
+		var stamps []sim.Time
+		c.K.Go("app", func(p *sim.Proc) {
+			for i := 0; i < 40; i++ {
+				if err := c.Store(p, att, int64(i)*128, fill(128, byte(i))); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.Load(p, att, int64(i)*128, 128); err != nil {
+					t.Error(err)
+					return
+				}
+				stamps = append(stamps, p.Now())
+			}
+		})
+		c.K.RunUntil(sim.Second)
+		loads, stores := host.Compute.Stats()
+		return fmt.Sprintf("%v loads=%d stores=%d end=%v", stamps, loads, stores, c.K.Now())
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if again := run(); again != first {
+			t.Fatalf("run %d diverged:\n%s\nvs\n%s", i, again, first)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"thymesisflow/internal/sim"
+)
+
+func sharingCluster(t *testing.T) (*Cluster, *Attachment, *Attachment) {
+	t.Helper()
+	c, _, _ := newTestCluster(t)
+	base, err := c.Attach(AttachSpec{
+		ComputeHost: "hostA", DonorHost: "hostB", Bytes: 2 << 20, Backing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := c.Attach(AttachSpec{
+		ComputeHost: "hostA", DonorHost: "hostB", Bytes: 2 << 20, Backing: true,
+		ShareChannelsWith: base.ID, QoSWeight: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, base, shared
+}
+
+func TestSharedChannelsReusePorts(t *testing.T) {
+	_, base, shared := sharingCluster(t)
+	if len(shared.computePorts) != len(base.computePorts) {
+		t.Fatal("shared attachment has its own ports")
+	}
+	for i := range shared.computePorts {
+		if shared.computePorts[i] != base.computePorts[i] {
+			t.Fatal("shared attachment not using the base ports")
+		}
+	}
+	// The analytic backends contend on the same pipes.
+	if shared.Backend.Channels()[0] != base.Backend.Channels()[0] {
+		t.Fatal("shared backend has private channel pipes")
+	}
+	if base.sharers != 1 {
+		t.Fatalf("base sharers = %d", base.sharers)
+	}
+}
+
+func TestSharedFlowsIsolatedData(t *testing.T) {
+	c, base, shared := sharingCluster(t)
+	c.K.Go("app", func(p *sim.Proc) {
+		if err := c.Store(p, base, 0, fill(128, 0x11)); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := c.Store(p, shared, 0, fill(128, 0x22)); err != nil {
+			t.Error(err)
+			return
+		}
+		a, err := c.Load(p, base, 0, 128)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		b, err := c.Load(p, shared, 0, 128)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if a[0] != 0x11 || b[0] != 0x22 {
+			t.Errorf("flow isolation violated over shared channels: %x %x", a[0], b[0])
+		}
+	})
+	c.K.RunUntil(sim.Millisecond)
+}
+
+func TestSharedQoSWeights(t *testing.T) {
+	_, base, shared := sharingCluster(t)
+	q := shared.QoS()
+	if q == nil || base.QoS() != q {
+		t.Fatal("shared group has no common QoS arbiter")
+	}
+	if got := q.Share(shared.NetworkID) / q.Share(base.NetworkID); got < 2.9 || got > 3.1 {
+		t.Fatalf("weight ratio = %.2f, want 3", got)
+	}
+}
+
+func TestBaseDetachBlockedWhileShared(t *testing.T) {
+	c, base, shared := sharingCluster(t)
+	if err := c.Detach(base.ID); err == nil {
+		t.Fatal("detached base while channels shared")
+	}
+	if err := c.Detach(shared.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Detach(base.ID); err != nil {
+		t.Fatalf("detach base after sharer gone: %v", err)
+	}
+}
+
+func TestShareValidation(t *testing.T) {
+	c, _, _ := newTestCluster(t)
+	if _, err := c.AddHost(smallHostConfig("hostC")); err != nil {
+		t.Fatal(err)
+	}
+	base, err := c.Attach(AttachSpec{ComputeHost: "hostA", DonorHost: "hostB", Bytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Attach(AttachSpec{
+		ComputeHost: "hostA", DonorHost: "hostB", Bytes: 1 << 20, ShareChannelsWith: "nope",
+	}); err == nil {
+		t.Fatal("sharing with unknown attachment accepted")
+	}
+	if _, err := c.Attach(AttachSpec{
+		ComputeHost: "hostA", DonorHost: "hostC", Bytes: 1 << 20, ShareChannelsWith: base.ID,
+	}); err == nil {
+		t.Fatal("sharing across a different host pair accepted")
+	}
+	// Failed share attempts must not leak donor capacity.
+	hb, _ := c.Host("hostB")
+	if got := hb.Mem.Node(hb.LocalNode(0)).Capacity; got != 4<<30-1<<20 {
+		t.Fatalf("donor capacity leaked: %d", got)
+	}
+}

@@ -1,0 +1,129 @@
+package dcsim
+
+import (
+	"testing"
+
+	"thymesisflow/internal/dctrace"
+)
+
+func smallTrace(seed int64) dctrace.Config {
+	cfg := dctrace.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Tasks = 8000
+	cfg.ArrivalRate = 20
+	return cfg
+}
+
+func TestFixedModelPlaceRelease(t *testing.T) {
+	m := NewFixedModel(4, 1)
+	task := dctrace.Task{ID: 1, CPU: 0.5, Mem: 0.5}
+	if !m.place(task) {
+		t.Fatal("placement failed on empty model")
+	}
+	if _, on, _, _, offC, _, totC, _ := m.snapshot(); on != 1 || offC != 3 || totC != 4 {
+		t.Fatalf("snapshot on=%v offC=%d", on, offC)
+	}
+	m.release(task)
+	if _, on, _, _, offC, _, _, _ := m.snapshot(); on != 0 || offC != 4 {
+		t.Fatalf("snapshot after release on=%v offC=%d", on, offC)
+	}
+}
+
+func TestFixedModelRejectsOversize(t *testing.T) {
+	m := NewFixedModel(2, 1)
+	if !m.place(dctrace.Task{ID: 1, CPU: 0.9, Mem: 0.9}) ||
+		!m.place(dctrace.Task{ID: 2, CPU: 0.9, Mem: 0.9}) {
+		t.Fatal("initial placements failed")
+	}
+	if m.place(dctrace.Task{ID: 3, CPU: 0.5, Mem: 0.5}) {
+		t.Fatal("placed task beyond capacity")
+	}
+}
+
+func TestDisaggModelSplitsDimensions(t *testing.T) {
+	// A task too big for one fixed server in combination — 0.9 CPU + 0.9
+	// memory twice — still fits when CPU and memory come from different
+	// modules at full utilization.
+	m := NewDisaggModel(1, 2, 16, 1)
+	if !m.place(dctrace.Task{ID: 1, CPU: 0.5, Mem: 1.0}) {
+		t.Fatal("place 1 failed")
+	}
+	if !m.place(dctrace.Task{ID: 2, CPU: 0.5, Mem: 1.0}) {
+		t.Fatal("place 2 failed: memory should come from second module")
+	}
+	sCPU, onC, _, onM, _, _, _, _ := m.snapshot()
+	if onC != 1 || onM != 2 {
+		t.Fatalf("on compute=%v memory=%v", onC, onM)
+	}
+	if sCPU != 0 {
+		t.Fatalf("stranded CPU = %v, want 0 (fully packed)", sCPU)
+	}
+}
+
+func TestDisaggModelLinkLimit(t *testing.T) {
+	m := NewDisaggModel(1, 1, 2, 1)
+	if !m.place(dctrace.Task{ID: 1, CPU: 0.1, Mem: 0.1}) ||
+		!m.place(dctrace.Task{ID: 2, CPU: 0.1, Mem: 0.1}) {
+		t.Fatal("placements under link budget failed")
+	}
+	if m.place(dctrace.Task{ID: 3, CPU: 0.1, Mem: 0.1}) {
+		t.Fatal("placement beyond link budget accepted")
+	}
+	m.release(dctrace.Task{ID: 1})
+	if !m.place(dctrace.Task{ID: 4, CPU: 0.1, Mem: 0.1}) {
+		t.Fatal("link not released")
+	}
+}
+
+func TestStudyDisaggregationReducesFragmentation(t *testing.T) {
+	s := RunStudy(smallTrace(7), 400, DefaultLinksPerModule)
+	if s.Fixed.Placed == 0 || s.Disagg.Placed == 0 {
+		t.Fatal("no tasks placed")
+	}
+	// The headline result of Figure 1: the disaggregated model strands far
+	// fewer resources than the fixed model, for both CPU and memory.
+	if s.Disagg.FragmentationCPU >= s.Fixed.FragmentationCPU {
+		t.Fatalf("CPU fragmentation: disagg %.3f >= fixed %.3f",
+			s.Disagg.FragmentationCPU, s.Fixed.FragmentationCPU)
+	}
+	if s.Disagg.FragmentationMem >= s.Fixed.FragmentationMem {
+		t.Fatalf("memory fragmentation: disagg %.3f >= fixed %.3f",
+			s.Disagg.FragmentationMem, s.Fixed.FragmentationMem)
+	}
+	// And more modules can be switched off than whole servers.
+	if s.Disagg.OffMem <= s.Fixed.OffMem {
+		t.Fatalf("off memory: disagg %.3f <= fixed %.3f", s.Disagg.OffMem, s.Fixed.OffMem)
+	}
+	// The trace spans about three orders of magnitude of memory/CPU ratio.
+	if s.RatioOrders < 2.0 {
+		t.Fatalf("ratio spread = %.1f orders, want >= 2", s.RatioOrders)
+	}
+}
+
+func TestStudyDeterminism(t *testing.T) {
+	a := RunStudy(smallTrace(3), 200, 16)
+	b := RunStudy(smallTrace(3), 200, 16)
+	if a != b {
+		t.Fatalf("nondeterministic study: %+v vs %+v", a, b)
+	}
+}
+
+func TestTraceShape(t *testing.T) {
+	tasks := dctrace.Generate(smallTrace(11))
+	if len(tasks) != 8000 {
+		t.Fatalf("tasks = %d", len(tasks))
+	}
+	for i := 1; i < len(tasks); i++ {
+		if tasks[i].Arrive < tasks[i-1].Arrive {
+			t.Fatal("trace not sorted by arrival")
+		}
+	}
+	for _, task := range tasks {
+		if task.CPU <= 0 || task.CPU > 1 || task.Mem <= 0 || task.Mem > 1 {
+			t.Fatalf("demand out of range: %+v", task)
+		}
+		if task.End <= task.Arrive {
+			t.Fatalf("non-positive duration: %+v", task)
+		}
+	}
+}

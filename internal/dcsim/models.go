@@ -1,0 +1,194 @@
+package dcsim
+
+import (
+	"math/rand"
+
+	"thymesisflow/internal/dctrace"
+)
+
+// FixedModel is the conventional data-centre: whole servers with fixed
+// CPU/memory proportions; a task must fit both dimensions on one server.
+type FixedModel struct {
+	rng     *rand.Rand
+	cpuFree []float64
+	memFree []float64
+	tasks   []int // active tasks per server
+	where   map[int]int
+}
+
+// NewFixedModel builds a fixed data-centre of n servers.
+func NewFixedModel(n int, seed int64) *FixedModel {
+	m := &FixedModel{
+		rng:     rand.New(rand.NewSource(seed)),
+		cpuFree: make([]float64, n),
+		memFree: make([]float64, n),
+		tasks:   make([]int, n),
+		where:   make(map[int]int),
+	}
+	for i := range m.cpuFree {
+		m.cpuFree[i] = 1.0
+		m.memFree[i] = 1.0
+	}
+	return m
+}
+
+func (m *FixedModel) place(t dctrace.Task) bool {
+	i := bestFit(m.rng, len(m.cpuFree),
+		func(i int) bool { return m.cpuFree[i] >= t.CPU && m.memFree[i] >= t.Mem },
+		func(i int) float64 { return (m.cpuFree[i] - t.CPU) + (m.memFree[i] - t.Mem) },
+	)
+	if i < 0 {
+		return false
+	}
+	m.cpuFree[i] -= t.CPU
+	m.memFree[i] -= t.Mem
+	m.tasks[i]++
+	m.where[t.ID] = i
+	return true
+}
+
+func (m *FixedModel) release(t dctrace.Task) {
+	i := m.where[t.ID]
+	m.cpuFree[i] += t.CPU
+	m.memFree[i] += t.Mem
+	m.tasks[i]--
+	delete(m.where, t.ID)
+}
+
+func (m *FixedModel) snapshot() (sCPU, onCPU, sMem, onMem float64, offC, offM, totC, totM int) {
+	totC, totM = len(m.cpuFree), len(m.memFree)
+	for i := range m.cpuFree {
+		if m.tasks[i] == 0 {
+			offC++
+			offM++
+			continue
+		}
+		onCPU++
+		onMem++
+		sCPU += m.cpuFree[i]
+		sMem += m.memFree[i]
+	}
+	return
+}
+
+// DisaggModel is the disaggregated data-centre: separate compute and memory
+// modules; a task takes CPU from one compute module and memory from one
+// memory module, consuming one fabric link on each side of the pairing.
+// The fabric is fully connected, so any compute module can reach any memory
+// module while links remain (Section II: 16 links per module).
+type DisaggModel struct {
+	rng *rand.Rand
+
+	cpuFree  []float64
+	cpuTasks []int
+	cpuLinks []int
+
+	memFree  []float64
+	memTasks []int
+	memLinks []int
+
+	where map[int][2]int
+}
+
+// NewDisaggModel builds nCompute compute and nMemory memory modules with
+// the given link budget per module.
+func NewDisaggModel(nCompute, nMemory, links int, seed int64) *DisaggModel {
+	m := &DisaggModel{
+		rng:      rand.New(rand.NewSource(seed)),
+		cpuFree:  make([]float64, nCompute),
+		cpuTasks: make([]int, nCompute),
+		cpuLinks: make([]int, nCompute),
+		memFree:  make([]float64, nMemory),
+		memTasks: make([]int, nMemory),
+		memLinks: make([]int, nMemory),
+		where:    make(map[int][2]int),
+	}
+	for i := range m.cpuFree {
+		m.cpuFree[i] = 1.0
+		m.cpuLinks[i] = links
+	}
+	for i := range m.memFree {
+		m.memFree[i] = 1.0
+		m.memLinks[i] = links
+	}
+	return m
+}
+
+func (m *DisaggModel) place(t dctrace.Task) bool {
+	ci := bestFit(m.rng, len(m.cpuFree),
+		func(i int) bool { return m.cpuFree[i] >= t.CPU && m.cpuLinks[i] > 0 },
+		func(i int) float64 { return m.cpuFree[i] - t.CPU },
+	)
+	if ci < 0 {
+		return false
+	}
+	mi := bestFit(m.rng, len(m.memFree),
+		func(i int) bool { return m.memFree[i] >= t.Mem && m.memLinks[i] > 0 },
+		func(i int) float64 { return m.memFree[i] - t.Mem },
+	)
+	if mi < 0 {
+		return false
+	}
+	m.cpuFree[ci] -= t.CPU
+	m.cpuTasks[ci]++
+	m.cpuLinks[ci]--
+	m.memFree[mi] -= t.Mem
+	m.memTasks[mi]++
+	m.memLinks[mi]--
+	m.where[t.ID] = [2]int{ci, mi}
+	return true
+}
+
+func (m *DisaggModel) release(t dctrace.Task) {
+	w := m.where[t.ID]
+	ci, mi := w[0], w[1]
+	m.cpuFree[ci] += t.CPU
+	m.cpuTasks[ci]--
+	m.cpuLinks[ci]++
+	m.memFree[mi] += t.Mem
+	m.memTasks[mi]--
+	m.memLinks[mi]++
+	delete(m.where, t.ID)
+}
+
+func (m *DisaggModel) snapshot() (sCPU, onCPU, sMem, onMem float64, offC, offM, totC, totM int) {
+	totC, totM = len(m.cpuFree), len(m.memFree)
+	for i := range m.cpuFree {
+		if m.cpuTasks[i] == 0 {
+			offC++
+			continue
+		}
+		onCPU++
+		sCPU += m.cpuFree[i]
+	}
+	for i := range m.memFree {
+		if m.memTasks[i] == 0 {
+			offM++
+			continue
+		}
+		onMem++
+		sMem += m.memFree[i]
+	}
+	return
+}
+
+// Study runs the Figure 1 comparison: the same trace against both models.
+type Study struct {
+	Fixed  Result
+	Disagg Result
+	// RatioOrders is the log10 spread of memory/CPU ratios in the trace.
+	RatioOrders float64
+}
+
+// RunStudy executes the motivation study with the given trace configuration
+// and infrastructure size.
+func RunStudy(traceCfg dctrace.Config, servers, links int) Study {
+	tasks := dctrace.Generate(traceCfg)
+	fixed := run(tasks, NewFixedModel(servers, traceCfg.Seed+100))
+	disagg := run(tasks, NewDisaggModel(servers, servers, links, traceCfg.Seed+200))
+	return Study{
+		Fixed:       fixed,
+		Disagg:      disagg,
+		RatioOrders: dctrace.RatioSpreadOrders(tasks),
+	}
+}

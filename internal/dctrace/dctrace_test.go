@@ -1,0 +1,64 @@
+package dctrace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Tasks = 1000
+	a := Generate(cfg)
+	b := Generate(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace not deterministic at %d", i)
+		}
+	}
+	cfg.Seed = 2
+	c := Generate(cfg)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestRatioSpansOrders(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Tasks = 20000
+	tasks := Generate(cfg)
+	orders := RatioSpreadOrders(tasks)
+	// Section I: memory/CPU demand ratios span about three orders of
+	// magnitude. Clamping at the demand bounds compresses the raw spread a
+	// little, so accept >= 2.
+	if orders < 2 || orders > 6 {
+		t.Fatalf("ratio spread = %.2f orders of magnitude", orders)
+	}
+}
+
+func TestMeanDurationApproximatelyConfigured(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Tasks = 30000
+	cfg.MeanDuration = 500
+	tasks := Generate(cfg)
+	var sum float64
+	for _, task := range tasks {
+		sum += task.End - task.Arrive
+	}
+	mean := sum / float64(len(tasks))
+	if math.Abs(mean-500)/500 > 0.15 {
+		t.Fatalf("mean duration = %.1f, want ~500", mean)
+	}
+}
+
+func TestRatioSpreadEmpty(t *testing.T) {
+	if RatioSpreadOrders(nil) != 0 {
+		t.Fatal("empty trace should report zero spread")
+	}
+}

@@ -1,0 +1,145 @@
+// Package endpoint implements the two ThymesisFlow endpoint roles
+// (Section IV-A): the compute endpoint, which introduces remote memory into
+// a host's real address space (OpenCAPI M1 mode), and the memory-stealing
+// endpoint, which exposes pinned donor memory to the network (OpenCAPI C1
+// mode). It also provides RemoteBackend, the mem.Backend adapter that lets
+// disaggregated NUMA nodes price accesses through the same channel pipes the
+// transaction datapath uses.
+package endpoint
+
+import (
+	"fmt"
+
+	"thymesisflow/internal/capi"
+	"thymesisflow/internal/llc"
+	"thymesisflow/internal/phy"
+	"thymesisflow/internal/rmmu"
+	"thymesisflow/internal/route"
+	"thymesisflow/internal/sim"
+)
+
+// C1BytesPerSec is the sustainable bandwidth of the OpenCAPI C1 interface
+// with 128-byte transactions (~16 GiB/s; Section VI-C: 256-byte bursts
+// would reach 20 GiB/s, but POWER9 only issues 128-byte cachelines).
+const C1BytesPerSec = 16 * phy.GiB
+
+// SideLatency is the one-way latency added by one endpoint's attachment
+// hardware: one serDES crossing plus one FPGA-stack crossing. Two endpoint
+// sides, both directions, plus the network serDES on each direction
+// reconstruct the paper's 950 ns flit RTT.
+const SideLatency = phy.SerdesCrossing + phy.FPGAStackCrossing
+
+// ComputeEndpoint is the recipient-side device: it receives cacheline
+// transactions from the host bus (M1 mode), translates them through its
+// RMMU, and forwards them via the routing layer. Responses arriving on any
+// attached port complete the matching outstanding request.
+type ComputeEndpoint struct {
+	k      *sim.Kernel
+	name   string
+	rmmu   *rmmu.RMMU
+	router *route.Router
+
+	nextTag uint32
+	waiting map[uint32]*pendingReq
+
+	loads  int64
+	stores int64
+}
+
+type pendingReq struct {
+	sig  *sim.Signal
+	resp *capi.Transaction
+}
+
+// NewCompute builds a compute endpoint with the given RMMU geometry.
+func NewCompute(k *sim.Kernel, name string, sections int, sectionSize int64) (*ComputeEndpoint, error) {
+	m, err := rmmu.New(sections, sectionSize)
+	if err != nil {
+		return nil, err
+	}
+	return &ComputeEndpoint{
+		k:       k,
+		name:    name,
+		rmmu:    m,
+		router:  route.NewRouter(name + ".router"),
+		waiting: make(map[uint32]*pendingReq),
+	}, nil
+}
+
+// Name returns the endpoint name.
+func (ce *ComputeEndpoint) Name() string { return ce.name }
+
+// RMMU exposes the endpoint's section table for configuration by the node
+// agent.
+func (ce *ComputeEndpoint) RMMU() *rmmu.RMMU { return ce.rmmu }
+
+// Router exposes the routing layer for flow configuration.
+func (ce *ComputeEndpoint) Router() *route.Router { return ce.router }
+
+// AttachPort registers an LLC port whose inbound traffic carries responses
+// for this endpoint.
+func (ce *ComputeEndpoint) AttachPort(p *llc.Port) {
+	p.OnReceive = ce.handleResponse
+}
+
+func (ce *ComputeEndpoint) handleResponse(t *capi.Transaction) {
+	if !t.IsResponse() {
+		panic(fmt.Sprintf("endpoint: %s: request opcode %v on compute endpoint", ce.name, t.Op))
+	}
+	w, ok := ce.waiting[t.Tag]
+	if !ok {
+		return // response for a cancelled/unknown tag
+	}
+	delete(ce.waiting, t.Tag)
+	// Egress through the compute-side attachment hardware before the CPU
+	// sees the data.
+	ce.k.Schedule(SideLatency, func() {
+		w.resp = t
+		w.sig.Broadcast()
+	})
+}
+
+// issue translates and forwards one request, then blocks the calling
+// process until the response arrives. It returns the response transaction.
+func (ce *ComputeEndpoint) issue(p *sim.Proc, t *capi.Transaction) (*capi.Transaction, error) {
+	if err := ce.rmmu.Translate(t); err != nil {
+		return nil, err
+	}
+	ce.nextTag++
+	t.Tag = ce.nextTag
+	w := &pendingReq{sig: sim.NewSignal(ce.k)}
+	ce.waiting[t.Tag] = w
+	// Ingress through the compute-side attachment hardware.
+	p.Sleep(SideLatency)
+	if err := ce.router.ForwardFrom(p, t); err != nil {
+		delete(ce.waiting, t.Tag)
+		return nil, err
+	}
+	w.sig.Wait(p)
+	return w.resp, nil
+}
+
+// Load reads size bytes at the device-internal address, returning the data
+// stored at the donor (nil when the donor region carries no backing store).
+func (ce *ComputeEndpoint) Load(p *sim.Proc, deviceAddr uint64, size int32) ([]byte, error) {
+	t := &capi.Transaction{Op: capi.OpReadReq, Addr: deviceAddr, Size: size}
+	resp, err := ce.issue(p, t)
+	if err != nil {
+		return nil, err
+	}
+	ce.loads++
+	return resp.Data, nil
+}
+
+// Store writes data at the device-internal address.
+func (ce *ComputeEndpoint) Store(p *sim.Proc, deviceAddr uint64, data []byte) error {
+	t := &capi.Transaction{Op: capi.OpWriteReq, Addr: deviceAddr, Size: int32(len(data)), Data: data}
+	if _, err := ce.issue(p, t); err != nil {
+		return err
+	}
+	ce.stores++
+	return nil
+}
+
+// Stats returns completed (loads, stores).
+func (ce *ComputeEndpoint) Stats() (loads, stores int64) { return ce.loads, ce.stores }

@@ -1,0 +1,105 @@
+package endpoint
+
+import (
+	"thymesisflow/internal/mem"
+	"thymesisflow/internal/sim"
+)
+
+// HBMConfig parameterizes the optional hardware caching layer the paper
+// proposes as future work (Section VII): "the introduction of an
+// appropriate caching layer at the hardware-level (e.g. using HBM
+// intermediate memory as cache)". The cache sits in the compute endpoint's
+// FPGA, in front of the network: a hit is served from on-card HBM without
+// crossing the fabric.
+type HBMConfig struct {
+	// SizeBytes is the HBM capacity used as cache (Alveo-class cards carry
+	// 8-32 GiB).
+	SizeBytes int64
+	// Ways is the set associativity.
+	Ways int
+	// HitLatency is the access time of an HBM hit: one FPGA-stack crossing
+	// plus the HBM access itself — still an order of magnitude below the
+	// 950 ns network round trip.
+	HitLatency sim.Time
+}
+
+// DefaultHBMConfig returns a 4 GiB, 8-way cache at 150 ns.
+func DefaultHBMConfig() HBMConfig {
+	return HBMConfig{
+		SizeBytes:  4 << 30,
+		Ways:       8,
+		HitLatency: 150 * sim.Nanosecond,
+	}
+}
+
+// hbmCache is the runtime state.
+type hbmCache struct {
+	cache  *mem.Cache
+	hitLat sim.Time
+	pipe   *sim.Pipe // HBM bandwidth (not usually binding)
+
+	hits, misses int64
+}
+
+// EnableHBMCache installs the caching layer on the backend. Reads that hit
+// are served at the HBM hit latency; misses pay the full datapath and
+// install the line. Writes are write-through (the donor's memory stays the
+// home), updating the cached copy when present.
+func (b *RemoteBackend) EnableHBMCache(cfg HBMConfig) {
+	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 || cfg.HitLatency <= 0 {
+		panic("endpoint: invalid HBM config")
+	}
+	b.hbm = &hbmCache{
+		cache:  mem.NewCache(b.name+".hbm", cfg.SizeBytes, cfg.Ways),
+		hitLat: cfg.HitLatency,
+		pipe:   sim.NewPipe(b.k, 400e9), // HBM2 ~400 GB/s
+	}
+}
+
+// HBMStats returns (hits, misses) of the HBM layer; zeros when disabled.
+func (b *RemoteBackend) HBMStats() (hits, misses int64) {
+	if b.hbm == nil {
+		return 0, 0
+	}
+	return b.hbm.hits, b.hbm.misses
+}
+
+// AccessAt implements mem.AddrBackend: with the HBM layer enabled, the
+// access consults the cache line by line; without it, it behaves exactly
+// like Access.
+func (b *RemoteBackend) AccessAt(addr uint64, size int64, write bool) sim.Time {
+	if b.hbm == nil || size <= 0 {
+		return b.Access(size, write)
+	}
+	var hitLines, missBytes int64
+	first := addr &^ (mem.CachelineSize - 1)
+	for off := int64(0); off < size; off += mem.CachelineSize {
+		la := first + uint64(off)
+		if b.hbm.cache.Lookup(la) {
+			hitLines++
+		} else {
+			missBytes += mem.CachelineSize
+		}
+	}
+	var lat sim.Time
+	if hitLines > 0 {
+		_, done := b.hbm.pipe.Reserve(hitLines * mem.CachelineSize)
+		l := b.hbm.hitLat + (done - b.k.Now())
+		if l > lat {
+			lat = l
+		}
+		b.hbm.hits += hitLines
+	}
+	if missBytes > 0 {
+		// Write-through for writes; for reads the fill installs the lines
+		// (Lookup above already allocated them in the HBM cache).
+		l := b.Access(missBytes, write)
+		if l > lat {
+			lat = l
+		}
+		b.hbm.misses += missBytes / mem.CachelineSize
+	}
+	return lat
+}
+
+var _ mem.AddrBackend = (*RemoteBackend)(nil)

@@ -1,0 +1,156 @@
+package endpoint
+
+import (
+	"fmt"
+
+	"thymesisflow/internal/capi"
+	"thymesisflow/internal/llc"
+	"thymesisflow/internal/sim"
+)
+
+// StolenRegion is a pinned, cacheline-aligned span of donor memory exposed
+// to a remote compute endpoint. Base is the donor-side effective address the
+// RMMU offset points at. When backed (Data non-nil) the region carries real
+// bytes so end-to-end functional tests can verify data integrity through the
+// whole translation pipeline.
+type StolenRegion struct {
+	PASID uint32
+	Base  uint64
+	Size  int64
+	Data  []byte
+}
+
+// contains reports whether [addr, addr+size) lies inside the region.
+func (r *StolenRegion) contains(addr uint64, size int32) bool {
+	return addr >= r.Base && addr+uint64(size) <= r.Base+uint64(r.Size)
+}
+
+// MemoryEndpoint is the donor-side device (C1 mode): it masters transactions
+// into the donor's memory on behalf of remote compute endpoints. The
+// endpoint is passive — it performs no translation and no routing; responses
+// leave on the channel the request arrived from, carrying the network
+// identifiers already present in the request header (Section IV-A2).
+type MemoryEndpoint struct {
+	k      *sim.Kernel
+	name   string
+	pasids *capi.PASIDRegistry
+
+	regions []*StolenRegion
+	c1      *sim.Pipe // 128B-transaction C1 ceiling (~16 GiB/s)
+	dramLat sim.Time  // donor DRAM access latency behind the C1 master
+
+	served   int64
+	rejected int64
+}
+
+// NewMemory builds a memory-stealing endpoint. dramLat is the donor DRAM
+// latency the C1 master experiences per access.
+func NewMemory(k *sim.Kernel, name string, dramLat sim.Time) *MemoryEndpoint {
+	return &MemoryEndpoint{
+		k:       k,
+		name:    name,
+		pasids:  capi.NewPASIDRegistry(),
+		c1:      sim.NewPipe(k, C1BytesPerSec),
+		dramLat: dramLat,
+	}
+}
+
+// Name returns the endpoint name.
+func (me *MemoryEndpoint) Name() string { return me.name }
+
+// C1Pipe exposes the C1 bandwidth pipe (shared with RemoteBackend so
+// analytic and transaction-level traffic contend for the same ceiling).
+func (me *MemoryEndpoint) C1Pipe() *sim.Pipe { return me.c1 }
+
+// Steal pins size bytes of donor memory at the given donor effective
+// address on behalf of process, registering its PASID with the endpoint
+// hardware. With backing=true the region carries a real byte store.
+func (me *MemoryEndpoint) Steal(process string, base uint64, size int64, backing bool) (*StolenRegion, error) {
+	if size <= 0 || size%capi.Cacheline != 0 {
+		return nil, fmt.Errorf("endpoint: steal size %d not cacheline aligned", size)
+	}
+	if base%capi.Cacheline != 0 {
+		return nil, fmt.Errorf("endpoint: steal base %#x not cacheline aligned", base)
+	}
+	for _, r := range me.regions {
+		if base < r.Base+uint64(r.Size) && r.Base < base+uint64(size) {
+			return nil, fmt.Errorf("endpoint: steal [%#x,+%d) overlaps existing region", base, size)
+		}
+	}
+	reg := &StolenRegion{
+		PASID: me.pasids.Register(process),
+		Base:  base,
+		Size:  size,
+	}
+	if backing {
+		reg.Data = make([]byte, size)
+	}
+	me.regions = append(me.regions, reg)
+	return reg, nil
+}
+
+// Release unpins a stolen region and unregisters its PASID.
+func (me *MemoryEndpoint) Release(reg *StolenRegion) error {
+	for i, r := range me.regions {
+		if r == reg {
+			me.regions = append(me.regions[:i], me.regions[i+1:]...)
+			me.pasids.Unregister(reg.PASID)
+			return nil
+		}
+	}
+	return fmt.Errorf("endpoint: release of unknown region")
+}
+
+// Regions returns the active stolen regions.
+func (me *MemoryEndpoint) Regions() []*StolenRegion { return me.regions }
+
+// AttachPort wires an LLC port's inbound traffic into this endpoint. The
+// response is sent back on the same port.
+func (me *MemoryEndpoint) AttachPort(p *llc.Port) {
+	p.OnReceive = func(t *capi.Transaction) { me.handleRequest(p, t) }
+}
+
+func (me *MemoryEndpoint) handleRequest(port *llc.Port, t *capi.Transaction) {
+	if t.IsResponse() {
+		panic(fmt.Sprintf("endpoint: %s: response opcode %v on memory endpoint", me.name, t.Op))
+	}
+	reg := me.regionFor(t.Addr, t.Size)
+	if reg == nil {
+		// Illegal destination: the control plane never configures flows to
+		// unpinned memory, so fail the transaction (Section IV-C).
+		me.rejected++
+		return
+	}
+	// Price the access: memory-side attachment ingress, the C1 master's
+	// bandwidth ceiling, and donor DRAM.
+	_, c1done := me.c1.Reserve(int64(t.Size))
+	delay := SideLatency + (c1done - me.k.Now()) + me.dramLat
+	me.k.Schedule(delay, func() {
+		var data []byte
+		if t.Op == capi.OpReadReq && reg.Data != nil {
+			off := t.Addr - reg.Base
+			data = append([]byte(nil), reg.Data[off:off+uint64(t.Size)]...)
+		}
+		if t.Op == capi.OpWriteReq && reg.Data != nil && t.Data != nil {
+			off := t.Addr - reg.Base
+			copy(reg.Data[off:], t.Data)
+		}
+		resp := t.Response(data)
+		me.served++
+		// Egress through the memory-side attachment hardware, then out on
+		// the arrival channel.
+		me.k.Schedule(SideLatency, func() { port.Send(resp) })
+	})
+}
+
+func (me *MemoryEndpoint) regionFor(addr uint64, size int32) *StolenRegion {
+	for _, r := range me.regions {
+		if r.contains(addr, size) {
+			return r
+		}
+	}
+	return nil
+}
+
+// Stats returns (served, rejected) transaction counts.
+func (me *MemoryEndpoint) Stats() (served, rejected int64) { return me.served, me.rejected }

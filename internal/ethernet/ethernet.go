@@ -1,0 +1,81 @@
+// Package ethernet models the conventional packet network of the testbed
+// (Section VI-A): 100 Gb/s Ethernet between the two server nodes for the
+// scale-out configuration, and 10 Gb/s Ethernet from the client machine to
+// the servers. It prices message exchanges (serialization + propagation +
+// protocol stack overhead) rather than simulating packets individually.
+package ethernet
+
+import (
+	"thymesisflow/internal/sim"
+)
+
+// Gbps converts gigabits/sec to bytes/sec.
+func Gbps(g float64) float64 { return g * 1e9 / 8 }
+
+// Conn is a bidirectional connection between two endpoints with a shared
+// serialization pipe per direction.
+type Conn struct {
+	k      *sim.Kernel
+	name   string
+	ab, ba *sim.Pipe
+	// PropDelay is the one-way propagation latency.
+	PropDelay sim.Time
+	// StackOverhead is the per-message software cost (NIC + kernel network
+	// stack + TCP) paid on each side of a send.
+	StackOverhead sim.Time
+}
+
+// New builds a connection at the given line rate.
+func New(k *sim.Kernel, name string, bytesPerSec float64, propDelay, stackOverhead sim.Time) *Conn {
+	return &Conn{
+		k:             k,
+		name:          name,
+		ab:            sim.NewPipe(k, bytesPerSec),
+		ba:            sim.NewPipe(k, bytesPerSec),
+		PropDelay:     propDelay,
+		StackOverhead: stackOverhead,
+	}
+}
+
+// DefaultServerLink is the 100 Gb/s server-to-server link of the testbed.
+func DefaultServerLink(k *sim.Kernel, name string) *Conn {
+	return New(k, name, Gbps(100), 2*sim.Microsecond, 5*sim.Microsecond)
+}
+
+// DefaultClientLink is the 10 Gb/s client-to-server link of the testbed.
+func DefaultClientLink(k *sim.Kernel, name string) *Conn {
+	return New(k, name, Gbps(10), 10*sim.Microsecond, 8*sim.Microsecond)
+}
+
+// Send transmits n bytes from the A side toward B, blocking the caller for
+// the full delivery latency (send stack + serialization + propagation +
+// receive stack).
+func (c *Conn) Send(p *sim.Proc, n int64) {
+	c.transfer(p, c.ab, n)
+}
+
+// SendReverse transmits from the B side toward A.
+func (c *Conn) SendReverse(p *sim.Proc, n int64) {
+	c.transfer(p, c.ba, n)
+}
+
+func (c *Conn) transfer(p *sim.Proc, pipe *sim.Pipe, n int64) {
+	if n <= 0 {
+		n = 1
+	}
+	_, done := pipe.Reserve(n)
+	wait := (done - p.Now()) + c.PropDelay + 2*c.StackOverhead
+	p.Sleep(wait)
+}
+
+// RoundTrip prices a request/response exchange: request of reqBytes one
+// way, response of respBytes back, plus remote service time handled by the
+// caller in between if needed.
+func (c *Conn) RoundTrip(p *sim.Proc, reqBytes, respBytes int64) {
+	c.Send(p, reqBytes)
+	c.SendReverse(p, respBytes)
+}
+
+// Throughput returns achieved bytes/sec in the A-to-B direction since the
+// start of the simulation.
+func (c *Conn) Throughput() float64 { return c.ab.Throughput() }

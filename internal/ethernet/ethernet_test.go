@@ -1,0 +1,112 @@
+package ethernet
+
+import (
+	"testing"
+
+	"thymesisflow/internal/sim"
+)
+
+func TestGbps(t *testing.T) {
+	if Gbps(100) != 12.5e9 {
+		t.Fatalf("100 Gb/s = %v B/s", Gbps(100))
+	}
+}
+
+func TestSendLatencyComposition(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "t", 1e9, 5*sim.Microsecond, 2*sim.Microsecond)
+	var took sim.Time
+	k.Go("tx", func(p *sim.Proc) {
+		start := p.Now()
+		c.Send(p, 1000) // 1 us serialization at 1 GB/s
+		took = p.Now() - start
+	})
+	k.Run()
+	// serialization (1us) + prop (5us) + 2x stack (4us) = 10us
+	want := 10 * sim.Microsecond
+	if took != want {
+		t.Fatalf("send took %v, want %v", took, want)
+	}
+}
+
+func TestDirectionsIndependent(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "t", 1e9, 0, 0)
+	var fwd, rev sim.Time
+	k.Go("a", func(p *sim.Proc) {
+		c.Send(p, 1_000_000)
+		fwd = p.Now()
+	})
+	k.Go("b", func(p *sim.Proc) {
+		c.SendReverse(p, 1_000_000)
+		rev = p.Now()
+	})
+	k.Run()
+	// Full duplex: both directions complete in ~1ms, not 2ms.
+	if fwd > 1100*sim.Microsecond || rev > 1100*sim.Microsecond {
+		t.Fatalf("directions serialized: fwd=%v rev=%v", fwd, rev)
+	}
+}
+
+func TestSameDirectionContends(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "t", 1e9, 0, 0)
+	var last sim.Time
+	for i := 0; i < 2; i++ {
+		k.Go("tx", func(p *sim.Proc) {
+			c.Send(p, 1_000_000)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	k.Run()
+	// Two 1ms transfers share one direction: the second finishes at ~2ms.
+	if last < 1900*sim.Microsecond {
+		t.Fatalf("same-direction transfers did not contend: last=%v", last)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	k := sim.NewKernel()
+	c := DefaultClientLink(k, "client")
+	var took sim.Time
+	k.Go("rt", func(p *sim.Proc) {
+		start := p.Now()
+		c.RoundTrip(p, 100, 1000)
+		took = p.Now() - start
+	})
+	k.Run()
+	// 2x (prop 10us + 2x stack 8us) plus tiny serialization: ~52us.
+	if took < 50*sim.Microsecond || took > 60*sim.Microsecond {
+		t.Fatalf("client round trip = %v, want ~52us", took)
+	}
+}
+
+func TestThroughputAccounting(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "t", 1e9, 0, 0)
+	k.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			c.Send(p, 100_000)
+		}
+	})
+	k.Run()
+	if tp := c.Throughput(); tp < 0.9e9 || tp > 1.1e9 {
+		t.Fatalf("throughput = %v, want ~1e9", tp)
+	}
+}
+
+func TestZeroByteMessageStillCosts(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "t", 1e9, sim.Microsecond, sim.Microsecond)
+	var took sim.Time
+	k.Go("tx", func(p *sim.Proc) {
+		c.Send(p, 0)
+		took = p.Now()
+	})
+	k.Run()
+	if took < 3*sim.Microsecond {
+		t.Fatalf("zero-byte send took %v, want at least prop+stacks", took)
+	}
+}

@@ -1,0 +1,211 @@
+package fabric
+
+import (
+	"testing"
+
+	"thymesisflow/internal/capi"
+	"thymesisflow/internal/endpoint"
+	"thymesisflow/internal/llc"
+	"thymesisflow/internal/phy"
+	"thymesisflow/internal/sim"
+)
+
+// switchedRig wires a compute endpoint to a memory endpoint through a
+// switch: host links go host <-> switch on each side.
+type switchedRig struct {
+	k  *sim.Kernel
+	ce *endpoint.ComputeEndpoint
+	me *endpoint.MemoryEndpoint
+	sw *Switch
+}
+
+func newSwitchedRig(t *testing.T, cfg Config, faults phy.FaultConfig) *switchedRig {
+	t.Helper()
+	k := sim.NewKernel()
+	ce, err := endpoint.NewCompute(k, "c", 4, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	me := endpoint.NewMemory(k, "m", 90*sim.Nanosecond)
+	sw := NewSwitch(k, "sw0", cfg)
+
+	// Two physical hops: compute<->switch and switch<->memory.
+	la := phy.NewLink(k, "a-sw", phy.LanesPerChannel, phy.SerdesCrossing, faults)
+	lb := phy.NewLink(k, "sw-b", phy.LanesPerChannel, phy.SerdesCrossing, faults)
+	// The LLC endpoints terminate on the host-side channels; the switch
+	// bridges the middle.
+	cp, mp := llc.NewPair(k, "llc", &phy.Link{AtoB: la.AtoB, BtoA: lb.BtoA}, llc.DefaultConfig())
+	// NewPair wired deliver callbacks endpoint-to-endpoint; rewire through
+	// the switch: A's egress goes to the switch, which forwards onto the
+	// B-side link, and vice versa.
+	if err := sw.Connect(la.AtoB, lb.AtoB); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Connect(lb.BtoA, la.BtoA); err != nil {
+		t.Fatal(err)
+	}
+	// Far ends of the bridged links deliver into the LLC ports.
+	lb.AtoB.OnDeliver(deliverOf(mp))
+	la.BtoA.OnDeliver(deliverOf(cp))
+
+	ce.AttachPort(cp)
+	me.AttachPort(mp)
+	reg, err := me.Steal("s", 0x10000000, 1<<20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ce.RMMU().Map(0, reg.Base, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := ce.Router().AddFlow(1, cp); err != nil {
+		t.Fatal(err)
+	}
+	return &switchedRig{k: k, ce: ce, me: me, sw: sw}
+}
+
+// deliverOf exposes a Port's receive path for rewiring (NewPair installed
+// it on the direct link; the switched topology needs it on the second-hop
+// link).
+func deliverOf(p *llc.Port) func(phy.Delivery) {
+	return p.Deliver
+}
+
+func measureLoad(t *testing.T, r *switchedRig) sim.Time {
+	t.Helper()
+	var lat sim.Time
+	r.k.Go("probe", func(p *sim.Proc) {
+		start := p.Now()
+		if _, err := r.ce.Load(p, 0, capi.Cacheline); err != nil {
+			t.Error(err)
+		}
+		lat = p.Now() - start
+	})
+	r.k.RunUntil(sim.Second)
+	return lat
+}
+
+func TestCircuitSwitchAddsOneCrossing(t *testing.T) {
+	direct := measureDirect(t)
+	switched := measureLoad(t, newSwitchedRig(t, DefaultCircuitConfig(), phy.FaultConfig{}))
+	extra := switched - direct
+	// Two switch crossings (request + response) at 30ns, plus the second
+	// hop's serialization.
+	if extra < 60*sim.Nanosecond || extra > 250*sim.Nanosecond {
+		t.Fatalf("circuit switch overhead = %v (direct %v, switched %v)", extra, direct, switched)
+	}
+}
+
+func measureDirect(t *testing.T) sim.Time {
+	t.Helper()
+	k := sim.NewKernel()
+	ce, err := endpoint.NewCompute(k, "c", 4, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	me := endpoint.NewMemory(k, "m", 90*sim.Nanosecond)
+	link := phy.NewLink(k, "direct", phy.LanesPerChannel, phy.SerdesCrossing, phy.FaultConfig{})
+	cp, mp := llc.NewPair(k, "llc", link, llc.DefaultConfig())
+	ce.AttachPort(cp)
+	me.AttachPort(mp)
+	reg, err := me.Steal("s", 0x10000000, 1<<20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ce.RMMU().Map(0, reg.Base, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := ce.Router().AddFlow(1, cp); err != nil {
+		t.Fatal(err)
+	}
+	var lat sim.Time
+	k.Go("probe", func(p *sim.Proc) {
+		start := p.Now()
+		if _, err := ce.Load(p, 0, capi.Cacheline); err != nil {
+			t.Error(err)
+		}
+		lat = p.Now() - start
+	})
+	k.RunUntil(sim.Second)
+	return lat
+}
+
+func TestPacketSwitchSlowerThanCircuit(t *testing.T) {
+	circuit := measureLoad(t, newSwitchedRig(t, DefaultCircuitConfig(), phy.FaultConfig{}))
+	packet := measureLoad(t, newSwitchedRig(t, DefaultPacketConfig(), phy.FaultConfig{}))
+	if packet <= circuit {
+		t.Fatalf("packet switch (%v) should cost more than circuit (%v)", packet, circuit)
+	}
+}
+
+func TestSwitchedDataIntegrity(t *testing.T) {
+	r := newSwitchedRig(t, DefaultCircuitConfig(), phy.FaultConfig{})
+	r.k.Go("app", func(p *sim.Proc) {
+		want := make([]byte, 128)
+		for i := range want {
+			want[i] = byte(i ^ 0x5A)
+		}
+		if err := r.ce.Store(p, 0x2000, want); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := r.ce.Load(p, 0x2000, 128)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("byte %d corrupted through switch", i)
+				return
+			}
+		}
+	})
+	r.k.RunUntil(sim.Second)
+	if fr, by := r.sw.Stats(); fr == 0 || by == 0 {
+		t.Fatal("switch forwarded nothing")
+	}
+}
+
+func TestSwitchedReplayUnderLoss(t *testing.T) {
+	r := newSwitchedRig(t, DefaultCircuitConfig(), phy.FaultConfig{DropProb: 0.05, CorruptProb: 0.05, Seed: 17})
+	done := 0
+	r.k.Go("app", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			if _, err := r.ce.Load(p, uint64(i)*128, 128); err != nil {
+				t.Error(err)
+				return
+			}
+			done++
+		}
+	})
+	r.k.RunUntil(10 * sim.Second)
+	if done != 100 {
+		t.Fatalf("only %d/100 loads completed through lossy switched fabric", done)
+	}
+}
+
+func TestSwitchPortExhaustion(t *testing.T) {
+	k := sim.NewKernel()
+	sw := NewSwitch(k, "sw", Config{Mode: Circuit, Ports: 4, CrossingLatency: 30 * sim.Nanosecond})
+	mk := func() *phy.Link {
+		return phy.NewLink(k, "l", phy.LanesPerChannel, 0, phy.FaultConfig{})
+	}
+	if err := sw.Connect(mk().AtoB, mk().AtoB); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Connect(mk().AtoB, mk().AtoB); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Connect(mk().AtoB, mk().AtoB); err == nil {
+		t.Fatal("switch accepted circuits beyond its port count")
+	}
+	if sw.Circuits() != 2 {
+		t.Fatalf("circuits = %d", sw.Circuits())
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Circuit.String() != "circuit" || Packet.String() != "packet" {
+		t.Fatal("bad mode names")
+	}
+}

@@ -1,0 +1,302 @@
+// Package graphdb is a small in-memory transactional property graph, the
+// stand-in for the Janusgraph backend the paper's control plane uses
+// (Section IV-C). The control plane models system state as an undirected
+// graph whose vertices are compute/memory endpoints, transceivers and
+// switch ports, and whose edges are possible physical links.
+//
+// The store supports labeled vertices and edges with string-keyed
+// properties, undo-log transactions, and label/property indexes sufficient
+// for the control plane's path searches and reservations.
+package graphdb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ID identifies a vertex or edge.
+type ID int64
+
+// Vertex is a labeled node with properties.
+type Vertex struct {
+	ID    ID
+	Label string
+	Props map[string]any
+}
+
+// Edge is an undirected labeled connection between two vertices.
+type Edge struct {
+	ID    ID
+	Label string
+	A, B  ID
+	Props map[string]any
+}
+
+// Graph is the store. All exported methods are safe for concurrent use.
+type Graph struct {
+	mu       sync.RWMutex
+	nextID   ID
+	vertices map[ID]*Vertex
+	edges    map[ID]*Edge
+	adjacent map[ID]map[ID]ID // vertex -> neighbor vertex -> edge id
+	byLabel  map[string]map[ID]struct{}
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nextID:   1,
+		vertices: make(map[ID]*Vertex),
+		edges:    make(map[ID]*Edge),
+		adjacent: make(map[ID]map[ID]ID),
+		byLabel:  make(map[string]map[ID]struct{}),
+	}
+}
+
+// AddVertex inserts a vertex and returns its ID.
+func (g *Graph) AddVertex(label string, props map[string]any) ID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.addVertexLocked(label, props)
+}
+
+func (g *Graph) addVertexLocked(label string, props map[string]any) ID {
+	id := g.nextID
+	g.nextID++
+	g.vertices[id] = &Vertex{ID: id, Label: label, Props: cloneProps(props)}
+	g.adjacent[id] = make(map[ID]ID)
+	if g.byLabel[label] == nil {
+		g.byLabel[label] = make(map[ID]struct{})
+	}
+	g.byLabel[label][id] = struct{}{}
+	return id
+}
+
+// AddEdge connects two existing vertices and returns the edge ID.
+func (g *Graph) AddEdge(label string, a, b ID, props map[string]any) (ID, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.addEdgeLocked(label, a, b, props)
+}
+
+func (g *Graph) addEdgeLocked(label string, a, b ID, props map[string]any) (ID, error) {
+	if _, ok := g.vertices[a]; !ok {
+		return 0, fmt.Errorf("graphdb: vertex %d not found", a)
+	}
+	if _, ok := g.vertices[b]; !ok {
+		return 0, fmt.Errorf("graphdb: vertex %d not found", b)
+	}
+	if a == b {
+		return 0, fmt.Errorf("graphdb: self-loop on vertex %d", a)
+	}
+	if _, dup := g.adjacent[a][b]; dup {
+		return 0, fmt.Errorf("graphdb: edge %d-%d already exists", a, b)
+	}
+	id := g.nextID
+	g.nextID++
+	g.edges[id] = &Edge{ID: id, Label: label, A: a, B: b, Props: cloneProps(props)}
+	g.adjacent[a][b] = id
+	g.adjacent[b][a] = id
+	return id, nil
+}
+
+// Vertex returns a copy of the vertex.
+func (g *Graph) Vertex(id ID) (Vertex, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	v, ok := g.vertices[id]
+	if !ok {
+		return Vertex{}, false
+	}
+	return Vertex{ID: v.ID, Label: v.Label, Props: cloneProps(v.Props)}, true
+}
+
+// Edge returns a copy of the edge.
+func (g *Graph) Edge(id ID) (Edge, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e, ok := g.edges[id]
+	if !ok {
+		return Edge{}, false
+	}
+	return Edge{ID: e.ID, Label: e.Label, A: e.A, B: e.B, Props: cloneProps(e.Props)}, true
+}
+
+// EdgeBetween returns the edge connecting a and b, if any.
+func (g *Graph) EdgeBetween(a, b ID) (Edge, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	eid, ok := g.adjacent[a][b]
+	if !ok {
+		return Edge{}, false
+	}
+	e := g.edges[eid]
+	return Edge{ID: e.ID, Label: e.Label, A: e.A, B: e.B, Props: cloneProps(e.Props)}, true
+}
+
+// Neighbors returns the vertex IDs adjacent to id, sorted for determinism.
+func (g *Graph) Neighbors(id ID) []ID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]ID, 0, len(g.adjacent[id]))
+	for n := range g.adjacent[id] {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// VerticesByLabel returns the IDs of all vertices with the label, sorted.
+func (g *Graph) VerticesByLabel(label string) []ID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]ID, 0, len(g.byLabel[label]))
+	for id := range g.byLabel[label] {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FindVertex returns the first vertex (by ID order) with the label whose
+// property key equals value.
+func (g *Graph) FindVertex(label, key string, value any) (Vertex, bool) {
+	for _, id := range g.VerticesByLabel(label) {
+		v, _ := g.Vertex(id)
+		if v.Props[key] == value {
+			return v, true
+		}
+	}
+	return Vertex{}, false
+}
+
+// SetVertexProp updates one vertex property.
+func (g *Graph) SetVertexProp(id ID, key string, value any) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v, ok := g.vertices[id]
+	if !ok {
+		return fmt.Errorf("graphdb: vertex %d not found", id)
+	}
+	if v.Props == nil {
+		v.Props = make(map[string]any)
+	}
+	v.Props[key] = value
+	return nil
+}
+
+// SetEdgeProp updates one edge property.
+func (g *Graph) SetEdgeProp(id ID, key string, value any) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.edges[id]
+	if !ok {
+		return fmt.Errorf("graphdb: edge %d not found", id)
+	}
+	if e.Props == nil {
+		e.Props = make(map[string]any)
+	}
+	e.Props[key] = value
+	return nil
+}
+
+// RemoveEdge deletes an edge.
+func (g *Graph) RemoveEdge(id ID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.edges[id]
+	if !ok {
+		return fmt.Errorf("graphdb: edge %d not found", id)
+	}
+	delete(g.adjacent[e.A], e.B)
+	delete(g.adjacent[e.B], e.A)
+	delete(g.edges, id)
+	return nil
+}
+
+// RemoveVertex deletes a vertex and all incident edges.
+func (g *Graph) RemoveVertex(id ID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v, ok := g.vertices[id]
+	if !ok {
+		return fmt.Errorf("graphdb: vertex %d not found", id)
+	}
+	for n, eid := range g.adjacent[id] {
+		delete(g.adjacent[n], id)
+		delete(g.edges, eid)
+	}
+	delete(g.adjacent, id)
+	delete(g.byLabel[v.Label], id)
+	delete(g.vertices, id)
+	return nil
+}
+
+// Counts returns (vertices, edges).
+func (g *Graph) Counts() (int, int) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.vertices), len(g.edges)
+}
+
+// ShortestPath returns the minimum-hop path between two vertices,
+// considering only edges accepted by the filter (nil accepts all). The
+// returned slice includes both endpoints; ok is false when no path exists.
+// Ties are broken toward lower vertex IDs, keeping results deterministic.
+func (g *Graph) ShortestPath(from, to ID, filter func(Edge) bool) (path []ID, ok bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if _, found := g.vertices[from]; !found {
+		return nil, false
+	}
+	if from == to {
+		return []ID{from}, true
+	}
+	prev := map[ID]ID{from: from}
+	queue := []ID{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		// Deterministic neighbor order.
+		ns := make([]ID, 0, len(g.adjacent[cur]))
+		for n := range g.adjacent[cur] {
+			ns = append(ns, n)
+		}
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		for _, n := range ns {
+			if _, seen := prev[n]; seen {
+				continue
+			}
+			e := g.edges[g.adjacent[cur][n]]
+			if filter != nil && !filter(*e) {
+				continue
+			}
+			prev[n] = cur
+			if n == to {
+				var rev []ID
+				for at := to; at != from; at = prev[at] {
+					rev = append(rev, at)
+				}
+				rev = append(rev, from)
+				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+					rev[i], rev[j] = rev[j], rev[i]
+				}
+				return rev, true
+			}
+			queue = append(queue, n)
+		}
+	}
+	return nil, false
+}
+
+func cloneProps(p map[string]any) map[string]any {
+	if p == nil {
+		return nil
+	}
+	out := make(map[string]any, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package graphdb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildSample() *Graph {
+	g := New()
+	a := g.AddVertex("host", map[string]any{"name": "node0"})
+	b := g.AddVertex("host", map[string]any{"name": "node1"})
+	c := g.AddVertex("transceiver", map[string]any{"reserved": true})
+	g.AddEdge("link", a, b, map[string]any{"cable": true}) //nolint:errcheck
+	g.AddEdge("has", a, c, nil)                            //nolint:errcheck
+	return g
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	g := buildSample()
+	var buf bytes.Buffer
+	if err := g.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2 := New()
+	if err := g2.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v1, e1 := g.Counts()
+	v2, e2 := g2.Counts()
+	if v1 != v2 || e1 != e2 {
+		t.Fatalf("counts: %d/%d vs %d/%d", v1, e1, v2, e2)
+	}
+	// Properties and adjacency survive.
+	v, ok := g2.FindVertex("host", "name", "node0")
+	if !ok {
+		t.Fatal("vertex lost")
+	}
+	if len(g2.Neighbors(v.ID)) != 2 {
+		t.Fatalf("adjacency lost: %v", g2.Neighbors(v.ID))
+	}
+	// New IDs continue past the snapshot's high-water mark.
+	fresh := g2.AddVertex("host", nil)
+	if _, exists := g.Vertex(fresh); exists {
+		t.Fatalf("restored graph reused ID %d", fresh)
+	}
+	// Label index restored.
+	if got := g2.VerticesByLabel("transceiver"); len(got) != 1 {
+		t.Fatalf("label index = %v", got)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	g := buildSample()
+	var a, b bytes.Buffer
+	if err := g.Snapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Snapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("snapshots differ across calls")
+	}
+}
+
+func TestRestoreIntoNonEmptyFails(t *testing.T) {
+	g := buildSample()
+	var buf bytes.Buffer
+	g.Snapshot(&buf) //nolint:errcheck
+	if err := g.Restore(&buf); err == nil {
+		t.Fatal("restore into populated graph succeeded")
+	}
+}
+
+func TestRestoreRejectsCorruptSnapshots(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"version":99}`,
+		`{"version":1,"edges":[{"id":9,"a":1,"b":2}]}`, // dangling edge
+		`{"version":1,"vertices":[{"id":1},{"id":1}]}`, // duplicate vertex
+	}
+	for i, c := range cases {
+		g := New()
+		if err := g.Restore(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d: corrupt snapshot accepted", i)
+		}
+	}
+}
+
+func TestRestoredGraphSupportsTransactions(t *testing.T) {
+	g := buildSample()
+	var buf bytes.Buffer
+	g.Snapshot(&buf) //nolint:errcheck
+	g2 := New()
+	if err := g2.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	hosts := g2.VerticesByLabel("host")
+	tx := g2.Begin()
+	if err := tx.SetVertexProp(hosts[0], "state", "draining"); err != nil {
+		t.Fatal(err)
+	}
+	tx.Rollback()
+	v, _ := g2.Vertex(hosts[0])
+	if _, has := v.Props["state"]; has {
+		t.Fatal("rollback failed on restored graph")
+	}
+}

@@ -1,0 +1,42 @@
+package hotplug_test
+
+import (
+	"fmt"
+
+	"thymesisflow/internal/hotplug"
+	"thymesisflow/internal/mem"
+	"thymesisflow/internal/sim"
+)
+
+// Example walks a section through its lifecycle: probe -> online (capacity
+// grows) -> offline -> remove, exactly the flow the ThymesisFlow agent
+// drives when attaching and detaching disaggregated memory.
+func Example() {
+	k := sim.NewKernel()
+	sys := mem.NewSystem(k, 0)
+	remote := sys.AddNode(&mem.Node{
+		Name: "tf-remote", CPULess: true, Capacity: 0, Distance: 115,
+		Backend: mem.NewDRAMBackend(k, "far", 950*sim.Nanosecond, 12.5e9),
+	})
+	mgr := hotplug.NewManager(sys, 256<<20)
+
+	if _, err := mgr.Probe(0, remote); err != nil {
+		panic(err)
+	}
+	if err := mgr.Online(0); err != nil {
+		panic(err)
+	}
+	fmt.Printf("after online: %d MiB attachable\n", sys.Node(remote).Capacity>>20)
+
+	if err := mgr.Offline(0); err != nil {
+		panic(err)
+	}
+	if err := mgr.Remove(0); err != nil {
+		panic(err)
+	}
+	fmt.Printf("after remove: %d MiB attachable, %d sections\n",
+		sys.Node(remote).Capacity>>20, len(mgr.Sections()))
+	// Output:
+	// after online: 256 MiB attachable
+	// after remove: 0 MiB attachable, 0 sections
+}

@@ -1,0 +1,164 @@
+// Package hotplug models the Linux memory-hotplug machinery ThymesisFlow
+// uses to attach disaggregated memory to a running kernel (Section IV-B).
+//
+// The kernel's sparse memory model divides the physical address space into
+// fixed-size, aligned sections, each independently hotpluggable. The
+// ThymesisFlow user-space agent probes a new section at the physical address
+// where the compute endpoint is mapped and onlines it; the section's pages
+// land on a CPU-less NUMA node whose distance reflects the compute-to-donor
+// transaction RTT.
+package hotplug
+
+import (
+	"fmt"
+	"sort"
+
+	"thymesisflow/internal/mem"
+)
+
+// State is the lifecycle state of a memory section.
+type State int
+
+// Section lifecycle: Absent -> Probed -> Online <-> Offline -> Absent.
+const (
+	StateAbsent State = iota
+	StateProbed
+	StateOnline
+	StateOffline
+)
+
+var stateNames = [...]string{"absent", "probed", "online", "offline"}
+
+// String returns the state name.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Section is one sparse-memory-model section of the host physical address
+// space.
+type Section struct {
+	Base  uint64
+	Size  int64
+	State State
+	// Node is the NUMA node whose capacity this section contributes to.
+	Node mem.NodeID
+}
+
+// Manager tracks hotpluggable sections for one host and keeps the host's
+// mem.System node capacities in sync with section state.
+type Manager struct {
+	sys         *mem.System
+	sectionSize int64
+	sections    map[uint64]*Section
+}
+
+// NewManager returns a manager with the given section size (0 selects the
+// 256 MiB ppc64 default).
+func NewManager(sys *mem.System, sectionSize int64) *Manager {
+	if sectionSize == 0 {
+		sectionSize = 256 * 1024 * 1024
+	}
+	return &Manager{sys: sys, sectionSize: sectionSize, sections: make(map[uint64]*Section)}
+}
+
+// SectionSize returns the section granularity.
+func (m *Manager) SectionSize() int64 { return m.sectionSize }
+
+// Probe registers a new section at the given physical base address,
+// contributing (once onlined) to the given NUMA node. The base must be
+// section-aligned and not already probed.
+func (m *Manager) Probe(base uint64, node mem.NodeID) (*Section, error) {
+	if base%uint64(m.sectionSize) != 0 {
+		return nil, fmt.Errorf("hotplug: base %#x not aligned to %d", base, m.sectionSize)
+	}
+	if _, dup := m.sections[base]; dup {
+		return nil, fmt.Errorf("hotplug: section %#x already present", base)
+	}
+	if m.sys.Node(node) == nil {
+		return nil, fmt.Errorf("hotplug: probe onto unknown node %d", node)
+	}
+	s := &Section{Base: base, Size: m.sectionSize, State: StateProbed, Node: node}
+	m.sections[base] = s
+	return s, nil
+}
+
+// Online brings a probed or offline section online, adding its capacity to
+// the owning NUMA node so the allocator can place pages there.
+func (m *Manager) Online(base uint64) error {
+	s, ok := m.sections[base]
+	if !ok {
+		return fmt.Errorf("hotplug: online of absent section %#x", base)
+	}
+	if s.State == StateOnline {
+		return fmt.Errorf("hotplug: section %#x already online", base)
+	}
+	m.sys.Node(s.Node).Capacity += s.Size
+	s.State = StateOnline
+	return nil
+}
+
+// Offline takes an online section offline. It fails with EBUSY semantics if
+// the owning node cannot give up a section's worth of capacity without
+// stranding allocated pages — the caller must migrate pages away first
+// (see numa.Drain).
+func (m *Manager) Offline(base uint64) error {
+	s, ok := m.sections[base]
+	if !ok {
+		return fmt.Errorf("hotplug: offline of absent section %#x", base)
+	}
+	if s.State != StateOnline {
+		return fmt.Errorf("hotplug: section %#x is %v, not online", base, s.State)
+	}
+	n := m.sys.Node(s.Node)
+	if n.Used > n.Capacity-s.Size {
+		return fmt.Errorf("hotplug: section %#x busy: node %d has %d bytes allocated over remaining capacity",
+			base, s.Node, n.Used-(n.Capacity-s.Size))
+	}
+	n.Capacity -= s.Size
+	s.State = StateOffline
+	return nil
+}
+
+// Remove deletes an offline or probed section entirely (the physical
+// detach).
+func (m *Manager) Remove(base uint64) error {
+	s, ok := m.sections[base]
+	if !ok {
+		return fmt.Errorf("hotplug: remove of absent section %#x", base)
+	}
+	if s.State == StateOnline {
+		return fmt.Errorf("hotplug: remove of online section %#x", base)
+	}
+	delete(m.sections, base)
+	return nil
+}
+
+// Section returns the section at base, if present.
+func (m *Manager) Section(base uint64) (*Section, bool) {
+	s, ok := m.sections[base]
+	return s, ok
+}
+
+// Sections returns all sections sorted by base address.
+func (m *Manager) Sections() []*Section {
+	out := make([]*Section, 0, len(m.sections))
+	for _, s := range m.sections {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
+}
+
+// OnlineBytes returns the total capacity currently online via hotplug.
+func (m *Manager) OnlineBytes() int64 {
+	var total int64
+	for _, s := range m.sections {
+		if s.State == StateOnline {
+			total += s.Size
+		}
+	}
+	return total
+}

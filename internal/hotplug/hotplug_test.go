@@ -1,0 +1,138 @@
+package hotplug
+
+import (
+	"testing"
+
+	"thymesisflow/internal/mem"
+	"thymesisflow/internal/sim"
+)
+
+func newHost(t *testing.T) (*mem.System, mem.NodeID, *Manager) {
+	t.Helper()
+	k := sim.NewKernel()
+	sys := mem.NewSystem(k, 0)
+	// The CPU-less node starts with zero capacity; hotplug onlining grows it.
+	remote := sys.AddNode(&mem.Node{
+		Name: "tf-remote", CPULess: true, Capacity: 0, Distance: 80,
+		Backend: mem.NewDRAMBackend(k, "far", 950*sim.Nanosecond, 12.5e9),
+	})
+	return sys, remote, NewManager(sys, 0)
+}
+
+func TestProbeOnlineGrowsNode(t *testing.T) {
+	sys, remote, m := newHost(t)
+	sec := m.SectionSize()
+	if _, err := m.Probe(0, remote); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Probe(uint64(sec), remote); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Online(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Online(uint64(sec)); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Node(remote).Capacity; got != 2*sec {
+		t.Fatalf("node capacity = %d, want %d", got, 2*sec)
+	}
+	if m.OnlineBytes() != 2*sec {
+		t.Fatalf("online bytes = %d", m.OnlineBytes())
+	}
+	// Allocation on the hotplugged node now succeeds.
+	if _, err := sys.Alloc(sec, func(int) mem.NodeID { return remote }); err != nil {
+		t.Fatalf("alloc on hotplugged node: %v", err)
+	}
+}
+
+func TestProbeValidation(t *testing.T) {
+	_, remote, m := newHost(t)
+	if _, err := m.Probe(12345, remote); err == nil {
+		t.Fatal("unaligned probe accepted")
+	}
+	if _, err := m.Probe(0, remote); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Probe(0, remote); err == nil {
+		t.Fatal("duplicate probe accepted")
+	}
+	if _, err := m.Probe(uint64(m.SectionSize()), mem.NodeID(99)); err == nil {
+		t.Fatal("probe onto unknown node accepted")
+	}
+}
+
+func TestOfflineBusySection(t *testing.T) {
+	sys, remote, m := newHost(t)
+	if _, err := m.Probe(0, remote); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Online(0); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the section with pages; offline must then fail.
+	if _, err := sys.Alloc(m.SectionSize(), func(int) mem.NodeID { return remote }); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Offline(0); err == nil {
+		t.Fatal("offline of busy section succeeded")
+	}
+	s, _ := m.Section(0)
+	if s.State != StateOnline {
+		t.Fatalf("state = %v after failed offline", s.State)
+	}
+}
+
+func TestOfflineRemoveLifecycle(t *testing.T) {
+	sys, remote, m := newHost(t)
+	if _, err := m.Probe(0, remote); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Online(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Online(0); err == nil {
+		t.Fatal("double online accepted")
+	}
+	if err := m.Offline(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Node(remote).Capacity; got != 0 {
+		t.Fatalf("capacity after offline = %d", got)
+	}
+	// Re-online then offline then remove.
+	if err := m.Online(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove(0); err == nil {
+		t.Fatal("remove of online section accepted")
+	}
+	if err := m.Offline(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Section(0); ok {
+		t.Fatal("section still present after remove")
+	}
+	if err := m.Online(0); err == nil {
+		t.Fatal("online of removed section accepted")
+	}
+}
+
+func TestSectionsSorted(t *testing.T) {
+	_, remote, m := newHost(t)
+	sec := uint64(m.SectionSize())
+	for _, base := range []uint64{3 * sec, sec, 2 * sec, 0} {
+		if _, err := m.Probe(base, remote); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ss := m.Sections()
+	for i := 1; i < len(ss); i++ {
+		if ss[i].Base <= ss[i-1].Base {
+			t.Fatalf("sections unsorted: %#x after %#x", ss[i].Base, ss[i-1].Base)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package llc_test
+
+import (
+	"fmt"
+
+	"thymesisflow/internal/capi"
+	"thymesisflow/internal/llc"
+	"thymesisflow/internal/phy"
+	"thymesisflow/internal/sim"
+)
+
+// Example sends transactions over a channel that drops 10% of frames: the
+// LLC replay protocol delivers everything, in order, exactly once.
+func Example() {
+	k := sim.NewKernel()
+	link := phy.NewLink(k, "wire", phy.LanesPerChannel, phy.SerdesCrossing,
+		phy.FaultConfig{DropProb: 0.10, Seed: 4})
+	tx, rx := llc.NewPair(k, "llc", link, llc.DefaultConfig())
+
+	delivered := 0
+	inOrder := true
+	next := uint32(0)
+	rx.OnReceive = func(t *capi.Transaction) {
+		if t.Tag != next {
+			inOrder = false
+		}
+		next++
+		delivered++
+	}
+	k.Go("sender", func(p *sim.Proc) {
+		for i := 0; i < 200; i++ {
+			tx.SendFrom(p, &capi.Transaction{
+				Op: capi.OpReadReq, Addr: uint64(i) * 128, Size: 128, Tag: uint32(i),
+			})
+			p.Sleep(30 * sim.Nanosecond)
+		}
+	})
+	k.RunUntil(sim.Second)
+
+	st := tx.Stats()
+	fmt.Printf("delivered=%d in-order=%v replayed-frames>0=%v\n",
+		delivered, inOrder, st.TxReplayed > 0)
+	// Output:
+	// delivered=200 in-order=true replayed-frames>0=true
+}

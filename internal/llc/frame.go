@@ -1,0 +1,218 @@
+// Package llc implements the ThymesisFlow Link-Layer Control protocol
+// (Section IV-A4): a reliable, credit-flow-controlled framing layer between
+// two endpoints of a network channel.
+//
+// Protocol features, mirroring the paper:
+//
+//   - Backpressure: a credit-based mechanism protects the Rx ingress queue
+//     from overflow. Each credit represents one empty transaction slot at
+//     the receiver; credits are returned piggy-backed on in-band control
+//     frames flowing in the reverse direction.
+//   - Frame replay: transactions are grouped into frames of a fixed number
+//     of flits (incomplete frames are padded with single-flit nop headers
+//     for immediate transmission). Frames carry consecutive sequence
+//     numbers and a CRC. A receiver that observes a sequence gap or a CRC
+//     error sends an in-band replay request; the transmitter then replays
+//     the frame sequence in order from its replay buffer.
+package llc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"thymesisflow/internal/capi"
+)
+
+// FrameFlits is the fixed frame size in flits. With 32-byte flits this
+// yields 512-byte frames: large enough to amortize header overhead on
+// cacheline traffic (one 128 B write = 5 flits), small enough to keep the
+// padding cost of sparse traffic low.
+const FrameFlits = 16
+
+// FrameBytes is the wire size of every data frame.
+const FrameBytes = FrameFlits * capi.FlitSize
+
+// ControlFrameBytes is the wire size of the special single-flit frames used
+// for in-band messages (replay requests and credit returns).
+const ControlFrameBytes = capi.FlitSize
+
+// frameKind discriminates data frames from in-band control frames.
+type frameKind uint8
+
+const (
+	kindData frameKind = iota + 1
+	kindControl
+)
+
+// Frame is one LLC frame. Data frames carry up to FrameFlits' worth of
+// transaction flits; control frames carry replay requests and credit
+// returns.
+type Frame struct {
+	Kind frameKind
+	Seq  uint64 // data frames: consecutive sequence number
+
+	Txns []*capi.Transaction // data frames
+
+	// Control frame payload.
+	ReplayFrom   uint64 // request replay starting at this sequence, if ReplayValid
+	ReplayValid  bool
+	CreditReturn uint32 // transaction slots freed at the receiver
+	CumAck       uint64 // highest in-order sequence received + 1 (prunes replay buffer)
+
+	crc uint32
+}
+
+// flits returns the number of flits the frame's transactions occupy.
+func (f *Frame) flits() int {
+	n := 0
+	for _, t := range f.Txns {
+		n += t.Flits()
+	}
+	return n
+}
+
+// WireBytes returns the frame's on-wire size.
+func (f *Frame) WireBytes() int {
+	if f.Kind == kindControl {
+		return ControlFrameBytes
+	}
+	return FrameBytes
+}
+
+// Encode serializes the frame to its wire representation, padding data
+// frames to the full frame size and appending a CRC-32 in the trailer.
+func (f *Frame) Encode() []byte {
+	var buf []byte
+	put8 := func(v uint8) { buf = append(buf, v) }
+	put16 := func(v uint16) { buf = binary.LittleEndian.AppendUint16(buf, v) }
+	put32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	put64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+
+	put8(uint8(f.Kind))
+	switch f.Kind {
+	case kindControl:
+		// Control frames carry no sequence number: they are idempotent and
+		// outside the replay window, which keeps them within a single flit.
+		if f.ReplayValid {
+			put8(1)
+		} else {
+			put8(0)
+		}
+		put64(f.ReplayFrom)
+		put32(f.CreditReturn)
+		put64(f.CumAck)
+	case kindData:
+		put64(f.Seq)
+		put16(uint16(len(f.Txns)))
+		for _, t := range f.Txns {
+			put8(uint8(t.Op))
+			put64(t.Addr)
+			put32(uint32(t.Size))
+			put32(t.Tag)
+			put16(t.NetworkID)
+			if t.Bonded {
+				put8(1)
+			} else {
+				put8(0)
+			}
+			put32(t.PASID)
+			if t.Data != nil {
+				put8(1)
+				buf = append(buf, t.Data...)
+			} else {
+				put8(0)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("llc: encode of unknown frame kind %d", f.Kind))
+	}
+	// Pad to the fixed wire size minus the 4-byte CRC trailer.
+	want := f.WireBytes() - 4
+	if len(buf) > want {
+		panic(fmt.Sprintf("llc: frame payload %dB exceeds wire size %dB", len(buf), want))
+	}
+	for len(buf) < want {
+		buf = append(buf, 0)
+	}
+	crc := crc32.ChecksumIEEE(buf)
+	f.crc = crc
+	return binary.LittleEndian.AppendUint32(buf, crc)
+}
+
+// Decode parses a wire frame, verifying the CRC. A CRC mismatch returns
+// ErrCRC; the caller reacts by requesting a replay.
+func Decode(wire []byte) (*Frame, error) {
+	if len(wire) < 5 {
+		return nil, fmt.Errorf("llc: short frame (%dB)", len(wire))
+	}
+	body, trailer := wire[:len(wire)-4], wire[len(wire)-4:]
+	want := binary.LittleEndian.Uint32(trailer)
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, ErrCRC
+	}
+	// Bounds-checked readers: a frame can pass the CRC and still carry an
+	// inconsistent header (e.g. forged by a misbehaving switch), so every
+	// read is validated rather than trusted.
+	pos := 0
+	errShort := fmt.Errorf("llc: truncated frame body")
+	need := func(n int) bool { return pos+n <= len(body) }
+	get8 := func() uint8 { v := body[pos]; pos++; return v }
+	get16 := func() uint16 { v := binary.LittleEndian.Uint16(body[pos:]); pos += 2; return v }
+	get32 := func() uint32 { v := binary.LittleEndian.Uint32(body[pos:]); pos += 4; return v }
+	get64 := func() uint64 { v := binary.LittleEndian.Uint64(body[pos:]); pos += 8; return v }
+
+	f := &Frame{}
+	if !need(1) {
+		return nil, errShort
+	}
+	f.Kind = frameKind(get8())
+	switch f.Kind {
+	case kindControl:
+		if !need(1 + 8 + 4 + 8) {
+			return nil, errShort
+		}
+		f.ReplayValid = get8() == 1
+		f.ReplayFrom = get64()
+		f.CreditReturn = get32()
+		f.CumAck = get64()
+	case kindData:
+		if !need(8 + 2) {
+			return nil, errShort
+		}
+		f.Seq = get64()
+		n := int(get16())
+		f.Txns = make([]*capi.Transaction, 0, n)
+		for i := 0; i < n; i++ {
+			const txnHeader = 1 + 8 + 4 + 4 + 2 + 1 + 4 + 1
+			if !need(txnHeader) {
+				return nil, errShort
+			}
+			t := &capi.Transaction{}
+			t.Op = capi.Op(get8())
+			t.Addr = get64()
+			t.Size = int32(get32())
+			t.Tag = get32()
+			t.NetworkID = get16()
+			t.Bonded = get8() == 1
+			t.PASID = get32()
+			if t.Size < 0 || t.Size > capi.Cacheline {
+				return nil, fmt.Errorf("llc: frame carries invalid size %d", t.Size)
+			}
+			if get8() == 1 {
+				if !need(int(t.Size)) {
+					return nil, errShort
+				}
+				t.Data = append([]byte(nil), body[pos:pos+int(t.Size)]...)
+				pos += int(t.Size)
+			}
+			f.Txns = append(f.Txns, t)
+		}
+	default:
+		return nil, fmt.Errorf("llc: unknown frame kind %d", f.Kind)
+	}
+	return f, nil
+}
+
+// ErrCRC indicates a frame failed its CRC check.
+var ErrCRC = fmt.Errorf("llc: frame CRC mismatch")

@@ -1,0 +1,143 @@
+package llc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"thymesisflow/internal/capi"
+)
+
+func TestFrameEncodeDecodeRoundTrip(t *testing.T) {
+	f := &Frame{
+		Kind: kindData,
+		Seq:  42,
+		Txns: []*capi.Transaction{
+			{Op: capi.OpReadReq, Addr: 0xDEADBEEF00, Size: 128, Tag: 7, NetworkID: 3, Bonded: true},
+			{Op: capi.OpWriteResp, Addr: 0x1000, Size: 0, Tag: 9},
+		},
+	}
+	wire := f.Encode()
+	if len(wire) != FrameBytes {
+		t.Fatalf("wire size = %d, want %d", len(wire), FrameBytes)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 42 || len(got.Txns) != 2 {
+		t.Fatalf("decoded %+v", got)
+	}
+	tx := got.Txns[0]
+	if tx.Op != capi.OpReadReq || tx.Addr != 0xDEADBEEF00 || tx.Size != 128 ||
+		tx.Tag != 7 || tx.NetworkID != 3 || !tx.Bonded {
+		t.Fatalf("decoded txn %+v", tx)
+	}
+}
+
+func TestFrameWithDataPayload(t *testing.T) {
+	data := make([]byte, 128)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	f := &Frame{
+		Kind: kindData,
+		Seq:  1,
+		Txns: []*capi.Transaction{
+			{Op: capi.OpWriteReq, Addr: 0x80, Size: 128, Tag: 1, Data: data},
+		},
+	}
+	got, err := Decode(f.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Txns[0].Data) != 128 {
+		t.Fatalf("payload length %d", len(got.Txns[0].Data))
+	}
+	for i, b := range got.Txns[0].Data {
+		if b != byte(i) {
+			t.Fatalf("payload corrupted at %d", i)
+		}
+	}
+}
+
+func TestControlFrameRoundTrip(t *testing.T) {
+	f := &Frame{
+		Kind:         kindControl,
+		ReplayValid:  true,
+		ReplayFrom:   100,
+		CreditReturn: 37,
+		CumAck:       99,
+	}
+	wire := f.Encode()
+	if len(wire) != ControlFrameBytes {
+		t.Fatalf("control wire size = %d, want %d", len(wire), ControlFrameBytes)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ReplayValid || got.ReplayFrom != 100 || got.CreditReturn != 37 || got.CumAck != 99 {
+		t.Fatalf("decoded control %+v", got)
+	}
+}
+
+func TestDecodeDetectsCorruption(t *testing.T) {
+	f := &Frame{Kind: kindData, Seq: 5, Txns: []*capi.Transaction{
+		{Op: capi.OpReadReq, Addr: 0x100, Size: 128, Tag: 1},
+	}}
+	wire := f.Encode()
+	for _, pos := range []int{0, 10, len(wire) - 5} {
+		mut := append([]byte(nil), wire...)
+		mut[pos] ^= 0x42
+		if _, err := Decode(mut); err != ErrCRC {
+			t.Fatalf("corruption at byte %d not detected: %v", pos, err)
+		}
+	}
+}
+
+func TestDecodeShortFrame(t *testing.T) {
+	if _, err := Decode([]byte{1, 2}); err == nil {
+		t.Fatal("short frame accepted")
+	}
+}
+
+func TestFrameOverflowPanics(t *testing.T) {
+	txns := make([]*capi.Transaction, 0, 8)
+	data := make([]byte, 128)
+	for i := 0; i < 8; i++ { // 8 writes x 5 flits = 40 flits >> 16
+		txns = append(txns, &capi.Transaction{Op: capi.OpWriteReq, Addr: 0, Size: 128, Data: data})
+	}
+	f := &Frame{Kind: kindData, Txns: txns}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized frame encoded without panic")
+		}
+	}()
+	f.Encode()
+}
+
+// Property: encode/decode round-trips arbitrary (valid) transactions.
+func TestQuickFrameRoundTrip(t *testing.T) {
+	f := func(addr uint64, tag uint32, netID uint16, bonded bool, read bool) bool {
+		op := capi.OpWriteReq
+		var data []byte
+		if read {
+			op = capi.OpReadReq
+		} else {
+			data = make([]byte, 128)
+		}
+		fr := &Frame{Kind: kindData, Seq: 1, Txns: []*capi.Transaction{
+			{Op: op, Addr: addr, Size: 128, Tag: tag, NetworkID: netID, Bonded: bonded, Data: data},
+		}}
+		got, err := Decode(fr.Encode())
+		if err != nil {
+			return false
+		}
+		g := got.Txns[0]
+		return g.Op == op && g.Addr == addr && g.Tag == tag &&
+			g.NetworkID == netID && g.Bonded == bonded
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

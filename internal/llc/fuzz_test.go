@@ -1,0 +1,82 @@
+package llc
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"thymesisflow/internal/capi"
+)
+
+// FuzzDecode drives Decode with arbitrary byte strings — including inputs
+// re-sealed with a valid CRC so the header parser itself is exercised. It
+// must never panic: a misbehaving fabric element can hand the receiver any
+// bytes it likes.
+func FuzzDecode(f *testing.F) {
+	good := &Frame{Kind: kindData, Seq: 3, Txns: []*capi.Transaction{
+		{Op: capi.OpReadReq, Addr: 0x1000, Size: 128, Tag: 7},
+		{Op: capi.OpWriteReq, Addr: 0x2000, Size: 64, Tag: 8, Data: make([]byte, 64)},
+	}}
+	f.Add(good.Encode())
+	ctrl := &Frame{Kind: kindControl, ReplayValid: true, ReplayFrom: 5, CreditReturn: 3, CumAck: 4}
+	f.Add(ctrl.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5})
+	// A forged header with an absurd transaction count, sealed with a
+	// valid CRC.
+	forged := make([]byte, FrameBytes-4)
+	forged[0] = byte(kindData)
+	binary.LittleEndian.PutUint16(forged[9:], 0xFFFF)
+	forged = binary.LittleEndian.AppendUint32(forged, crc32.ChecksumIEEE(forged))
+	f.Add(forged)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Successfully decoded frames must be internally consistent.
+		for _, txn := range fr.Txns {
+			if txn.Size < 0 || txn.Size > capi.Cacheline {
+				t.Fatalf("decoded transaction with size %d", txn.Size)
+			}
+			if txn.Data != nil && int32(len(txn.Data)) != txn.Size {
+				t.Fatalf("data length %d != size %d", len(txn.Data), txn.Size)
+			}
+		}
+	})
+}
+
+func TestDecodeForgedCountDoesNotPanic(t *testing.T) {
+	// Valid CRC, data kind, transaction count far beyond the body.
+	body := make([]byte, FrameBytes-4)
+	body[0] = byte(kindData)
+	binary.LittleEndian.PutUint16(body[9:], 0xFFFF)
+	wire := binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+	if _, err := Decode(wire); err == nil {
+		t.Fatal("forged frame decoded successfully")
+	}
+}
+
+func TestDecodeForgedSizeRejected(t *testing.T) {
+	// One transaction claiming a 2 GiB payload.
+	var body []byte
+	body = append(body, byte(kindData))
+	body = binary.LittleEndian.AppendUint64(body, 1) // seq
+	body = binary.LittleEndian.AppendUint16(body, 1) // count
+	body = append(body, byte(capi.OpWriteReq))
+	body = binary.LittleEndian.AppendUint64(body, 0x1000)  // addr
+	body = binary.LittleEndian.AppendUint32(body, 1<<31-1) // size
+	body = binary.LittleEndian.AppendUint32(body, 1)       // tag
+	body = binary.LittleEndian.AppendUint16(body, 1)       // netid
+	body = append(body, 0)                                 // bonded
+	body = binary.LittleEndian.AppendUint32(body, 0)       // pasid
+	body = append(body, 0)                                 // no data
+	for len(body) < FrameBytes-4 {
+		body = append(body, 0)
+	}
+	wire := binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+	if _, err := Decode(wire); err == nil {
+		t.Fatal("frame with forged size accepted")
+	}
+}

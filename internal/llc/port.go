@@ -1,0 +1,373 @@
+package llc
+
+import (
+	"fmt"
+
+	"thymesisflow/internal/capi"
+	"thymesisflow/internal/phy"
+	"thymesisflow/internal/sim"
+)
+
+// Config tunes a Port's protocol parameters.
+type Config struct {
+	// Credits is the Rx ingress queue depth in transaction slots. The
+	// paper notes the depth is "carefully calculated to avoid credit
+	// starvation at the Tx side"; 256 slots cover the bandwidth-delay
+	// product of a 12.5 GiB/s channel at ~1 us RTT with margin.
+	Credits int
+	// ReplayBuffer is the number of transmitted frames retained for replay.
+	ReplayBuffer int
+	// ReplayTimeout re-requests a replay if an expected frame has not
+	// arrived (covers the case where the replay request itself is lost).
+	ReplayTimeout sim.Time
+}
+
+// DefaultConfig returns the calibrated protocol parameters.
+func DefaultConfig() Config {
+	return Config{
+		Credits:       256,
+		ReplayBuffer:  1024,
+		ReplayTimeout: 20 * sim.Microsecond,
+	}
+}
+
+// Port is one end of an LLC link: it transmits frames on `out`, receives
+// deliveries from `in`, and hands received transactions to OnReceive.
+// Create both ends with NewPair.
+type Port struct {
+	k    *sim.Kernel
+	name string
+	cfg  Config
+	out  *phy.Channel
+	peer *Port
+
+	// OnReceive delivers in-order, CRC-clean transactions to the upper
+	// layer (the routing layer / endpoint attachment logic).
+	OnReceive func(*capi.Transaction)
+
+	// Tx state.
+	credits     int
+	pending     []*capi.Transaction
+	flushQueued bool
+	nextSeq     uint64
+	replayBuf   map[uint64][]byte // seq -> encoded wire frame
+	oldestKept  uint64
+
+	// Rx state.
+	expected     uint64
+	replayAsked  bool
+	replayTimer  *sim.Event
+	pendingCred  uint32
+	credQueued   bool
+	creditWaiter *sim.Signal
+
+	// Stats.
+	stats Stats
+}
+
+// Stats aggregates protocol counters.
+type Stats struct {
+	TxFrames       int64
+	TxControl      int64
+	TxReplayed     int64
+	RxFrames       int64
+	RxCRCErrors    int64
+	RxGaps         int64
+	RxDuplicates   int64
+	TxTransactions int64
+	RxTransactions int64
+	PaddingFlits   int64
+	CreditStalls   int64
+}
+
+// Stats returns a copy of the port's counters.
+func (p *Port) Stats() Stats { return p.stats }
+
+// NewPair wires two ports over a bidirectional phy link and returns
+// (a, b): a transmits on link.AtoB and receives from link.BtoA; b is the
+// mirror image.
+func NewPair(k *sim.Kernel, name string, link *phy.Link, cfg Config) (*Port, *Port) {
+	a := newPort(k, name+".a", link.AtoB, cfg)
+	b := newPort(k, name+".b", link.BtoA, cfg)
+	a.peer, b.peer = b, a
+	link.AtoB.OnDeliver(b.receive)
+	link.BtoA.OnDeliver(a.receive)
+	return a, b
+}
+
+func newPort(k *sim.Kernel, name string, out *phy.Channel, cfg Config) *Port {
+	if cfg.Credits <= 0 || cfg.ReplayBuffer <= 0 || cfg.ReplayTimeout <= 0 {
+		panic("llc: invalid config")
+	}
+	return &Port{
+		k:            k,
+		name:         name,
+		cfg:          cfg,
+		out:          out,
+		credits:      cfg.Credits,
+		replayBuf:    make(map[uint64][]byte),
+		creditWaiter: sim.NewSignal(k),
+	}
+}
+
+// Name returns the port name.
+func (p *Port) Name() string { return p.name }
+
+// Credits returns the Tx-side credit count currently available.
+func (p *Port) Credits() int { return p.credits }
+
+// Send queues a transaction for transmission. Transactions arriving within
+// the same event cascade are packed into common frames. If the transmitter
+// is out of credits the transaction waits (backpressure) — Send itself never
+// blocks the caller; use SendFrom for process-context flow control.
+func (p *Port) Send(t *capi.Transaction) {
+	if err := t.Validate(); err != nil {
+		panic(fmt.Sprintf("llc: %s: sending invalid transaction: %v", p.name, err))
+	}
+	p.pending = append(p.pending, t)
+	p.scheduleFlush()
+}
+
+// SendFrom is like Send but, when the link has a large untransmitted
+// backlog, blocks the calling process until credits free up — modelling a
+// full Tx queue pushing back into the fabric.
+func (p *Port) SendFrom(proc *sim.Proc, t *capi.Transaction) {
+	for p.credits <= 0 {
+		p.stats.CreditStalls++
+		p.creditWaiter.Wait(proc)
+	}
+	p.Send(t)
+}
+
+func (p *Port) scheduleFlush() {
+	if p.flushQueued {
+		return
+	}
+	p.flushQueued = true
+	p.k.Schedule(0, p.flush)
+}
+
+// flush packs pending transactions into frames and transmits as many as
+// credits allow. Incomplete trailing frames are padded (accounted as
+// padding flits) and sent immediately rather than waiting for more traffic.
+func (p *Port) flush() {
+	p.flushQueued = false
+	for len(p.pending) > 0 && p.credits > 0 {
+		f := &Frame{Kind: kindData, Seq: p.nextSeq}
+		flitsLeft := FrameFlits
+		for len(p.pending) > 0 && p.credits > 0 {
+			t := p.pending[0]
+			fl := t.Flits()
+			if fl > flitsLeft {
+				break
+			}
+			f.Txns = append(f.Txns, t)
+			p.pending = p.pending[1:]
+			flitsLeft -= fl
+			p.credits--
+			p.stats.TxTransactions++
+		}
+		if len(f.Txns) == 0 {
+			break // head transaction blocked on credits
+		}
+		p.stats.PaddingFlits += int64(flitsLeft)
+		p.transmitFrame(f)
+	}
+}
+
+func (p *Port) transmitFrame(f *Frame) {
+	wire := f.Encode()
+	p.nextSeq++
+	p.replayBuf[f.Seq] = wire
+	if f.Seq >= uint64(p.cfg.ReplayBuffer) {
+		// Bound the buffer even if the peer stops acking.
+		for del := p.oldestKept; del+uint64(p.cfg.ReplayBuffer) <= f.Seq; del++ {
+			delete(p.replayBuf, del)
+			p.oldestKept = del + 1
+		}
+	}
+	p.stats.TxFrames++
+	p.out.Transmit(wire, len(wire))
+	p.armTxTimer(f.Seq)
+}
+
+// armTxTimer covers tail loss: if a frame is still unacknowledged after the
+// replay timeout (e.g. it was the last frame of a burst and was dropped, so
+// the receiver never saw a sequence gap), retransmit it proactively.
+func (p *Port) armTxTimer(seq uint64) {
+	p.k.Schedule(p.cfg.ReplayTimeout, func() {
+		if p.oldestKept > seq {
+			return // acknowledged
+		}
+		wire, ok := p.replayBuf[seq]
+		if !ok {
+			return
+		}
+		p.stats.TxReplayed++
+		p.out.Transmit(wire, len(wire))
+		p.armTxTimer(seq)
+	})
+}
+
+// sendControl emits an in-band single-flit control frame carrying replay
+// requests and/or credit returns. Control frames bypass credits and the
+// replay buffer (they are idempotent; loss is covered by the timeout).
+func (p *Port) sendControl(replayValid bool, replayFrom uint64, credits uint32, cumAck uint64) {
+	f := &Frame{
+		Kind:         kindControl,
+		ReplayValid:  replayValid,
+		ReplayFrom:   replayFrom,
+		CreditReturn: credits,
+		CumAck:       cumAck,
+	}
+	wire := f.Encode()
+	p.stats.TxControl++
+	p.out.Transmit(wire, len(wire))
+}
+
+// Deliver injects a phy delivery into this port's receive path. NewPair
+// installs it on the direct link automatically; switched topologies
+// (internal/fabric) re-point the final hop's OnDeliver here.
+func (p *Port) Deliver(d phy.Delivery) { p.receive(d) }
+
+// receive handles a phy delivery on the inbound channel.
+func (p *Port) receive(d phy.Delivery) {
+	wire, ok := d.Payload.([]byte)
+	if !ok {
+		panic("llc: non-frame payload on channel")
+	}
+	if d.Corrupted {
+		// Emulate line corruption before the CRC check.
+		wire = append([]byte(nil), wire...)
+		wire[0] ^= 0xFF
+	}
+	f, err := Decode(wire)
+	if err != nil {
+		p.stats.RxCRCErrors++
+		// CRC error: we cannot trust the header, ask for replay from the
+		// next expected frame.
+		p.requestReplay()
+		return
+	}
+	switch f.Kind {
+	case kindControl:
+		p.handleControl(f)
+	case kindData:
+		p.handleData(f)
+	}
+}
+
+func (p *Port) handleControl(f *Frame) {
+	if f.CreditReturn > 0 {
+		p.credits += int(f.CreditReturn)
+		if p.credits > p.cfg.Credits {
+			panic(fmt.Sprintf("llc: %s: credit overflow (%d > %d)", p.name, p.credits, p.cfg.Credits))
+		}
+		p.creditWaiter.Broadcast()
+		p.scheduleFlush()
+	}
+	// Prune the replay buffer up to the peer's cumulative ack.
+	for del := p.oldestKept; del < f.CumAck; del++ {
+		delete(p.replayBuf, del)
+	}
+	if f.CumAck > p.oldestKept {
+		p.oldestKept = f.CumAck
+	}
+	if f.ReplayValid {
+		p.replay(f.ReplayFrom)
+	}
+}
+
+// replay retransmits frames in order starting at from.
+func (p *Port) replay(from uint64) {
+	if from < p.oldestKept {
+		from = p.oldestKept
+	}
+	for seq := from; seq < p.nextSeq; seq++ {
+		wire, ok := p.replayBuf[seq]
+		if !ok {
+			continue // already acked by a newer CumAck
+		}
+		p.stats.TxReplayed++
+		p.out.Transmit(wire, len(wire))
+	}
+}
+
+func (p *Port) handleData(f *Frame) {
+	p.stats.RxFrames++
+	switch {
+	case f.Seq == p.expected:
+		p.expected++
+		p.cancelReplayTimer()
+		p.replayAsked = false
+		for _, t := range f.Txns {
+			if t.Op == capi.OpNop {
+				continue
+			}
+			p.stats.RxTransactions++
+			p.pendingCred++
+			if p.OnReceive != nil {
+				p.OnReceive(t)
+			}
+		}
+		p.scheduleCreditReturn()
+	case f.Seq > p.expected:
+		p.stats.RxGaps++
+		p.requestReplay()
+	default:
+		// Duplicate from a replay we already consumed.
+		p.stats.RxDuplicates++
+		p.scheduleCreditReturn() // refresh CumAck so the peer prunes
+	}
+}
+
+// requestReplay asks the peer to retransmit from the next expected frame.
+// Repeated triggers within one outage coalesce; a timer covers the loss of
+// the request itself.
+func (p *Port) requestReplay() {
+	if p.replayAsked {
+		return
+	}
+	p.replayAsked = true
+	p.sendControl(true, p.expected, p.takeCredits(), p.expected)
+	p.armReplayTimer()
+}
+
+func (p *Port) armReplayTimer() {
+	p.cancelReplayTimer()
+	p.replayTimer = p.k.Schedule(p.cfg.ReplayTimeout, func() {
+		p.replayTimer = nil
+		p.replayAsked = false
+		p.requestReplay()
+	})
+}
+
+func (p *Port) cancelReplayTimer() {
+	if p.replayTimer != nil {
+		p.replayTimer.Cancel()
+		p.replayTimer = nil
+	}
+}
+
+func (p *Port) takeCredits() uint32 {
+	c := p.pendingCred
+	p.pendingCred = 0
+	return c
+}
+
+// scheduleCreditReturn batches credit returns accumulated within one event
+// cascade into a single control frame.
+func (p *Port) scheduleCreditReturn() {
+	if p.credQueued {
+		return
+	}
+	p.credQueued = true
+	p.k.Schedule(0, func() {
+		p.credQueued = false
+		if p.pendingCred == 0 && !p.replayAsked {
+			p.sendControl(false, 0, 0, p.expected)
+			return
+		}
+		p.sendControl(false, 0, p.takeCredits(), p.expected)
+	})
+}

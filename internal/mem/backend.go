@@ -1,0 +1,84 @@
+package mem
+
+import (
+	"thymesisflow/internal/sim"
+)
+
+// Backend prices accesses that miss the whole cache hierarchy and must be
+// served by a memory device: local DRAM, or — for disaggregated NUMA nodes —
+// the ThymesisFlow datapath (implemented in internal/endpoint and plugged in
+// here through this interface).
+type Backend interface {
+	// Name identifies the backend ("dram", "thymesisflow", ...).
+	Name() string
+	// Access prices a demand access of size bytes issued now, returning the
+	// latency until the data is available. Implementations account their own
+	// queueing/bandwidth state.
+	Access(size int64, write bool) sim.Time
+	// BaseLatency returns the unloaded access latency (used by NUMA distance
+	// heuristics and by the streaming model's MLP computation).
+	BaseLatency() sim.Time
+	// StreamBandwidth returns the sustainable streaming bandwidth in
+	// bytes/sec that this backend can deliver in aggregate.
+	StreamBandwidth() float64
+	// ReserveStream books n streaming bytes on the backend's bandwidth
+	// resource and returns the completion time of the transfer. It is the
+	// bulk-transfer path used by bandwidth-bound kernels (STREAM).
+	ReserveStream(n int64) (done sim.Time)
+}
+
+// AddrBackend is an optional extension of Backend for devices whose access
+// cost depends on the address — e.g. a remote backend with an HBM caching
+// layer in front of the network (the paper's Section VII extension). When a
+// node's backend implements AddrBackend, Thread.Access routes demand misses
+// through AccessAt instead of Access.
+type AddrBackend interface {
+	Backend
+	// AccessAt prices a demand access to the given (first-line) address.
+	AccessAt(addr uint64, size int64, write bool) sim.Time
+}
+
+// DRAMBackend models a local DRAM memory subsystem: fixed CAS-ish base
+// latency plus a shared bandwidth pipe that produces queueing under load.
+type DRAMBackend struct {
+	k       *sim.Kernel
+	name    string
+	baseLat sim.Time
+	pipe    *sim.Pipe
+}
+
+// NewDRAMBackend builds a DRAM backend with the given unloaded latency and
+// aggregate bandwidth (bytes/sec).
+func NewDRAMBackend(k *sim.Kernel, name string, baseLat sim.Time, bandwidth float64) *DRAMBackend {
+	return &DRAMBackend{k: k, name: name, baseLat: baseLat, pipe: sim.NewPipe(k, bandwidth)}
+}
+
+// Name implements Backend.
+func (d *DRAMBackend) Name() string { return d.name }
+
+// BaseLatency implements Backend.
+func (d *DRAMBackend) BaseLatency() sim.Time { return d.baseLat }
+
+// StreamBandwidth implements Backend.
+func (d *DRAMBackend) StreamBandwidth() float64 { return d.pipe.Rate() }
+
+// Access implements Backend: queueing delay on the channel plus base
+// latency plus transfer time.
+func (d *DRAMBackend) Access(size int64, write bool) sim.Time {
+	if size <= 0 {
+		return 0
+	}
+	_, done := d.pipe.Reserve(size)
+	return done - d.k.Now() + d.baseLat
+}
+
+// ReserveStream implements Backend.
+func (d *DRAMBackend) ReserveStream(n int64) sim.Time {
+	_, done := d.pipe.Reserve(n)
+	return done
+}
+
+// Pipe exposes the underlying bandwidth pipe for statistics.
+func (d *DRAMBackend) Pipe() *sim.Pipe { return d.pipe }
+
+var _ Backend = (*DRAMBackend)(nil)

@@ -1,0 +1,144 @@
+// Package mem models the memory hierarchy of the simulated hosts: a
+// set-associative cache hierarchy (L1/L2 private, LLC shared per socket),
+// DRAM backends with load-dependent queueing, a paged physical address space
+// spread over NUMA nodes, and the per-thread access costing used by every
+// simulated workload.
+//
+// The model is calibrated to the POWER9 AC922 systems used in the paper
+// (Section V) and to the ThymesisFlow datapath numbers (950 ns flit RTT,
+// 12.5 GiB/s per network channel, ~16 GiB/s OpenCAPI C1 ceiling).
+package mem
+
+// CachelineSize is the POWER9 cacheline size in bytes; it is also the
+// OpenCAPI transaction payload the ThymesisFlow prototype carries.
+const CachelineSize = 128
+
+// Cache is a set-associative cache with LRU replacement, tracked at
+// cacheline granularity. It is purely functional (hit/miss bookkeeping);
+// timing is applied by the caller using the cache's configured latency.
+type Cache struct {
+	name     string
+	sets     int
+	ways     int
+	lineBits uint
+	// lines[set] is an LRU-ordered slice: index 0 is most recently used.
+	lines [][]uint64
+
+	hits   int64
+	misses int64
+}
+
+// NewCache builds a cache of the given total size and associativity.
+// size must be a multiple of ways*CachelineSize; sets are forced to a power
+// of two for cheap indexing.
+func NewCache(name string, size int64, ways int) *Cache {
+	if ways <= 0 {
+		panic("mem: cache ways must be positive")
+	}
+	sets := int(size / (int64(ways) * CachelineSize))
+	if sets <= 0 {
+		sets = 1
+	}
+	// Round sets down to a power of two.
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	sets = p
+	c := &Cache{
+		name:     name,
+		sets:     sets,
+		ways:     ways,
+		lineBits: 7, // log2(CachelineSize)
+		lines:    make([][]uint64, sets),
+	}
+	return c
+}
+
+// Name returns the cache's configured name (e.g. "L1D").
+func (c *Cache) Name() string { return c.name }
+
+// SizeBytes returns the total capacity in bytes.
+func (c *Cache) SizeBytes() int64 { return int64(c.sets) * int64(c.ways) * CachelineSize }
+
+// lineAddr maps a byte address to its cacheline address (tag+set).
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr >> c.lineBits }
+
+// Lookup probes the cache for the line containing addr and updates LRU
+// state. On a miss the line is installed, possibly evicting the LRU way.
+// It reports whether the access hit.
+func (c *Cache) Lookup(addr uint64) bool {
+	la := c.lineAddr(addr)
+	set := int(la) & (c.sets - 1)
+	ways := c.lines[set]
+	for i, tag := range ways {
+		if tag == la {
+			// Move to front (MRU).
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = la
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	if len(ways) < c.ways {
+		ways = append(ways, 0)
+	}
+	copy(ways[1:], ways)
+	ways[0] = la
+	c.lines[set] = ways
+	return false
+}
+
+// Contains probes without updating LRU or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	la := c.lineAddr(addr)
+	set := int(la) & (c.sets - 1)
+	for _, tag := range c.lines[set] {
+		if tag == la {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateRange drops all lines overlapping [addr, addr+size).
+func (c *Cache) InvalidateRange(addr uint64, size int64) {
+	first := c.lineAddr(addr)
+	last := c.lineAddr(addr + uint64(size) - 1)
+	for set := 0; set < c.sets; set++ {
+		ways := c.lines[set]
+		out := ways[:0]
+		for _, tag := range ways {
+			if tag < first || tag > last {
+				out = append(out, tag)
+			}
+		}
+		c.lines[set] = out
+	}
+}
+
+// Flush empties the cache.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = c.lines[i][:0]
+	}
+}
+
+// Hits returns the number of lookup hits since creation.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses returns the number of lookup misses since creation.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// HitRatio returns hits/(hits+misses), or 0 with no lookups.
+func (c *Cache) HitRatio() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// ResetStats zeroes hit/miss counters without touching contents.
+func (c *Cache) ResetStats() { c.hits, c.misses = 0, 0 }

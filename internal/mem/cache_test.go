@@ -1,0 +1,101 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := NewCache("t", 8*1024, 8)
+	if c.Lookup(0x1000) {
+		t.Fatal("first access should miss")
+	}
+	if !c.Lookup(0x1000) {
+		t.Fatal("second access should hit")
+	}
+	if !c.Lookup(0x1000 + CachelineSize - 1) {
+		t.Fatal("same-line access should hit")
+	}
+	if c.Lookup(0x1000 + CachelineSize) {
+		t.Fatal("next-line access should miss")
+	}
+	if c.Hits() != 2 || c.Misses() != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 2/2", c.Hits(), c.Misses())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way cache with exactly 2 sets: lines with even line-index map to set
+	// 0, odd to set 1.
+	c := NewCache("t", 2*2*CachelineSize, 2)
+	addr := func(lineIdx uint64) uint64 { return lineIdx * CachelineSize }
+	c.Lookup(addr(0)) // set 0
+	c.Lookup(addr(2)) // set 0
+	c.Lookup(addr(0)) // touch 0: now MRU
+	c.Lookup(addr(4)) // set 0: evicts line 2 (LRU)
+	if !c.Contains(addr(0)) {
+		t.Fatal("MRU line evicted")
+	}
+	if c.Contains(addr(2)) {
+		t.Fatal("LRU line not evicted")
+	}
+	if !c.Contains(addr(4)) {
+		t.Fatal("new line not installed")
+	}
+}
+
+func TestCacheInvalidateRange(t *testing.T) {
+	c := NewCache("t", 64*1024, 8)
+	for i := uint64(0); i < 32; i++ {
+		c.Lookup(i * CachelineSize)
+	}
+	c.InvalidateRange(8*CachelineSize, 8*CachelineSize)
+	for i := uint64(0); i < 32; i++ {
+		got := c.Contains(i * CachelineSize)
+		want := i < 8 || i >= 16
+		if got != want {
+			t.Fatalf("line %d: contains=%v want %v", i, got, want)
+		}
+	}
+}
+
+func TestCacheWorkingSetFits(t *testing.T) {
+	c := NewCache("t", 32*1024, 8)
+	linesInCache := c.SizeBytes() / CachelineSize
+	// Touch exactly the cache's capacity worth of lines twice: second pass
+	// must be all hits.
+	for pass := 0; pass < 2; pass++ {
+		for i := int64(0); i < linesInCache; i++ {
+			c.Lookup(uint64(i * CachelineSize))
+		}
+	}
+	if c.Hits() != linesInCache {
+		t.Fatalf("second pass hits = %d, want %d (ratio %.2f)", c.Hits(), linesInCache, c.HitRatio())
+	}
+}
+
+// Property: the number of resident lines never exceeds capacity, and a
+// just-installed line is always resident.
+func TestQuickCacheInvariants(t *testing.T) {
+	c := NewCache("t", 4*1024, 4)
+	maxLines := c.SizeBytes() / CachelineSize
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			c.Lookup(uint64(a))
+			if !c.Contains(uint64(a)) {
+				return false
+			}
+		}
+		var resident int64
+		for set := 0; set < c.sets; set++ {
+			resident += int64(len(c.lines[set]))
+			if len(c.lines[set]) > c.ways {
+				return false
+			}
+		}
+		return resident <= maxLines
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

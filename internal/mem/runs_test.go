@@ -1,0 +1,116 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"thymesisflow/internal/sim"
+)
+
+func runsSystem(t *testing.T) (*System, NodeID, NodeID) {
+	t.Helper()
+	k := sim.NewKernel()
+	sys := NewSystem(k, 0)
+	a := sys.AddNode(&Node{Name: "a", Capacity: 1 << 30,
+		Backend: NewDRAMBackend(k, "a", 90*sim.Nanosecond, 100e9)})
+	b := sys.AddNode(&Node{Name: "b", Capacity: 1 << 30,
+		Backend: NewDRAMBackend(k, "b", 90*sim.Nanosecond, 100e9)})
+	return sys, a, b
+}
+
+func TestRunsInSinglePage(t *testing.T) {
+	sys, a, _ := runsSystem(t)
+	buf, err := sys.Alloc(4*sys.PageSize, func(int) NodeID { return a })
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := buf.RunsIn(100, 200)
+	if len(runs) != 1 || runs[0].Node != a || runs[0].Bytes != 200 {
+		t.Fatalf("runs = %+v", runs)
+	}
+}
+
+func TestRunsInMergesSameNodePages(t *testing.T) {
+	sys, a, _ := runsSystem(t)
+	buf, err := sys.Alloc(4*sys.PageSize, func(int) NodeID { return a })
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := buf.RunsIn(0, 4*sys.PageSize)
+	if len(runs) != 1 || runs[0].Bytes != 4*sys.PageSize {
+		t.Fatalf("same-node pages not merged: %+v", runs)
+	}
+}
+
+func TestRunsInSplitsAtNodeBoundary(t *testing.T) {
+	sys, a, b := runsSystem(t)
+	buf, err := sys.Alloc(4*sys.PageSize, func(pg int) NodeID {
+		if pg < 2 {
+			return a
+		}
+		return b
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := buf.RunsIn(sys.PageSize/2, 3*sys.PageSize)
+	if len(runs) != 2 {
+		t.Fatalf("runs = %+v", runs)
+	}
+	if runs[0].Node != a || runs[0].Bytes != sys.PageSize+sys.PageSize/2 {
+		t.Fatalf("first run = %+v", runs[0])
+	}
+	if runs[1].Node != b || runs[1].Bytes != sys.PageSize+sys.PageSize/2 {
+		t.Fatalf("second run = %+v", runs[1])
+	}
+}
+
+func TestRunsInOutOfRangePanics(t *testing.T) {
+	sys, a, _ := runsSystem(t)
+	buf, _ := sys.Alloc(sys.PageSize, func(int) NodeID { return a })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range RunsIn did not panic")
+		}
+	}()
+	buf.RunsIn(0, buf.Size+1)
+}
+
+// Property: runs partition the requested range exactly — bytes sum to n,
+// every run is positive, and adjacent runs differ in node.
+func TestQuickRunsPartition(t *testing.T) {
+	sys, a, b := runsSystem(t)
+	const pages = 16
+	buf, err := sys.Alloc(pages*sys.PageSize, func(pg int) NodeID {
+		if pg%3 == 0 {
+			return a
+		}
+		return b
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(offRaw, nRaw uint32) bool {
+		off := int64(offRaw) % buf.Size
+		maxN := buf.Size - off
+		n := int64(nRaw) % (maxN + 1)
+		if n == 0 {
+			return len(buf.RunsIn(off, 0)) == 0
+		}
+		runs := buf.RunsIn(off, n)
+		var total int64
+		for i, r := range runs {
+			if r.Bytes <= 0 {
+				return false
+			}
+			if i > 0 && runs[i-1].Node == r.Node {
+				return false // adjacent runs must be on different nodes
+			}
+			total += r.Bytes
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

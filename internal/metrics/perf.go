@@ -1,0 +1,128 @@
+package metrics
+
+import "fmt"
+
+// Counter is a simple monotonic event counter.
+type Counter struct {
+	n int64
+}
+
+// Add increments the counter by d (d must be >= 0).
+func (c *Counter) Add(d int64) {
+	if d < 0 {
+		panic("metrics: Counter.Add negative delta")
+	}
+	c.n += d
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// PerfSample mirrors the Linux perf events the paper collects for the VoltDB
+// profiling campaign (Section VI-D): instructions, cycles, task-clock,
+// frontend and backend stall cycles. All values are accumulated over a
+// measurement window; derived metrics follow perf's definitions.
+type PerfSample struct {
+	Instructions  int64 // retired instructions
+	Cycles        int64 // CPU cycles consumed (busy cycles)
+	StallFrontend int64 // cycles stalled in the frontend
+	StallBackend  int64 // cycles stalled in the backend (memory, long ops)
+	TaskClockPS   int64 // total on-CPU time across all threads, picoseconds
+	WindowPS      int64 // measurement window wall time, picoseconds
+}
+
+// Add accumulates another sample into s.
+func (s *PerfSample) Add(o PerfSample) {
+	s.Instructions += o.Instructions
+	s.Cycles += o.Cycles
+	s.StallFrontend += o.StallFrontend
+	s.StallBackend += o.StallBackend
+	s.TaskClockPS += o.TaskClockPS
+	if o.WindowPS > s.WindowPS {
+		s.WindowPS = o.WindowPS
+	}
+}
+
+// ThreadIPC returns retired instructions per busy cycle (single-thread IPC).
+func (s *PerfSample) ThreadIPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// UtilizedCores returns the average number of CPU cores occupied during the
+// window (perf's task-clock / wall-clock), the paper's "UCC" metric.
+func (s *PerfSample) UtilizedCores() float64 {
+	if s.WindowPS == 0 {
+		return 0
+	}
+	return float64(s.TaskClockPS) / float64(s.WindowPS)
+}
+
+// PackageIPC returns the paper's "average IPC across the whole CPU package":
+// single-thread IPC multiplied by the average utilized cores.
+func (s *PerfSample) PackageIPC() float64 {
+	return s.ThreadIPC() * s.UtilizedCores()
+}
+
+// BackendStallFraction returns the fraction of busy cycles that were
+// backend stalls (waiting for memory or long-latency instructions).
+func (s *PerfSample) BackendStallFraction() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.StallBackend) / float64(s.Cycles)
+}
+
+// FrontendStallFraction returns the fraction of busy cycles stalled in the
+// frontend.
+func (s *PerfSample) FrontendStallFraction() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.StallFrontend) / float64(s.Cycles)
+}
+
+// String renders the derived metrics.
+func (s *PerfSample) String() string {
+	return fmt.Sprintf("IPC(thread)=%.2f IPC(pkg)=%.2f UCC=%.2f backend-stall=%.1f%%",
+		s.ThreadIPC(), s.PackageIPC(), s.UtilizedCores(), 100*s.BackendStallFraction())
+}
+
+// Meter tracks a quantity over a time window to report a rate (for
+// throughput in ops/sec or bytes/sec).
+type Meter struct {
+	total   float64
+	startPS int64
+	nowPS   int64
+}
+
+// NewMeter returns a meter whose window starts at startPS picoseconds.
+func NewMeter(startPS int64) *Meter { return &Meter{startPS: startPS, nowPS: startPS} }
+
+// Add records d units at time nowPS picoseconds.
+func (m *Meter) Add(d float64, nowPS int64) {
+	m.total += d
+	if nowPS > m.nowPS {
+		m.nowPS = nowPS
+	}
+}
+
+// Total returns the accumulated quantity.
+func (m *Meter) Total() float64 { return m.total }
+
+// RatePerSec returns units per second over the observed window.
+func (m *Meter) RatePerSec() float64 {
+	window := m.nowPS - m.startPS
+	if window <= 0 {
+		return 0
+	}
+	return m.total / (float64(window) / 1e12)
+}

@@ -1,0 +1,162 @@
+// Package phy models the physical network layer of the ThymesisFlow
+// prototype (Section V): GTY transceivers at 25 Gbit/s, bonded in groups of
+// four to form 100 Gbit/s network-facing channels, with serDES crossing
+// latencies and optional frame corruption/loss injection used to exercise
+// the LLC replay protocol.
+//
+// The prototype's Aurora-based network pipelines are point-to-point over
+// direct-attached copper; a Channel here is likewise a unidirectional
+// point-to-point medium. Bidirectional links pair two Channels.
+package phy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"thymesisflow/internal/sim"
+)
+
+// LaneGbps is the line rate of one GTY transceiver lane.
+const LaneGbps = 25.0
+
+// LanesPerChannel is the datalink-layer bonding factor of the prototype:
+// four lanes per network-facing channel (4 x 25 = 100 Gbit/s).
+const LanesPerChannel = 4
+
+// GiB is 2^30 bytes, the unit the paper reports bandwidth in.
+const GiB = 1 << 30
+
+// ChannelBytesPerSec is the theoretical maximum of one channel. The paper
+// plots this as "ThymesisFlow theoretical maximum (12.5 GiB/s)".
+const ChannelBytesPerSec = 12.5 * GiB
+
+// SerdesCrossing is the latency of one serDES crossing. The prototype's
+// ~950 ns flit RTT comprises four FPGA-stack crossings and six serDES
+// crossings (Section V); see FPGAStackCrossing.
+const SerdesCrossing = 50 * sim.Nanosecond
+
+// FPGAStackCrossing is the latency of one crossing of the OpenCAPI FPGA
+// stack. 4*162.5ns + 6*50ns = 950 ns, the published datapath flit RTT.
+const FPGAStackCrossing = sim.Time(162.5 * float64(sim.Nanosecond))
+
+// FaultConfig controls error injection on a channel.
+type FaultConfig struct {
+	// CorruptProb is the probability that a delivered frame arrives with a
+	// CRC error (triggering an LLC replay).
+	CorruptProb float64
+	// DropProb is the probability that a frame is lost entirely (triggering
+	// a sequence-gap replay at the receiver).
+	DropProb float64
+	// Seed seeds the channel's private PRNG.
+	Seed int64
+}
+
+// Delivery describes one frame arriving at the far end of a channel.
+type Delivery struct {
+	Payload   any
+	Bytes     int
+	Corrupted bool
+}
+
+// Channel is a unidirectional, serialized transmission medium running at
+// the bonded-lane rate. Frames are delivered in transmission order after
+// serialization plus crossing latency. Lost frames are simply never
+// delivered (the receiver detects the sequence gap).
+type Channel struct {
+	k       *sim.Kernel
+	name    string
+	pipe    *sim.Pipe
+	lanes   int
+	oneWay  sim.Time
+	faults  FaultConfig
+	rng     *rand.Rand
+	deliver func(Delivery)
+
+	sent      int64
+	dropped   int64
+	corrupted int64
+}
+
+// NewChannel creates a channel with the given number of bonded lanes. The
+// one-way latency covers the serDES crossings the frame experiences on this
+// hop (transmit + receive side).
+func NewChannel(k *sim.Kernel, name string, lanes int, oneWay sim.Time, faults FaultConfig) *Channel {
+	if lanes <= 0 {
+		lanes = LanesPerChannel
+	}
+	rate := float64(lanes) / LanesPerChannel * ChannelBytesPerSec
+	return &Channel{
+		k:      k,
+		name:   name,
+		pipe:   sim.NewPipe(k, rate),
+		lanes:  lanes,
+		oneWay: oneWay,
+		faults: faults,
+		rng:    rand.New(rand.NewSource(faults.Seed)),
+	}
+}
+
+// Name returns the channel name.
+func (c *Channel) Name() string { return c.name }
+
+// Rate returns the channel's line rate in bytes/sec.
+func (c *Channel) Rate() float64 { return c.pipe.Rate() }
+
+// Pipe exposes the serialization pipe (shared with the analytic bulk model
+// so both transaction-level and bulk traffic contend for the same capacity).
+func (c *Channel) Pipe() *sim.Pipe { return c.pipe }
+
+// OneWayLatency returns the configured crossing latency.
+func (c *Channel) OneWayLatency() sim.Time { return c.oneWay }
+
+// OnDeliver installs the receive handler (the far end's LLC Rx).
+func (c *Channel) OnDeliver(fn func(Delivery)) { c.deliver = fn }
+
+// Transmit serializes a frame of n bytes onto the channel and schedules its
+// delivery. Error injection may corrupt or drop it.
+func (c *Channel) Transmit(payload any, n int) {
+	if c.deliver == nil {
+		panic(fmt.Sprintf("phy: channel %s has no receiver", c.name))
+	}
+	c.sent++
+	_, done := c.pipe.Reserve(int64(n))
+	if c.faults.DropProb > 0 && c.rng.Float64() < c.faults.DropProb {
+		c.dropped++
+		return
+	}
+	corrupt := c.faults.CorruptProb > 0 && c.rng.Float64() < c.faults.CorruptProb
+	if corrupt {
+		c.corrupted++
+	}
+	d := Delivery{Payload: payload, Bytes: n, Corrupted: corrupt}
+	c.k.ScheduleAt(done+c.oneWay, func() { c.deliver(d) })
+}
+
+// Stats reports frames sent, dropped, and corrupted since creation.
+func (c *Channel) Stats() (sent, dropped, corrupted int64) {
+	return c.sent, c.dropped, c.corrupted
+}
+
+// SetFaults replaces the fault configuration (used by ablation benches to
+// sweep loss rates mid-run).
+func (c *Channel) SetFaults(f FaultConfig) {
+	c.faults = f
+	c.rng = rand.New(rand.NewSource(f.Seed))
+}
+
+// Link is a bidirectional point-to-point connection: one channel per
+// direction.
+type Link struct {
+	AtoB *Channel
+	BtoA *Channel
+}
+
+// NewLink builds a bidirectional link from two symmetric channels.
+func NewLink(k *sim.Kernel, name string, lanes int, oneWay sim.Time, faults FaultConfig) *Link {
+	f2 := faults
+	f2.Seed = faults.Seed + 1
+	return &Link{
+		AtoB: NewChannel(k, name+".fwd", lanes, oneWay, faults),
+		BtoA: NewChannel(k, name+".rev", lanes, oneWay, f2),
+	}
+}

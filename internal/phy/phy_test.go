@@ -1,0 +1,97 @@
+package phy
+
+import (
+	"testing"
+
+	"thymesisflow/internal/sim"
+)
+
+func TestChannelRate(t *testing.T) {
+	k := sim.NewKernel()
+	c := NewChannel(k, "c", LanesPerChannel, 0, FaultConfig{})
+	if c.Rate() != ChannelBytesPerSec {
+		t.Fatalf("4-lane rate = %v, want %v", c.Rate(), float64(ChannelBytesPerSec))
+	}
+	c8 := NewChannel(k, "c8", 8, 0, FaultConfig{})
+	if c8.Rate() != 2*ChannelBytesPerSec {
+		t.Fatalf("8-lane rate = %v, want %v", c8.Rate(), 2*float64(ChannelBytesPerSec))
+	}
+}
+
+func TestChannelDeliveryLatency(t *testing.T) {
+	k := sim.NewKernel()
+	c := NewChannel(k, "c", LanesPerChannel, 2*SerdesCrossing, FaultConfig{})
+	var at sim.Time
+	c.OnDeliver(func(d Delivery) { at = k.Now() })
+	c.Transmit("x", 512)
+	k.Run()
+	ser := sim.DurationForBytes(512, ChannelBytesPerSec)
+	want := ser + 2*SerdesCrossing
+	if at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestChannelSerializes(t *testing.T) {
+	k := sim.NewKernel()
+	c := NewChannel(k, "c", LanesPerChannel, 0, FaultConfig{})
+	var times []sim.Time
+	c.OnDeliver(func(d Delivery) { times = append(times, k.Now()) })
+	c.Transmit(1, 1024)
+	c.Transmit(2, 1024)
+	k.Run()
+	if len(times) != 2 {
+		t.Fatalf("delivered %d", len(times))
+	}
+	if times[1] != 2*times[0] {
+		t.Fatalf("no serialization: %v", times)
+	}
+}
+
+func TestChannelDropAndCorrupt(t *testing.T) {
+	k := sim.NewKernel()
+	c := NewChannel(k, "c", LanesPerChannel, 0, FaultConfig{DropProb: 0.3, CorruptProb: 0.3, Seed: 5})
+	delivered, corrupted := 0, 0
+	c.OnDeliver(func(d Delivery) {
+		delivered++
+		if d.Corrupted {
+			corrupted++
+		}
+	})
+	const n = 1000
+	for i := 0; i < n; i++ {
+		c.Transmit(i, 64)
+	}
+	k.Run()
+	sent, dropped, corr := c.Stats()
+	if sent != n {
+		t.Fatalf("sent = %d", sent)
+	}
+	if delivered+int(dropped) != n {
+		t.Fatalf("delivered %d + dropped %d != %d", delivered, dropped, n)
+	}
+	if dropped < 200 || dropped > 400 {
+		t.Fatalf("dropped = %d, want ~300", dropped)
+	}
+	if corrupted != int(corr) || corrupted == 0 {
+		t.Fatalf("corrupted = %d (stat %d)", corrupted, corr)
+	}
+}
+
+func TestTransmitWithoutReceiverPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	k := sim.NewKernel()
+	NewChannel(k, "c", 4, 0, FaultConfig{}).Transmit(1, 64)
+}
+
+func TestLatencyBudgetMatchesPaper(t *testing.T) {
+	// 4 FPGA-stack crossings + 6 serDES crossings = 950 ns (Section V).
+	total := 4*FPGAStackCrossing + 6*SerdesCrossing
+	if total != 950*sim.Nanosecond {
+		t.Fatalf("latency budget = %v, want 950ns", total)
+	}
+}

@@ -1,0 +1,34 @@
+package rmmu_test
+
+import (
+	"fmt"
+
+	"thymesisflow/internal/capi"
+	"thymesisflow/internal/rmmu"
+)
+
+// Example walks one transaction through the Figure 3 address pipeline: a
+// device-internal address is rewritten to the donor's effective address
+// and stamped with the flow's network identifier.
+func Example() {
+	m, err := rmmu.New(4, 256<<20) // 4 sections of 256 MiB
+	if err != nil {
+		panic(err)
+	}
+	// The control plane maps section 1 to donor effective address
+	// 0x7f0000000000, flow 7, bonded.
+	if err := m.Map(1, 0x7f0000000000, 7, true); err != nil {
+		panic(err)
+	}
+	txn := &capi.Transaction{
+		Op:   capi.OpReadReq,
+		Addr: 256<<20 + 0x1000, // device-internal: section 1 + 4 KiB
+		Size: capi.Cacheline,
+	}
+	if err := m.Translate(txn); err != nil {
+		panic(err)
+	}
+	fmt.Printf("remote EA=%#x flow=%d bonded=%v\n", txn.Addr, txn.NetworkID, txn.Bonded)
+	// Output:
+	// remote EA=0x7f0000001000 flow=7 bonded=true
+}

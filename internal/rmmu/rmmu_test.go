@@ -1,0 +1,153 @@
+package rmmu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"thymesisflow/internal/capi"
+)
+
+func mustNew(t *testing.T, sections int, size int64) *RMMU {
+	t.Helper()
+	m, err := New(sections, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTranslateAppliesOffsetAndNetworkID(t *testing.T) {
+	m := mustNew(t, 4, 1<<20) // 4 x 1MiB sections
+	if err := m.Map(1, 0xAB00000, 7, true); err != nil {
+		t.Fatal(err)
+	}
+	txn := &capi.Transaction{Op: capi.OpReadReq, Addr: 1<<20 + 0x340, Size: 128}
+	if err := m.Translate(txn); err != nil {
+		t.Fatal(err)
+	}
+	if txn.Addr != 0xAB00000+0x340 {
+		t.Fatalf("addr = %#x, want %#x", txn.Addr, 0xAB00000+0x340)
+	}
+	if txn.NetworkID != 7 || !txn.Bonded {
+		t.Fatalf("routing info not stamped: %+v", txn)
+	}
+}
+
+func TestTranslateUnmappedSectionFails(t *testing.T) {
+	m := mustNew(t, 4, 1<<20)
+	txn := &capi.Transaction{Op: capi.OpReadReq, Addr: 3 << 20, Size: 128}
+	if err := m.Translate(txn); err == nil {
+		t.Fatal("translate through unmapped section succeeded")
+	}
+}
+
+func TestTranslateBeyondAddressSpaceFails(t *testing.T) {
+	m := mustNew(t, 2, 1<<20)
+	txn := &capi.Transaction{Op: capi.OpReadReq, Addr: 5 << 20, Size: 128}
+	if err := m.Translate(txn); err == nil {
+		t.Fatal("translate beyond device address space succeeded")
+	}
+}
+
+func TestTranslateSectionCrossingFails(t *testing.T) {
+	m := mustNew(t, 2, 1<<20)
+	if err := m.Map(0, 0, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Map(1, 1<<20, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	txn := &capi.Transaction{Op: capi.OpReadReq, Addr: 1<<20 - 64, Size: 128}
+	if err := m.Translate(txn); err == nil {
+		t.Fatal("section-crossing transaction accepted")
+	}
+}
+
+func TestDoubleMapFails(t *testing.T) {
+	m := mustNew(t, 2, 1<<20)
+	if err := m.Map(0, 0, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Map(0, 1<<20, 2, false); err == nil {
+		t.Fatal("double map succeeded")
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	m := mustNew(t, 2, 1<<20)
+	if err := m.Map(0, 0x100000, 3, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MappedSections(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("mapped sections = %v", got)
+	}
+	if err := m.Unmap(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unmap(0); err == nil {
+		t.Fatal("double unmap succeeded")
+	}
+	txn := &capi.Transaction{Op: capi.OpReadReq, Addr: 0x40, Size: 64}
+	if err := m.Translate(txn); err == nil {
+		t.Fatal("translate through unmapped section succeeded")
+	}
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	if _, err := New(0, 1<<20); err == nil {
+		t.Fatal("zero sections accepted")
+	}
+	if _, err := New(4, 3<<19); err == nil {
+		t.Fatal("non-power-of-two section size accepted")
+	}
+	if _, err := New(4, 64); err == nil {
+		t.Fatal("sub-cacheline section accepted")
+	}
+}
+
+func TestDefaultSectionSize(t *testing.T) {
+	m := mustNew(t, 2, 0)
+	if m.SectionSize() != DefaultSectionSize {
+		t.Fatalf("section size = %d, want %d", m.SectionSize(), DefaultSectionSize)
+	}
+	if m.Capacity() != 2*DefaultSectionSize {
+		t.Fatalf("capacity = %d", m.Capacity())
+	}
+}
+
+// Property: for any mapped section and any in-section, non-crossing offset,
+// translation preserves the offset within the section and never produces an
+// address outside [remoteBase, remoteBase+sectionSize).
+func TestQuickTranslationPreservesOffset(t *testing.T) {
+	const secSize = 1 << 20
+	m, err := New(8, secSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases := []uint64{0x10000000, 0x20000000, 0x30000000, 0x40000000,
+		0x50000000, 0x60000000, 0x70000000, 0x80000000}
+	for i, b := range bases {
+		if err := m.Map(i, b, uint16(i+1), i%2 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := func(sec uint8, off uint32) bool {
+		s := int(sec) % 8
+		o := uint64(off) % (secSize - capi.Cacheline)
+		o &^= capi.Cacheline - 1 // align
+		txn := &capi.Transaction{Op: capi.OpReadReq, Addr: uint64(s)*secSize + o, Size: capi.Cacheline}
+		if err := m.Translate(txn); err != nil {
+			return false
+		}
+		if txn.Addr != bases[s]+o {
+			return false
+		}
+		if txn.NetworkID != uint16(s+1) {
+			return false
+		}
+		return txn.Bonded == (s%2 == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"thymesisflow/internal/sim"
+)
+
+// QoS implements the channel-sharing extension the paper identifies
+// (Section IV-A3: "more sophisticated channel sharing approaches that go
+// beyond simple round-robin, and will be able to offer bandwidth allocation
+// and QoS capabilities"): per-flow weighted bandwidth shares on a shared
+// channel, enforced with token buckets.
+//
+// Each flow is granted rate = weight/totalWeight * channelRate. A flow that
+// exceeds its share blocks (ForwardFrom) until tokens accumulate; unshaped
+// flows are unaffected. Shares re-divide automatically as flows come and
+// go.
+type QoS struct {
+	k           *sim.Kernel
+	channelRate float64 // bytes/sec being shared
+	flows       map[NetworkID]*flowShare
+	totalWeight int
+}
+
+type flowShare struct {
+	weight int
+	bucket tokenBucket
+}
+
+// tokenBucket is a virtual-time token bucket: tokens accrue at `rate`
+// bytes/sec up to `burst`; take() returns the time the requested bytes are
+// available.
+type tokenBucket struct {
+	rate     float64
+	burst    float64
+	tokens   float64
+	lastFill sim.Time
+}
+
+func (tb *tokenBucket) fill(now sim.Time) {
+	dt := (now - tb.lastFill).Seconds()
+	tb.tokens += dt * tb.rate
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	tb.lastFill = now
+}
+
+// take consumes n bytes of tokens, returning how long the caller must wait
+// for them to be available (0 when within the share).
+func (tb *tokenBucket) take(now sim.Time, n float64) sim.Time {
+	tb.fill(now)
+	tb.tokens -= n
+	if tb.tokens >= 0 {
+		return 0
+	}
+	deficit := -tb.tokens
+	return sim.Time(deficit / tb.rate * float64(sim.Second))
+}
+
+// NewQoS builds a QoS arbiter for one shared channel.
+func NewQoS(k *sim.Kernel, channelBytesPerSec float64) *QoS {
+	if channelBytesPerSec <= 0 {
+		panic("route: QoS needs a positive channel rate")
+	}
+	return &QoS{k: k, channelRate: channelBytesPerSec, flows: make(map[NetworkID]*flowShare)}
+}
+
+// SetWeight grants a flow a bandwidth weight (0 removes shaping for it).
+func (q *QoS) SetWeight(id NetworkID, weight int) error {
+	if weight < 0 {
+		return fmt.Errorf("route: negative QoS weight %d", weight)
+	}
+	if cur, ok := q.flows[id]; ok {
+		q.totalWeight -= cur.weight
+		delete(q.flows, id)
+	}
+	if weight > 0 {
+		q.flows[id] = &flowShare{weight: weight}
+		q.totalWeight += weight
+	}
+	q.rebalance()
+	return nil
+}
+
+// rebalance recomputes every flow's rate from the weight distribution.
+func (q *QoS) rebalance() {
+	for _, f := range q.flows {
+		f.bucket.rate = q.channelRate * float64(f.weight) / float64(q.totalWeight)
+		// Allow half a millisecond of burst at the flow's rate.
+		f.bucket.burst = f.bucket.rate * 0.0005
+		if f.bucket.tokens > f.bucket.burst {
+			f.bucket.tokens = f.bucket.burst
+		}
+		f.bucket.lastFill = q.k.Now()
+	}
+}
+
+// Admit blocks the calling process until the flow's share admits n bytes.
+// Unregistered flows pass immediately.
+func (q *QoS) Admit(p *sim.Proc, id NetworkID, n int64) {
+	f, ok := q.flows[id]
+	if !ok {
+		return
+	}
+	wait := f.bucket.take(q.k.Now(), float64(n))
+	if wait > 0 {
+		p.Sleep(wait)
+	}
+}
+
+// Share returns the flow's current guaranteed rate in bytes/sec (0 when
+// unshaped).
+func (q *QoS) Share(id NetworkID) float64 {
+	if f, ok := q.flows[id]; ok {
+		return f.bucket.rate
+	}
+	return 0
+}
+
+// Flows lists the shaped flows in ascending ID order.
+func (q *QoS) Flows() []NetworkID {
+	out := make([]NetworkID, 0, len(q.flows))
+	for id := range q.flows {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,117 @@
+package route
+
+import (
+	"testing"
+
+	"thymesisflow/internal/phy"
+	"thymesisflow/internal/sim"
+)
+
+func TestQoSWeightedShares(t *testing.T) {
+	k := sim.NewKernel()
+	q := NewQoS(k, float64(phy.ChannelBytesPerSec))
+	if err := q.SetWeight(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.SetWeight(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	want1 := float64(phy.ChannelBytesPerSec) * 0.75
+	want2 := float64(phy.ChannelBytesPerSec) * 0.25
+	if got := q.Share(1); got != want1 {
+		t.Fatalf("flow 1 share = %g, want %g", got, want1)
+	}
+	if got := q.Share(2); got != want2 {
+		t.Fatalf("flow 2 share = %g, want %g", got, want2)
+	}
+}
+
+func TestQoSThroughputRatio(t *testing.T) {
+	// Two greedy flows, weights 3:1, pumping through a shared channel:
+	// achieved throughput must track the weights.
+	k := sim.NewKernel()
+	const rate = 1e9
+	q := NewQoS(k, rate)
+	q.SetWeight(1, 3) //nolint:errcheck
+	q.SetWeight(2, 1) //nolint:errcheck
+	moved := map[NetworkID]int64{}
+	for _, id := range []NetworkID{1, 2} {
+		id := id
+		k.Go("flow", func(p *sim.Proc) {
+			for p.Now() < 10*sim.Millisecond {
+				q.Admit(p, id, 4096)
+				moved[id] += 4096
+			}
+		})
+	}
+	k.RunUntil(10 * sim.Millisecond)
+	k.Run()
+	ratio := float64(moved[1]) / float64(moved[2])
+	if ratio < 2.6 || ratio > 3.4 {
+		t.Fatalf("throughput ratio = %.2f (moved %d vs %d), want ~3", ratio, moved[1], moved[2])
+	}
+	total := float64(moved[1]+moved[2]) / 0.010
+	if total > rate*1.15 {
+		t.Fatalf("aggregate %.3g exceeds the channel rate %.3g", total, rate)
+	}
+}
+
+func TestQoSUnshapedFlowPasses(t *testing.T) {
+	k := sim.NewKernel()
+	q := NewQoS(k, 1e9)
+	q.SetWeight(1, 1) //nolint:errcheck
+	passed := false
+	k.Go("free", func(p *sim.Proc) {
+		start := p.Now()
+		q.Admit(p, 99, 1<<30) // unregistered: no shaping
+		passed = p.Now() == start
+	})
+	k.Run()
+	if !passed {
+		t.Fatal("unshaped flow was delayed")
+	}
+}
+
+func TestQoSRebalanceOnFlowRemoval(t *testing.T) {
+	k := sim.NewKernel()
+	q := NewQoS(k, 1e9)
+	q.SetWeight(1, 1) //nolint:errcheck
+	q.SetWeight(2, 1) //nolint:errcheck
+	if q.Share(1) != 0.5e9 {
+		t.Fatalf("share with peer = %g", q.Share(1))
+	}
+	q.SetWeight(2, 0) //nolint:errcheck
+	if q.Share(1) != 1e9 {
+		t.Fatalf("share after peer removal = %g, want full channel", q.Share(1))
+	}
+	if q.Share(2) != 0 {
+		t.Fatal("removed flow still shaped")
+	}
+	if got := q.Flows(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("flows = %v", got)
+	}
+	if err := q.SetWeight(3, -1); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestQoSBurstTolerance(t *testing.T) {
+	// A flow idle long enough accrues burst tokens: a small burst after
+	// idling passes without delay, but only up to the burst bound.
+	k := sim.NewKernel()
+	q := NewQoS(k, 1e9)
+	q.SetWeight(1, 1) //nolint:errcheck
+	k.Go("flow", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Millisecond) // accrue burst (capped at 0.5ms worth)
+		start := p.Now()
+		q.Admit(p, 1, 400_000) // under the 500k burst cap
+		if p.Now() != start {
+			t.Error("in-burst admit was delayed")
+		}
+		q.Admit(p, 1, 400_000) // exceeds remaining tokens: must wait
+		if p.Now() == start {
+			t.Error("over-burst admit was not delayed")
+		}
+	})
+	k.Run()
+}

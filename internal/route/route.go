@@ -1,0 +1,140 @@
+// Package route implements the ThymesisFlow routing layer (Section IV-A3).
+//
+// The routing layer sits right after the endpoint attachment module and
+// forwards each transaction independently, based on the network identifier
+// the RMMU stamped into the transaction header. Any number of endpoints may
+// be connected concurrently. The layer also implements channel bonding:
+// transactions of an active thymesisflow whose header requests bonding are
+// spread over the flow's channel set in round-robin fashion. A channel may
+// be shared by several active thymesisflows regardless of whether any of
+// them bonds.
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"thymesisflow/internal/capi"
+	"thymesisflow/internal/llc"
+	"thymesisflow/internal/sim"
+)
+
+// NetworkID identifies an active thymesisflow: the set of in-transit
+// transactions between one compute endpoint and one memory-stealing
+// endpoint for one memory section group.
+type NetworkID = uint16
+
+// Router forwards transactions onto LLC ports according to their header
+// network identifier.
+type Router struct {
+	name  string
+	flows map[NetworkID]*flowState
+
+	forwarded int64
+	dropped   int64
+}
+
+type flowState struct {
+	ports []*llc.Port
+	next  int // round-robin cursor for bonded flows
+	sent  int64
+}
+
+// NewRouter returns an empty router.
+func NewRouter(name string) *Router {
+	return &Router{name: name, flows: make(map[NetworkID]*flowState)}
+}
+
+// AddFlow registers an active thymesisflow with its channel set. One port
+// means no bonding is possible; two or more enable round-robin bonding for
+// transactions whose header requests it.
+func (r *Router) AddFlow(id NetworkID, ports ...*llc.Port) error {
+	if len(ports) == 0 {
+		return fmt.Errorf("route: flow %d registered with no channels", id)
+	}
+	if _, dup := r.flows[id]; dup {
+		return fmt.Errorf("route: flow %d already registered", id)
+	}
+	r.flows[id] = &flowState{ports: ports}
+	return nil
+}
+
+// RemoveFlow tears down an active thymesisflow.
+func (r *Router) RemoveFlow(id NetworkID) error {
+	if _, ok := r.flows[id]; !ok {
+		return fmt.Errorf("route: flow %d not registered", id)
+	}
+	delete(r.flows, id)
+	return nil
+}
+
+// Flows returns the registered network identifiers in ascending order.
+func (r *Router) Flows() []NetworkID {
+	out := make([]NetworkID, 0, len(r.flows))
+	for id := range r.flows {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Channels returns the channel set of a flow.
+func (r *Router) Channels(id NetworkID) ([]*llc.Port, error) {
+	f, ok := r.flows[id]
+	if !ok {
+		return nil, fmt.Errorf("route: flow %d not registered", id)
+	}
+	return f.ports, nil
+}
+
+// Forward routes one transaction. Bonded transactions rotate across the
+// flow's channels; unbonded transactions always use the first channel so
+// that request/response ordering per flow is preserved on a single path.
+// Transactions for unknown flows are dropped with an error: the control
+// plane only installs legal destinations (Section IV-C), so an unknown ID
+// indicates a misconfiguration, never a routable packet.
+func (r *Router) Forward(t *capi.Transaction) error {
+	f, ok := r.flows[t.NetworkID]
+	if !ok {
+		r.dropped++
+		return fmt.Errorf("route: %s: transaction for unknown flow %d dropped", r.name, t.NetworkID)
+	}
+	port := f.ports[0]
+	if t.Bonded && len(f.ports) > 1 {
+		port = f.ports[f.next%len(f.ports)]
+		f.next++
+	}
+	port.Send(t)
+	f.sent++
+	r.forwarded++
+	return nil
+}
+
+// ForwardFrom is Forward with process-context credit backpressure.
+func (r *Router) ForwardFrom(p *sim.Proc, t *capi.Transaction) error {
+	f, ok := r.flows[t.NetworkID]
+	if !ok {
+		r.dropped++
+		return fmt.Errorf("route: %s: transaction for unknown flow %d dropped", r.name, t.NetworkID)
+	}
+	port := f.ports[0]
+	if t.Bonded && len(f.ports) > 1 {
+		port = f.ports[f.next%len(f.ports)]
+		f.next++
+	}
+	port.SendFrom(p, t)
+	f.sent++
+	r.forwarded++
+	return nil
+}
+
+// Stats returns (forwarded, dropped) counts.
+func (r *Router) Stats() (forwarded, dropped int64) { return r.forwarded, r.dropped }
+
+// FlowSent returns the number of transactions forwarded for one flow.
+func (r *Router) FlowSent(id NetworkID) int64 {
+	if f, ok := r.flows[id]; ok {
+		return f.sent
+	}
+	return 0
+}

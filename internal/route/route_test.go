@@ -1,0 +1,150 @@
+package route
+
+import (
+	"testing"
+
+	"thymesisflow/internal/capi"
+	"thymesisflow/internal/llc"
+	"thymesisflow/internal/phy"
+	"thymesisflow/internal/sim"
+)
+
+// testFabric builds n LLC links and returns the near-side ports plus a
+// counter map recording deliveries per far-side port index.
+func testFabric(k *sim.Kernel, n int) ([]*llc.Port, []*int) {
+	near := make([]*llc.Port, n)
+	counts := make([]*int, n)
+	for i := 0; i < n; i++ {
+		link := phy.NewLink(k, "l", phy.LanesPerChannel, 50*sim.Nanosecond, phy.FaultConfig{})
+		a, b := llc.NewPair(k, "p", link, llc.DefaultConfig())
+		c := new(int)
+		b.OnReceive = func(*capi.Transaction) { *c++ }
+		near[i] = a
+		counts[i] = c
+	}
+	return near, counts
+}
+
+func txn(id uint16, bonded bool, tag uint32) *capi.Transaction {
+	return &capi.Transaction{Op: capi.OpReadReq, Addr: 0x100, Size: 128,
+		Tag: tag, NetworkID: id, Bonded: bonded}
+}
+
+func TestForwardUnknownFlowDropped(t *testing.T) {
+	r := NewRouter("r")
+	if err := r.Forward(txn(9, false, 1)); err == nil {
+		t.Fatal("unknown flow forwarded")
+	}
+	if _, dropped := r.Stats(); dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestForwardSingleChannel(t *testing.T) {
+	k := sim.NewKernel()
+	ports, counts := testFabric(k, 1)
+	r := NewRouter("r")
+	if err := r.AddFlow(1, ports[0]); err != nil {
+		t.Fatal(err)
+	}
+	k.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			if err := r.Forward(txn(1, false, uint32(i))); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	k.RunUntil(sim.Millisecond)
+	if *counts[0] != 20 {
+		t.Fatalf("delivered %d, want 20", *counts[0])
+	}
+}
+
+func TestBondingRoundRobin(t *testing.T) {
+	k := sim.NewKernel()
+	ports, counts := testFabric(k, 2)
+	r := NewRouter("r")
+	if err := r.AddFlow(1, ports[0], ports[1]); err != nil {
+		t.Fatal(err)
+	}
+	k.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < 40; i++ {
+			if err := r.Forward(txn(1, true, uint32(i))); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	k.RunUntil(sim.Millisecond)
+	if *counts[0] != 20 || *counts[1] != 20 {
+		t.Fatalf("bonded split = %d/%d, want 20/20", *counts[0], *counts[1])
+	}
+}
+
+func TestUnbondedStaysOnFirstChannel(t *testing.T) {
+	k := sim.NewKernel()
+	ports, counts := testFabric(k, 2)
+	r := NewRouter("r")
+	if err := r.AddFlow(1, ports[0], ports[1]); err != nil {
+		t.Fatal(err)
+	}
+	k.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			_ = r.Forward(txn(1, false, uint32(i)))
+		}
+	})
+	k.RunUntil(sim.Millisecond)
+	if *counts[0] != 10 || *counts[1] != 0 {
+		t.Fatalf("unbonded split = %d/%d, want 10/0", *counts[0], *counts[1])
+	}
+}
+
+func TestChannelSharingAcrossFlows(t *testing.T) {
+	// Two flows share channel 0; one of them bonds over both channels —
+	// exactly the sharing the paper allows (Section IV-A3).
+	k := sim.NewKernel()
+	ports, counts := testFabric(k, 2)
+	r := NewRouter("r")
+	if err := r.AddFlow(1, ports[0], ports[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddFlow(2, ports[0]); err != nil {
+		t.Fatal(err)
+	}
+	k.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < 30; i++ {
+			_ = r.Forward(txn(1, true, uint32(i)))
+			_ = r.Forward(txn(2, false, uint32(100+i)))
+		}
+	})
+	k.RunUntil(sim.Millisecond)
+	if *counts[0] != 45 || *counts[1] != 15 {
+		t.Fatalf("shared split = %d/%d, want 45/15", *counts[0], *counts[1])
+	}
+	if r.FlowSent(1) != 30 || r.FlowSent(2) != 30 {
+		t.Fatalf("per-flow counts %d/%d", r.FlowSent(1), r.FlowSent(2))
+	}
+}
+
+func TestAddRemoveFlow(t *testing.T) {
+	k := sim.NewKernel()
+	ports, _ := testFabric(k, 1)
+	r := NewRouter("r")
+	if err := r.AddFlow(1, ports[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddFlow(1, ports[0]); err == nil {
+		t.Fatal("duplicate AddFlow accepted")
+	}
+	if got := r.Flows(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("flows = %v", got)
+	}
+	if err := r.RemoveFlow(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemoveFlow(1); err == nil {
+		t.Fatal("double RemoveFlow accepted")
+	}
+	if err := r.AddFlow(2); err == nil {
+		t.Fatal("flow with no channels accepted")
+	}
+}

@@ -1,0 +1,38 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"thymesisflow/internal/sim"
+)
+
+// Example shows the kernel's core primitives: processes, sleeping, and a
+// shared resource.
+func Example() {
+	k := sim.NewKernel()
+	cores := sim.NewResource(k, 1)
+	for _, name := range []string{"alpha", "beta"} {
+		name := name
+		k.Go(name, func(p *sim.Proc) {
+			cores.Acquire(p, 1)
+			p.Sleep(10 * sim.Microsecond)
+			fmt.Printf("%s done at %v\n", name, p.Now())
+			cores.Release(1)
+		})
+	}
+	k.Run()
+	// Output:
+	// alpha done at 10us
+	// beta done at 20us
+}
+
+// ExamplePipe prices serialized transfers over a bandwidth-limited link.
+func ExamplePipe() {
+	k := sim.NewKernel()
+	link := sim.NewPipe(k, 12.5*(1<<30)) // one ThymesisFlow channel
+	_, first := link.Reserve(1 << 20)
+	_, second := link.Reserve(1 << 20)
+	fmt.Printf("second transfer finishes at exactly 2x the first: %v\n", second == 2*first)
+	// Output:
+	// second transfer finishes at exactly 2x the first: true
+}

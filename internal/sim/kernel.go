@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Cancel it with Cancel before it fires if it
+// is no longer wanted.
+type Event struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	index   int // heap index; -1 once popped or cancelled
+	cancled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.cancled = true }
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation executive: a virtual clock plus an
+// event queue ordered by (time, insertion sequence). The zero value is not
+// usable; construct with NewKernel.
+type Kernel struct {
+	now     Time
+	pq      eventHeap
+	seq     uint64
+	procs   int // live processes (for leak detection)
+	stopped bool
+}
+
+// NewKernel returns a kernel with the clock at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Schedule arranges for fn to run after delay. A negative delay is treated
+// as zero. Events scheduled for the same instant fire in insertion order.
+func (k *Kernel) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return k.ScheduleAt(k.now+delay, fn)
+}
+
+// ScheduleAt arranges for fn to run at absolute time t. Scheduling in the
+// past panics: it would silently corrupt causality.
+func (k *Kernel) ScheduleAt(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: ScheduleAt(%v) is in the past (now=%v)", t, k.now))
+	}
+	k.seq++
+	e := &Event{at: t, seq: k.seq, fn: fn}
+	heap.Push(&k.pq, e)
+	return e
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events until the queue drains or Stop is called. It returns
+// the final virtual time.
+func (k *Kernel) Run() Time {
+	return k.RunUntil(Time(1<<62 - 1))
+}
+
+// RunUntil executes events with timestamps <= limit, then sets the clock to
+// limit if any events remain beyond it (or leaves it at the last executed
+// event otherwise). It returns the final virtual time.
+func (k *Kernel) RunUntil(limit Time) Time {
+	k.stopped = false
+	for !k.stopped && len(k.pq) > 0 {
+		if k.pq[0].at > limit {
+			k.now = limit
+			return k.now
+		}
+		e := heap.Pop(&k.pq).(*Event)
+		if e.cancled {
+			continue
+		}
+		k.now = e.at
+		e.fn()
+	}
+	return k.now
+}
+
+// Pending reports the number of events still queued (including cancelled
+// events that have not yet been popped).
+func (k *Kernel) Pending() int { return len(k.pq) }

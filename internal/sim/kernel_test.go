@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelRunsEventsInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.Schedule(30*Nanosecond, func() { got = append(got, 3) })
+	k.Schedule(10*Nanosecond, func() { got = append(got, 1) })
+	k.Schedule(20*Nanosecond, func() { got = append(got, 2) })
+	end := k.Run()
+	if end != 30*Nanosecond {
+		t.Fatalf("end time = %v, want 30ns", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKernelTieBreaksByInsertionOrder(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(5*Nanosecond, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.Schedule(Nanosecond, func() {
+		k.Schedule(Nanosecond, func() {
+			fired++
+			if k.Now() != 2*Nanosecond {
+				t.Errorf("nested event at %v, want 2ns", k.Now())
+			}
+		})
+	})
+	k.Run()
+	if fired != 1 {
+		t.Fatalf("nested event fired %d times, want 1", fired)
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	e := k.Schedule(Nanosecond, func() { fired = true })
+	e.Cancel()
+	k.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	for _, d := range []Time{10, 20, 30, 40} {
+		d := d * Nanosecond
+		k.Schedule(d, func() { fired = append(fired, d) })
+	}
+	k.RunUntil(25 * Nanosecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events by 25ns, want 2", len(fired))
+	}
+	if k.Now() != 25*Nanosecond {
+		t.Fatalf("clock = %v after RunUntil(25ns)", k.Now())
+	}
+	k.Run()
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events total, want 4", len(fired))
+	}
+}
+
+func TestKernelStop(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := 0; i < 10; i++ {
+		k.Schedule(Time(i)*Nanosecond, func() {
+			count++
+			if count == 3 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop at 3", count)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(10*Nanosecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ScheduleAt in the past did not panic")
+			}
+		}()
+		k.ScheduleAt(5*Nanosecond, func() {})
+	})
+	k.Run()
+}
+
+func TestNegativeDelayClampedToZero(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	k.Schedule(-5*Nanosecond, func() { fired = true })
+	k.Run()
+	if !fired || k.Now() != 0 {
+		t.Fatalf("negative delay: fired=%v now=%v", fired, k.Now())
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the clock never goes backwards.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		k := NewKernel()
+		var times []Time
+		for _, d := range delays {
+			k.Schedule(Time(d)*Nanosecond, func() { times = append(times, k.Now()) })
+		}
+		k.Run()
+		if len(times) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{950 * Nanosecond, "950ns"},
+		{600 * Microsecond, "600us"},
+		{2 * Second, "2s"},
+		{-3 * Nanosecond, "-3ns"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestDurationForBytes(t *testing.T) {
+	// 12.5 GiB/s, 128 bytes => 128/12.5GiB s ~ 9.54ns
+	d := DurationForBytes(128, 12.5*1024*1024*1024)
+	if d < 9*Nanosecond || d > 10*Nanosecond {
+		t.Fatalf("128B @ 12.5GiB/s = %v, want ~9.5ns", d)
+	}
+	if DurationForBytes(0, 1e9) != 0 {
+		t.Fatal("zero bytes should take zero time")
+	}
+	if DurationForBytes(1, 1e15) == 0 {
+		t.Fatal("non-zero transfer must take non-zero time")
+	}
+}

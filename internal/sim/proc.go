@@ -1,0 +1,154 @@
+package sim
+
+import "fmt"
+
+// Proc is a cooperative simulated process. A Proc runs on its own goroutine,
+// but the kernel guarantees that at most one process goroutine executes at a
+// time: the kernel resumes a process and then blocks until the process either
+// yields (by calling a blocking primitive such as Sleep or Wait) or returns.
+// This keeps simulations deterministic without locks in model code.
+//
+// All Proc methods must be called from the process's own goroutine.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+}
+
+// Go spawns a new simulated process executing fn. The process starts at the
+// current virtual time (after already-queued events for this instant).
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	k.procs++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.done = true
+		k.procs--
+		p.yield <- struct{}{}
+	}()
+	k.Schedule(0, func() { p.step() })
+	return p
+}
+
+// step hands control to the process goroutine and waits for it to block or
+// finish. It must only be called from kernel (event) context.
+func (p *Proc) step() {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// park yields control back to the kernel; the process stays blocked until
+// another event calls step again.
+func (p *Proc) park() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Sleep blocks the process for d virtual time. Non-positive durations yield
+// the processor for one scheduling round without advancing the clock.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.Schedule(d, func() { p.step() })
+	p.park()
+}
+
+// Signal is a broadcast-style condition variable for processes. Waiters
+// block until another party calls Broadcast (wake all) or Wake (wake one).
+// The zero value is unusable; construct with NewSignal.
+type Signal struct {
+	k       *Kernel
+	waiters []*Proc
+}
+
+// NewSignal returns a Signal bound to kernel k.
+func NewSignal(k *Kernel) *Signal { return &Signal{k: k} }
+
+// Wait blocks the calling process until the signal is fired.
+func (s *Signal) Wait(p *Proc) {
+	if p.k != s.k {
+		panic("sim: Signal.Wait with process from a different kernel")
+	}
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// Waiters reports the number of processes currently blocked on s.
+func (s *Signal) Waiters() int { return len(s.waiters) }
+
+// Broadcast wakes every waiting process. Wakeups are delivered as events at
+// the current instant, in FIFO order.
+func (s *Signal) Broadcast() {
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		w := w
+		s.k.Schedule(0, func() { w.step() })
+	}
+}
+
+// Wake wakes the longest-waiting process, if any, and reports whether a
+// process was woken.
+func (s *Signal) Wake() bool {
+	if len(s.waiters) == 0 {
+		return false
+	}
+	w := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	s.k.Schedule(0, func() { w.step() })
+	return true
+}
+
+// WaitGroup counts down to zero and wakes waiters, mirroring sync.WaitGroup
+// for simulated processes.
+type WaitGroup struct {
+	sig   *Signal
+	count int
+}
+
+// NewWaitGroup returns a WaitGroup bound to kernel k.
+func NewWaitGroup(k *Kernel) *WaitGroup { return &WaitGroup{sig: NewSignal(k)} }
+
+// Add increments the counter by n (n may be negative, like sync.WaitGroup).
+func (wg *WaitGroup) Add(n int) {
+	wg.count += n
+	if wg.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.count == 0 {
+		wg.sig.Broadcast()
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks the calling process until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.count > 0 {
+		wg.sig.Wait(p)
+	}
+}
+
+func (wg *WaitGroup) String() string { return fmt.Sprintf("WaitGroup(%d)", wg.count) }

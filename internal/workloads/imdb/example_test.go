@@ -1,0 +1,33 @@
+package imdb_test
+
+import (
+	"fmt"
+
+	"thymesisflow/internal/core"
+	"thymesisflow/internal/workloads/imdb"
+	"thymesisflow/internal/workloads/ycsb"
+)
+
+// Example runs one Figure 6 profiling cell: YCSB workload A against the
+// partitioned engine on disaggregated memory, reporting the perf-derived
+// metrics the paper plots.
+func Example() {
+	rc := imdb.DefaultRunConfig(ycsb.WorkloadA, 8)
+	rc.Clients = 50
+	rc.OpsPerClient = 20
+	res, err := imdb.Run(core.ConfigSingleDisaggregated, rc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("workload=%v partitions=%d\n", res.Workload, res.Partitions)
+	fmt.Printf("throughput positive: %v\n", res.Throughput > 0)
+	fmt.Printf("backend stalls dominate on disaggregated memory: %v\n",
+		res.Perf.BackendStallFraction() > 0.5)
+	fmt.Printf("utilized cores below partition count: %v\n",
+		res.Perf.UtilizedCores() < 8)
+	// Output:
+	// workload=A partitions=8
+	// throughput positive: true
+	// backend stalls dominate on disaggregated memory: true
+	// utilized cores below partition count: true
+}

@@ -1,0 +1,172 @@
+package imdb
+
+import (
+	"testing"
+
+	"thymesisflow/internal/core"
+	"thymesisflow/internal/numa"
+	"thymesisflow/internal/sim"
+	"thymesisflow/internal/workloads/ycsb"
+)
+
+func quickRun(t *testing.T, cfg core.MemoryConfig, w ycsb.Workload, partitions int) *Result {
+	t.Helper()
+	rc := DefaultRunConfig(w, partitions)
+	rc.Clients = 100
+	rc.OpsPerClient = 30
+	res, err := Run(cfg, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEngineExecutesAllOps(t *testing.T) {
+	tb, err := core.NewTestbed(core.ConfigLocal, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := New(tb.Server, numa.Local(tb.Server.LocalNode(0)), DefaultEngineConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []ycsb.Op{
+		{Kind: ycsb.OpRead, Key: 17},
+		{Kind: ycsb.OpUpdate, Key: 17},
+		{Kind: ycsb.OpInsert, Key: 400_001},
+		{Kind: ycsb.OpScan, Key: 100, ScanLen: 10},
+		{Kind: ycsb.OpReadModifyWrite, Key: 42},
+	}
+	tb.Cluster.K.Go("client", func(p *sim.Proc) {
+		for _, op := range ops {
+			db.Submit(p, op)
+		}
+		db.Stop()
+	})
+	tb.Cluster.K.Run()
+	if db.Executed() != int64(len(ops)) {
+		t.Fatalf("executed %d, want %d", db.Executed(), len(ops))
+	}
+	perf := db.Perf(1)
+	if perf.Instructions == 0 || perf.StallBackend == 0 {
+		t.Fatal("perf counters empty")
+	}
+}
+
+func TestPartitionRouting(t *testing.T) {
+	tb, _ := core.NewTestbed(core.ConfigLocal, 1<<30)
+	db, err := New(tb.Server, numa.Local(tb.Server.LocalNode(0)), DefaultEngineConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := uint64(0); key < 64; key++ {
+		if got := db.PartitionOf(key).id; got != int(key%8) {
+			t.Fatalf("key %d routed to %d", key, got)
+		}
+	}
+}
+
+func TestBackendStallsMatchPaper(t *testing.T) {
+	// Section VI-D: ~55.5% backend stalls local, ~80.9% single-disaggregated.
+	local := quickRun(t, core.ConfigLocal, ycsb.WorkloadA, 16)
+	remote := quickRun(t, core.ConfigSingleDisaggregated, ycsb.WorkloadA, 16)
+	ls := local.Perf.BackendStallFraction()
+	rs := remote.Perf.BackendStallFraction()
+	if ls < 0.45 || ls > 0.68 {
+		t.Fatalf("local stall fraction %.2f, want ~0.55", ls)
+	}
+	if rs < 0.72 || rs > 0.90 {
+		t.Fatalf("disaggregated stall fraction %.2f, want ~0.81", rs)
+	}
+	if rs <= ls {
+		t.Fatal("disaggregation must raise backend stalls")
+	}
+}
+
+func TestDisaggregationRaisesUCCAndLowersIPC(t *testing.T) {
+	// Section VI-D: under disaggregation the executors stall on memory
+	// while synchronization waits stay constant, so utilized cores go UP
+	// and thread IPC goes DOWN.
+	local := quickRun(t, core.ConfigLocal, ycsb.WorkloadA, 16)
+	remote := quickRun(t, core.ConfigSingleDisaggregated, ycsb.WorkloadA, 16)
+	if remote.Perf.UtilizedCores() <= local.Perf.UtilizedCores() {
+		t.Fatalf("UCC: remote %.2f <= local %.2f", remote.Perf.UtilizedCores(), local.Perf.UtilizedCores())
+	}
+	if remote.Perf.ThreadIPC() >= local.Perf.ThreadIPC() {
+		t.Fatalf("thread IPC: remote %.2f >= local %.2f", remote.Perf.ThreadIPC(), local.Perf.ThreadIPC())
+	}
+}
+
+func TestMixedWorkloadScalesWithPartitions(t *testing.T) {
+	// Figure 6: for update-heavy workloads the biggest IPC gain comes from
+	// 4 -> 16 partitions.
+	p4 := quickRun(t, core.ConfigLocal, ycsb.WorkloadA, 4)
+	p16 := quickRun(t, core.ConfigLocal, ycsb.WorkloadA, 16)
+	if p16.Perf.PackageIPC() <= p4.Perf.PackageIPC()*1.3 {
+		t.Fatalf("A package IPC: p16 %.2f vs p4 %.2f, want strong growth",
+			p16.Perf.PackageIPC(), p4.Perf.PackageIPC())
+	}
+	if p16.Throughput <= p4.Throughput {
+		t.Fatal("A throughput should grow with partitions")
+	}
+}
+
+func TestReadWorkloadDoesNotScaleWithPartitions(t *testing.T) {
+	// Figure 6: READ-dominated workloads gain little IPC from horizontal
+	// scaling under local memory.
+	p4 := quickRun(t, core.ConfigLocal, ycsb.WorkloadC, 4)
+	p32 := quickRun(t, core.ConfigLocal, ycsb.WorkloadC, 32)
+	if p32.Perf.PackageIPC() > p4.Perf.PackageIPC()*1.25 {
+		t.Fatalf("C package IPC grew %.2f -> %.2f with partitions", p4.Perf.PackageIPC(), p32.Perf.PackageIPC())
+	}
+}
+
+func TestFig7LowPartitionPenalty(t *testing.T) {
+	// Figure 7: with 4 partitions the ThymesisFlow configurations trail
+	// local and scale-out clearly.
+	local := quickRun(t, core.ConfigLocal, ycsb.WorkloadA, 4)
+	single := quickRun(t, core.ConfigSingleDisaggregated, ycsb.WorkloadA, 4)
+	if single.Throughput >= local.Throughput*0.97 {
+		t.Fatalf("A@4p: single %.0f not clearly below local %.0f", single.Throughput, local.Throughput)
+	}
+	if single.Throughput < local.Throughput*0.6 {
+		t.Fatalf("A@4p: single %.0f unrealistically far below local %.0f", single.Throughput, local.Throughput)
+	}
+}
+
+func TestFig7HighPartitionParity(t *testing.T) {
+	// Figure 7: with 32 partitions the configurations converge (within ~10%).
+	local := quickRun(t, core.ConfigLocal, ycsb.WorkloadA, 32)
+	single := quickRun(t, core.ConfigSingleDisaggregated, ycsb.WorkloadA, 32)
+	scale := quickRun(t, core.ConfigScaleOut, ycsb.WorkloadA, 32)
+	if single.Throughput < local.Throughput*0.85 {
+		t.Fatalf("A@32p: single %.0f more than 15%% below local %.0f", single.Throughput, local.Throughput)
+	}
+	if scale.Throughput < local.Throughput*0.70 || scale.Throughput > local.Throughput*1.15 {
+		t.Fatalf("A@32p: scale-out %.0f vs local %.0f out of band", scale.Throughput, local.Throughput)
+	}
+}
+
+func TestFig7WorkloadESimilarAcrossConfigs(t *testing.T) {
+	// Figure 7: workload E saturates on scans; throughput is similar for
+	// all configurations (and far below A).
+	rcE := func(cfg core.MemoryConfig) float64 {
+		rc := DefaultRunConfig(ycsb.WorkloadE, 4)
+		rc.Clients = 60
+		rc.OpsPerClient = 15
+		res, err := Run(cfg, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput
+	}
+	local := rcE(core.ConfigLocal)
+	single := rcE(core.ConfigSingleDisaggregated)
+	if single < local*0.7 || single > local*1.3 {
+		t.Fatalf("E: single %.0f vs local %.0f not similar", single, local)
+	}
+	a := quickRun(t, core.ConfigLocal, ycsb.WorkloadA, 4)
+	if local > a.Throughput {
+		t.Fatalf("E throughput %.0f should be far below A %.0f", local, a.Throughput)
+	}
+}

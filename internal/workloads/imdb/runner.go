@@ -1,0 +1,162 @@
+package imdb
+
+import (
+	"fmt"
+
+	"thymesisflow/internal/core"
+	"thymesisflow/internal/metrics"
+	"thymesisflow/internal/numa"
+	"thymesisflow/internal/sim"
+	"thymesisflow/internal/workloads/ycsb"
+)
+
+// RunConfig parameterizes one YCSB-against-VoltDB experiment.
+type RunConfig struct {
+	Workload   ycsb.Workload
+	Partitions int
+	// Clients is the YCSB client thread count (paper: 2000; scaled by
+	// default — the system saturates far earlier).
+	Clients int
+	// OpsPerClient is the measured operation count per client.
+	OpsPerClient int
+	Engine       EngineConfig
+}
+
+// DefaultRunConfig returns calibrated parameters for one (workload,
+// partitions) cell of Figures 6 and 7.
+func DefaultRunConfig(w ycsb.Workload, partitions int) RunConfig {
+	return RunConfig{
+		Workload:     w,
+		Partitions:   partitions,
+		Clients:      200,
+		OpsPerClient: 40,
+		Engine:       DefaultEngineConfig(partitions),
+	}
+}
+
+// Result carries one cell of Figures 6 and 7.
+type Result struct {
+	Workload   ycsb.Workload
+	Partitions int
+	Config     core.MemoryConfig
+
+	// Throughput in operations/sec (Figure 7).
+	Throughput float64
+	// Perf carries the profiling counters (Figure 6): package IPC,
+	// utilized cores, backend-stall fraction.
+	Perf metrics.PerfSample
+}
+
+// isWrite reports whether the operation mutates state.
+func isWrite(k ycsb.OpKind) bool {
+	return k == ycsb.OpUpdate || k == ycsb.OpInsert || k == ycsb.OpReadModifyWrite
+}
+
+// Run executes YCSB against the database under one memory configuration.
+func Run(cfgName core.MemoryConfig, rc RunConfig) (*Result, error) {
+	if rc.Clients <= 0 || rc.OpsPerClient <= 0 {
+		return nil, fmt.Errorf("imdb: bad run config %+v", rc)
+	}
+	tableBytes := rc.Engine.Records * RecordBytes
+	tb, err := core.NewTestbedWith(cfgName, tableBytes*3, func(hc *core.HostConfig) {
+		// Keep the LLC-to-table proportion of the paper's setup (tables of
+		// tens of GiB vs 120 MiB LLC) at simulation scale.
+		hc.LLCSizePerSocket = 16 << 20
+	})
+	if err != nil {
+		return nil, err
+	}
+	k := tb.Cluster.K
+
+	// Build instances: one DB normally; under scale-out the partitions are
+	// split across both server nodes with local memory, and writers pay
+	// their ordering exchange over the server Ethernet instead of
+	// in-process (the paper's "network synchronization across partitions").
+	instances := tb.ServerInstances()
+	dbs := make([]*DB, len(instances))
+	var clusterOrder *sim.Resource
+	if len(instances) > 1 {
+		clusterOrder = sim.NewResource(k, 1)
+	}
+	for i, host := range instances {
+		eng := rc.Engine
+		eng.Partitions = rc.Partitions / len(instances)
+		if eng.Partitions == 0 {
+			eng.Partitions = 1
+		}
+		eng.Records = rc.Engine.Records / int64(len(instances))
+		var placer numa.Placer
+		if host == tb.Server {
+			placer = tb.Placer()
+		} else {
+			placer = numa.Local(host.LocalNode(0))
+		}
+		dbs[i], err = New(host, placer, eng)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Workload: rc.Workload, Partitions: rc.Partitions, Config: cfgName}
+	var ops int64
+	wg := sim.NewWaitGroup(k)
+	wg.Add(rc.Clients)
+	for c := 0; c < rc.Clients; c++ {
+		c := c
+		k.Go(fmt.Sprintf("ycsb-client-%d", c), func(p *sim.Proc) {
+			defer wg.Done()
+			gen, err := ycsb.NewGenerator(rc.Workload, ycsb.DefaultConfig(rc.Engine.Records), int64(c))
+			if err != nil {
+				panic(err)
+			}
+			for i := 0; i < rc.OpsPerClient; i++ {
+				op := gen.Next()
+				respBytes := int64(RecordBytes)
+				if op.Kind == ycsb.OpScan {
+					respBytes = int64(op.ScanLen) * RecordBytes
+				}
+				tb.ClientLink.Send(p, 80)
+				db := dbs[0]
+				if len(dbs) > 1 {
+					// Shard by the low key bits, then strip them so the
+					// instance-local partition routing stays uniform.
+					db = dbs[op.Key%uint64(len(dbs))]
+					op.Key /= uint64(len(dbs))
+				}
+				db.Submit(p, op)
+				if clusterOrder != nil && isWrite(op.Kind) {
+					// Multi-node writes acknowledge only after the
+					// cluster-wide ordering round over the server Ethernet
+					// completes — the "network synchronization across data
+					// partitions" of Section VI-D. The round is pipelined
+					// (it does not block the execution site).
+					clusterOrder.Acquire(p, 1)
+					p.Sleep(7 * sim.Microsecond)
+					clusterOrder.Release(1)
+				}
+				tb.ClientLink.SendReverse(p, respBytes)
+				ops++
+			}
+		})
+	}
+	k.Go("join", func(p *sim.Proc) {
+		wg.Wait(p)
+		for _, db := range dbs {
+			db.Stop()
+		}
+	})
+	start := k.Now()
+	k.Run()
+	window := k.Now() - start
+	if window > 0 {
+		res.Throughput = float64(ops) / window.Seconds()
+	}
+	// Aggregate the VoltDB-process perf counters (the paper profiles only
+	// the server process on the primary node).
+	res.Perf = dbs[0].Perf(int64(window))
+	for _, db := range dbs[1:] {
+		extra := db.Perf(int64(window))
+		res.Perf.Add(extra)
+	}
+	return res, nil
+}

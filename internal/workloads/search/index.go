@@ -1,0 +1,194 @@
+// Package search implements an Elasticsearch/Lucene-style distributed
+// search engine — a real inverted index over a synthetic StackOverflow-like
+// corpus, sharded with per-operation thread pools — and the ESRally
+// "nested"-track driver the paper uses (Section VI-F, Figure 9): the RTQ,
+// RNQIHBS, RSTQ and MA challenges across shard counts and memory
+// configurations.
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"thymesisflow/internal/core"
+	"thymesisflow/internal/mem"
+	"thymesisflow/internal/numa"
+	"thymesisflow/internal/sim"
+)
+
+// DocMetaBytes is the stored per-document metadata footprint (date, answer
+// counts, source offsets).
+const DocMetaBytes = 128
+
+// CorpusConfig shapes the synthetic StackOverflow dump.
+type CorpusConfig struct {
+	Seed int64
+	// Docs is the total document (question) count.
+	Docs int
+	// Tags is the tag vocabulary size; tag popularity is skewed so random
+	// tag queries hit realistic posting-list lengths.
+	Tags int
+	// TagsPerDoc is the average number of tags per question.
+	TagsPerDoc int
+}
+
+// DefaultCorpusConfig returns a corpus sized for simulation.
+func DefaultCorpusConfig() CorpusConfig {
+	return CorpusConfig{Seed: 7, Docs: 600_000, Tags: 200, TagsPerDoc: 3}
+}
+
+// docMeta is the functional document metadata (the simulated arena carries
+// the timing; this carries the truth for correctness checks).
+type docMeta struct {
+	id      int32
+	date    int32 // days since epoch
+	answers int16 // answers posted before `date`+window
+}
+
+// Shard is one index shard: an inverted index over its documents plus the
+// stored metadata region, both living in simulated memory.
+type Shard struct {
+	id    int
+	arena *mem.Buffer
+
+	docs []docMeta
+	// postings maps tag -> local doc ordinals (ascending); the build-time
+	// truth the encoded form is verified against.
+	postings map[int][]int32
+	// postingEnc maps tag -> the varint-delta-encoded posting list (the
+	// bytes that actually live in the arena).
+	postingEnc map[int][]byte
+	// postingOff maps tag -> arena byte offset of its encoded posting list.
+	postingOff map[int]int64
+	metaOff    int64
+}
+
+// docMetaAddr returns the arena address of a document's stored metadata.
+func (s *Shard) docMetaAddr(ord int32) uint64 {
+	return s.arena.Addr(s.metaOff + int64(ord)*DocMetaBytes)
+}
+
+// Engine is one search-engine instance (one per server node).
+type Engine struct {
+	host   *core.Host
+	shards []*Shard
+	// pool is the search thread pool (Elasticsearch sizes it from the core
+	// count).
+	poolFree []*mem.Thread
+	poolSig  *sim.Signal
+	// coord is the coordinating (REST) thread.
+	coord *mem.Thread
+}
+
+// EngineConfig tunes an instance.
+type EngineConfig struct {
+	Shards      int
+	PoolThreads int
+}
+
+// NewEngine builds an instance holding `docs` documents spread over the
+// configured shards, with the given page placement for index memory.
+func NewEngine(host *core.Host, placer numa.Placer, corpus CorpusConfig, cfg EngineConfig) (*Engine, error) {
+	if cfg.Shards <= 0 {
+		return nil, fmt.Errorf("search: no shards")
+	}
+	if cfg.PoolThreads <= 0 {
+		cfg.PoolThreads = 48
+	}
+	e := &Engine{host: host, poolSig: sim.NewSignal(host.K), coord: host.NewThread(0)}
+	rng := rand.New(rand.NewSource(corpus.Seed))
+
+	perShard := corpus.Docs / cfg.Shards
+	if perShard == 0 {
+		return nil, fmt.Errorf("search: %d docs cannot fill %d shards", corpus.Docs, cfg.Shards)
+	}
+	for si := 0; si < cfg.Shards; si++ {
+		sh := &Shard{
+			id:         si,
+			postings:   make(map[int][]int32),
+			postingEnc: make(map[int][]byte),
+			postingOff: make(map[int]int64),
+		}
+		for ord := 0; ord < perShard; ord++ {
+			d := docMeta{
+				id:      int32(si*perShard + ord),
+				date:    int32(rng.Intn(4000)),
+				answers: int16(rng.Intn(160)),
+			}
+			sh.docs = append(sh.docs, d)
+			for t := 0; t < corpus.TagsPerDoc; t++ {
+				// Skewed tag popularity: squaring the uniform draw favors
+				// low tag IDs ~ 1/sqrt density.
+				u := rng.Float64()
+				tag := int(u * u * float64(corpus.Tags))
+				if tag >= corpus.Tags {
+					tag = corpus.Tags - 1
+				}
+				list := sh.postings[tag]
+				if len(list) > 0 && list[len(list)-1] == int32(ord) {
+					continue // duplicate tag on this doc
+				}
+				sh.postings[tag] = append(list, int32(ord))
+			}
+		}
+		// Encode every posting list (Lucene-style varint deltas), verify
+		// the round trip, and lay lists out in tag order followed by the
+		// stored-fields region.
+		var postingBytes int64
+		tags := make([]int, 0, len(sh.postings))
+		for t := range sh.postings {
+			tags = append(tags, t)
+		}
+		sort.Ints(tags)
+		for _, t := range tags {
+			enc, err := encodePostings(sh.postings[t])
+			if err != nil {
+				return nil, fmt.Errorf("search: shard %d tag %d: %w", si, t, err)
+			}
+			sh.postingEnc[t] = enc
+			postingBytes += int64(len(enc))
+		}
+		metaBytes := int64(perShard) * DocMetaBytes
+		arena, err := host.Mem.Alloc(postingBytes+metaBytes+mem.CachelineSize, placer)
+		if err != nil {
+			return nil, fmt.Errorf("search: shard %d arena: %w", si, err)
+		}
+		sh.arena = arena
+		off := int64(0)
+		for _, t := range tags {
+			sh.postingOff[t] = off
+			off += int64(len(sh.postingEnc[t]))
+		}
+		sh.metaOff = off
+		e.shards = append(e.shards, sh)
+	}
+	for i := 0; i < cfg.PoolThreads; i++ {
+		e.poolFree = append(e.poolFree, host.NewThread(i))
+	}
+	return e, nil
+}
+
+// Shards returns the instance's shard list.
+func (e *Engine) Shards() []*Shard { return e.shards }
+
+func (e *Engine) acquireThread(p *sim.Proc) *mem.Thread {
+	for len(e.poolFree) == 0 {
+		e.poolSig.Wait(p)
+	}
+	th := e.poolFree[len(e.poolFree)-1]
+	e.poolFree = e.poolFree[:len(e.poolFree)-1]
+	return th
+}
+
+func (e *Engine) releaseThread(th *mem.Thread) {
+	e.poolFree = append(e.poolFree, th)
+	e.poolSig.Wake()
+}
+
+// Close frees the shard arenas.
+func (e *Engine) Close() {
+	for _, sh := range e.shards {
+		e.host.Mem.Free(sh.arena)
+	}
+}

@@ -1,0 +1,188 @@
+// Package stream reimplements the STREAM sustainable-memory-bandwidth
+// benchmark (McCalpin) on the simulated memory hierarchy, reproducing the
+// paper's Figure 5: the four kernels (copy, scale, add, triad) confined to
+// 4, 8 and 16 hardware threads under each memory configuration.
+//
+// The paper's setup uses 160 million array elements (3.66 GiB total), far
+// beyond cache capacity, so the kernels are bandwidth-bound streaming
+// passes; the simulation prices them through mem.Thread.StreamChunk.
+package stream
+
+import (
+	"fmt"
+
+	"thymesisflow/internal/core"
+	"thymesisflow/internal/mem"
+	"thymesisflow/internal/numa"
+	"thymesisflow/internal/sim"
+)
+
+// Kernel is one STREAM kernel.
+type Kernel int
+
+// The four STREAM kernels.
+const (
+	Copy  Kernel = iota // c[i] = a[i]            16 B/iter, 0 FLOPs
+	Scale               // b[i] = s*c[i]          16 B/iter, 1 FLOP
+	Add                 // c[i] = a[i]+b[i]       24 B/iter, 1 FLOP
+	Triad               // a[i] = b[i]+s*c[i]     24 B/iter, 2 FLOPs
+)
+
+var kernelNames = [...]string{"copy", "scale", "add", "triad"}
+
+// String returns the kernel name.
+func (k Kernel) String() string {
+	if int(k) < len(kernelNames) {
+		return kernelNames[k]
+	}
+	return fmt.Sprintf("kernel(%d)", int(k))
+}
+
+// Kernels lists all four kernels in STREAM order.
+func Kernels() []Kernel { return []Kernel{Copy, Scale, Add, Triad} }
+
+// bytesPerElem returns (read, write) bytes per loop iteration.
+func (k Kernel) bytesPerElem() (read, write int64) {
+	switch k {
+	case Copy, Scale:
+		return 8, 8
+	default: // Add, Triad
+		return 16, 8
+	}
+}
+
+// flopsPerElem returns floating-point operations per iteration.
+func (k Kernel) flopsPerElem() int64 {
+	switch k {
+	case Copy:
+		return 0
+	case Scale, Add:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// Elements is the array length (the paper uses 160e6 -> 3.66 GiB
+	// across the three arrays).
+	Elements int64
+	// Threads is the OpenMP-style thread count the kernels are confined to.
+	Threads int
+	// Iterations is the number of timed passes per kernel.
+	Iterations int
+	// ChunkBytes is the simulation granularity (larger = faster, coarser).
+	ChunkBytes int64
+}
+
+// DefaultConfig mirrors the paper's setup at a simulation-friendly
+// iteration count.
+func DefaultConfig(threads int) Config {
+	return Config{
+		Elements:   160_000_000,
+		Threads:    threads,
+		Iterations: 3,
+		ChunkBytes: 4 << 20,
+	}
+}
+
+// Result is the sustained bandwidth of one kernel run.
+type Result struct {
+	Kernel  Kernel
+	Threads int
+	// GiBps is the STREAM-reported bandwidth: bytes moved per second of
+	// simulated time, in GiB/s.
+	GiBps float64
+}
+
+// Run executes all four kernels on the host with the given page placement
+// and returns one result per kernel.
+func Run(host *core.Host, placer numa.Placer, cfg Config) ([]Result, error) {
+	if cfg.Elements <= 0 || cfg.Threads <= 0 || cfg.Iterations <= 0 {
+		return nil, fmt.Errorf("stream: bad config %+v", cfg)
+	}
+	if cfg.ChunkBytes <= 0 {
+		cfg.ChunkBytes = 4 << 20
+	}
+	arrayBytes := cfg.Elements * 8
+	// Three arrays a, b, c with identical placement.
+	bufs := make([]*mem.Buffer, 3)
+	for i := range bufs {
+		b, err := host.Mem.Alloc(arrayBytes, placer)
+		if err != nil {
+			return nil, fmt.Errorf("stream: allocating array %d: %w", i, err)
+		}
+		bufs[i] = b
+	}
+	defer func() {
+		for _, b := range bufs {
+			host.Mem.Free(b)
+		}
+	}()
+
+	var results []Result
+	for _, kern := range Kernels() {
+		gibps := runKernel(host, bufs, kern, cfg)
+		results = append(results, Result{Kernel: kern, Threads: cfg.Threads, GiBps: gibps})
+	}
+	return results, nil
+}
+
+func runKernel(host *core.Host, bufs []*mem.Buffer, kern Kernel, cfg Config) float64 {
+	k := host.K
+	readB, writeB := kern.bytesPerElem()
+	flops := kern.flopsPerElem()
+	perElem := readB + writeB
+	arrayBytes := cfg.Elements * 8
+
+	start := k.Now()
+	var totalBytes int64
+	wg := sim.NewWaitGroup(k)
+	wg.Add(cfg.Threads)
+	for t := 0; t < cfg.Threads; t++ {
+		t := t
+		lo := arrayBytes * int64(t) / int64(cfg.Threads)
+		hi := arrayBytes * int64(t+1) / int64(cfg.Threads)
+		k.Go(fmt.Sprintf("stream-%v-%d", kern, t), func(p *sim.Proc) {
+			defer wg.Done()
+			host.Cores.Acquire(p, 1)
+			defer host.Cores.Release(1)
+			th := host.NewThread(0)
+			for iter := 0; iter < cfg.Iterations; iter++ {
+				for off := lo; off < hi; off += cfg.ChunkBytes {
+					n := cfg.ChunkBytes
+					if off+n > hi {
+						n = hi - off
+					}
+					elems := n / 8
+					// Group the chunk's traffic per NUMA node. All arrays
+					// share a placement pattern, so walking one buffer and
+					// scaling by bytes-per-element prices all of them.
+					perNode := make(map[mem.NodeID]int64, 2)
+					for _, run := range bufs[0].RunsIn(off, n) {
+						perNode[run.Node] += run.Bytes / 8 * perElem
+					}
+					chunkFlops := elems * flops
+					for node, bytes := range perNode {
+						share := chunkFlops * bytes / (elems * perElem)
+						th.StreamChunk(p, node, bytes, share)
+					}
+					totalBytes += elems * perElem
+				}
+			}
+		})
+	}
+	// Drive until all threads finish.
+	done := false
+	k.Go("stream-join", func(p *sim.Proc) { wg.Wait(p); done = true })
+	k.Run()
+	if !done {
+		panic("stream: kernel did not complete")
+	}
+	elapsed := k.Now() - start
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(totalBytes) / elapsed.Seconds() / (1 << 30)
+}

@@ -1,0 +1,143 @@
+package ycsb
+
+import "testing"
+
+func mix(t *testing.T, w Workload, n int) map[OpKind]int {
+	t.Helper()
+	g, err := NewGenerator(w, DefaultConfig(100000), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[OpKind]int)
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		counts[op.Kind]++
+		if op.Kind != OpInsert && op.Key >= uint64(100000+g.inserted) {
+			t.Fatalf("%v: key %d outside table", w, op.Key)
+		}
+	}
+	return counts
+}
+
+func approx(t *testing.T, w Workload, got, total int, want float64) {
+	t.Helper()
+	frac := float64(got) / float64(total)
+	if frac < want-0.03 || frac > want+0.03 {
+		t.Fatalf("%v: fraction %.3f, want %.2f", w, frac, want)
+	}
+}
+
+func TestWorkloadMixes(t *testing.T) {
+	const n = 20000
+	a := mix(t, WorkloadA, n)
+	approx(t, WorkloadA, a[OpRead], n, 0.5)
+	approx(t, WorkloadA, a[OpUpdate], n, 0.5)
+
+	b := mix(t, WorkloadB, n)
+	approx(t, WorkloadB, b[OpRead], n, 0.95)
+	approx(t, WorkloadB, b[OpUpdate], n, 0.05)
+
+	c := mix(t, WorkloadC, n)
+	if c[OpRead] != n {
+		t.Fatalf("C: %v", c)
+	}
+
+	d := mix(t, WorkloadD, n)
+	approx(t, WorkloadD, d[OpRead], n, 0.95)
+	approx(t, WorkloadD, d[OpInsert], n, 0.05)
+
+	e := mix(t, WorkloadE, n)
+	approx(t, WorkloadE, e[OpScan], n, 0.95)
+	approx(t, WorkloadE, e[OpInsert], n, 0.05)
+
+	f := mix(t, WorkloadF, n)
+	approx(t, WorkloadF, f[OpRead], n, 0.5)
+	approx(t, WorkloadF, f[OpReadModifyWrite], n, 0.5)
+}
+
+func TestScanLengths(t *testing.T) {
+	g, _ := NewGenerator(WorkloadE, DefaultConfig(1000), 2)
+	for i := 0; i < 5000; i++ {
+		op := g.Next()
+		if op.Kind != OpScan {
+			continue
+		}
+		if op.ScanLen < 1 || op.ScanLen > 100 {
+			t.Fatalf("scan length %d", op.ScanLen)
+		}
+	}
+}
+
+func TestZipfSkewed(t *testing.T) {
+	g, _ := NewGenerator(WorkloadC, DefaultConfig(1_000_000), 3)
+	hot := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if g.Next().Key < 100 {
+			hot++
+		}
+	}
+	// Top-100 keys of a zipf(0.99) over 1M keys draw far more than the
+	// uniform share (0.01%).
+	if float64(hot)/n < 0.05 {
+		t.Fatalf("top-100 share %.4f, want > 0.05", float64(hot)/n)
+	}
+}
+
+func TestLatestDistributionPrefersRecent(t *testing.T) {
+	g, _ := NewGenerator(WorkloadD, DefaultConfig(100000), 4)
+	recent := 0
+	reads := 0
+	for i := 0; i < 20000; i++ {
+		op := g.Next()
+		if op.Kind != OpRead {
+			continue
+		}
+		reads++
+		if op.Key >= uint64(100000+g.inserted)-1000 {
+			recent++
+		}
+	}
+	if float64(recent)/float64(reads) < 0.3 {
+		t.Fatalf("latest distribution: only %.2f of reads in newest 1%%",
+			float64(recent)/float64(reads))
+	}
+}
+
+func TestInsertsGrowKeySpace(t *testing.T) {
+	g, _ := NewGenerator(WorkloadD, DefaultConfig(1000), 5)
+	maxKey := uint64(0)
+	for i := 0; i < 5000; i++ {
+		op := g.Next()
+		if op.Kind == OpInsert && op.Key > maxKey {
+			maxKey = op.Key
+		}
+	}
+	if maxKey < 1000 {
+		t.Fatal("inserts did not extend the key space")
+	}
+	if g.inserted == 0 {
+		t.Fatal("no inserts recorded")
+	}
+}
+
+func TestUnknownWorkloadRejected(t *testing.T) {
+	if _, err := NewGenerator(Workload('Z'), DefaultConfig(10), 1); err == nil {
+		t.Fatal("workload Z accepted")
+	}
+	if _, err := NewGenerator(WorkloadA, DefaultConfig(0), 1); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}
+
+func TestReadIntensiveGrouping(t *testing.T) {
+	want := map[Workload]bool{
+		WorkloadA: false, WorkloadB: true, WorkloadC: true,
+		WorkloadD: true, WorkloadE: true, WorkloadF: false,
+	}
+	for w, exp := range want {
+		if w.ReadIntensive() != exp {
+			t.Fatalf("%v: ReadIntensive = %v", w, !exp)
+		}
+	}
+}
