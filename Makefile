@@ -1,0 +1,30 @@
+# Developer entry points. `make check` is the tier-1 gate (vet + build +
+# race-enabled tests — the parallel experiment engine is the repo's first
+# real concurrency, so the race detector is load-bearing). `make bench-quick`
+# snapshots wall-clock and allocation numbers into BENCH_PR1.json.
+
+GO ?= go
+
+.PHONY: check test build vet bench-quick bench
+
+check: vet build
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Micro-benchmarks for the sim kernel and dcsim placement index.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkKernel|BenchmarkDcsim' -benchmem \
+		-benchtime 5x ./internal/sim/ ./internal/dcsim/
+
+# Wall-clock / allocation snapshot: sequential vs parallel quick suite plus
+# kernel and placement micro-benchmarks, written to BENCH_PR1.json.
+bench-quick:
+	sh scripts/benchsnap.sh BENCH_PR1.json

@@ -40,6 +40,17 @@ func BenchmarkFig5Stream(b *testing.B) {
 	}
 }
 
+// BenchmarkFig5StreamParallel runs the same figure through the parallel
+// experiment engine with one worker per core. Output and returned metrics
+// are byte-identical to the sequential run (asserted in
+// internal/bench/runner_test.go); only wall-clock changes.
+func BenchmarkFig5StreamParallel(b *testing.B) {
+	r := bench.NewRunner(0)
+	for i := 0; i < b.N; i++ {
+		r.Fig5Stream(benchOut(b), bench.Quick)
+	}
+}
+
 // BenchmarkFig6VoltDBProfile regenerates Figure 6: VoltDB IPC/UCC profiling
 // plus the Section VI-D stall fractions.
 func BenchmarkFig6VoltDBProfile(b *testing.B) {

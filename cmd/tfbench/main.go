@@ -5,10 +5,16 @@
 //
 //	tfbench -experiment all            # everything, quick scale
 //	tfbench -experiment fig5 -full     # one experiment at calibrated scale
+//	tfbench -parallel 0                # all cores; output is byte-identical
 //
 // Experiments: fig1, rtt, fig5 (stream), fig6 (voltdb-profile),
 // fig7 (voltdb-throughput), fig8 (memcached), fig9 (search),
 // ablation-replay, ablation-bonding, ablation-migration, all.
+//
+// -parallel N runs each experiment's independent cells on N workers
+// (N=0 means one per core, N=1 — the default — is sequential). Every cell
+// owns its simulation kernel and the merged tables are printed in cell
+// order, so the output does not depend on N.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 func main() {
 	experiment := flag.String("experiment", "all", "experiment to run (fig1|rtt|fig5|fig6|fig7|fig8|fig9|ablation-replay|ablation-bonding|ablation-migration|ablation-hbm|projection-integration|projection-multistack|all)")
 	full := flag.Bool("full", false, "run at calibrated (paper) scale instead of quick scale")
+	parallel := flag.Int("parallel", 1, "experiment-cell workers: 1 = sequential, 0 = one per core, N = N workers")
 	flag.Parse()
 
 	scale := bench.Quick
@@ -30,6 +37,7 @@ func main() {
 		scale = bench.Full
 	}
 	w := os.Stdout
+	r := bench.NewRunner(*parallel)
 
 	runners := []struct {
 		names []string
@@ -37,18 +45,18 @@ func main() {
 	}{
 		{[]string{"fig1"}, func() { bench.Fig1(w, scale) }},
 		{[]string{"rtt"}, func() { bench.RTT(w) }},
-		{[]string{"fig5", "stream"}, func() { bench.Fig5Stream(w, scale) }},
+		{[]string{"fig5", "stream"}, func() { r.Fig5Stream(w, scale) }},
 		{[]string{"fig6", "voltdb-profile"}, func() { bench.Fig6Profile(w, scale) }},
-		{[]string{"fig7", "voltdb-throughput"}, func() { bench.Fig7Throughput(w, scale) }},
-		{[]string{"fig8", "memcached"}, func() { bench.Fig8Memcached(w, scale) }},
-		{[]string{"fig9", "search"}, func() { bench.Fig9Search(w, scale) }},
+		{[]string{"fig7", "voltdb-throughput"}, func() { r.Fig7Throughput(w, scale) }},
+		{[]string{"fig8", "memcached"}, func() { r.Fig8Memcached(w, scale) }},
+		{[]string{"fig9", "search"}, func() { r.Fig9Search(w, scale) }},
 		{[]string{"ablation-replay"}, func() { bench.AblationReplay(w) }},
 		{[]string{"ablation-bonding"}, func() { bench.AblationBonding(w) }},
 		{[]string{"ablation-migration"}, func() { bench.AblationMigration(w) }},
-		{[]string{"ablation-hbm"}, func() { bench.AblationHBM(w, scale) }},
+		{[]string{"ablation-hbm"}, func() { r.AblationHBM(w, scale) }},
 		{[]string{"ablation-qos"}, func() { bench.AblationQoS(w) }},
 		{[]string{"projection-integration"}, func() { bench.ProjectionIntegration(w) }},
-		{[]string{"projection-multistack"}, func() { bench.ProjectionMultiStack(w, scale) }},
+		{[]string{"projection-multistack"}, func() { r.ProjectionMultiStack(w, scale) }},
 		{[]string{"projection-switching"}, func() { bench.ProjectionSwitching(w) }},
 	}
 

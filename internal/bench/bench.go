@@ -92,37 +92,58 @@ func RTT(w io.Writer) sim.Time {
 }
 
 // Fig5Stream reproduces Figure 5: STREAM bandwidth for every kernel, thread
-// count and ThymesisFlow configuration.
+// count and ThymesisFlow configuration. It runs sequentially; use
+// Runner.Fig5Stream to spread the cells across cores.
 func Fig5Stream(w io.Writer, scale Scale) map[string]float64 {
-	out := make(map[string]float64)
+	return seqRunner.Fig5Stream(w, scale)
+}
+
+// Fig5Stream is the parallel-cell form of the package-level function: one
+// cell per (thread count, configuration) pair.
+func (r *Runner) Fig5Stream(w io.Writer, scale Scale) map[string]float64 {
 	configs := []core.MemoryConfig{
 		core.ConfigSingleDisaggregated, core.ConfigBondingDisaggregated, core.ConfigInterleaved,
 	}
+	threadCounts := []int{4, 8, 16}
+	type cell struct {
+		threads int
+		cfg     core.MemoryConfig
+		res     []stream.Result
+	}
+	cells := make([]cell, 0, len(threadCounts)*len(configs))
+	for _, threads := range threadCounts {
+		for _, cfg := range configs {
+			cells = append(cells, cell{threads: threads, cfg: cfg})
+		}
+	}
+	r.run(len(cells), func(i int) {
+		c := &cells[i]
+		tb, err := core.NewTestbed(c.cfg, 4<<30)
+		if err != nil {
+			panic(err)
+		}
+		sc := stream.DefaultConfig(c.threads)
+		if scale == Quick {
+			sc.Elements = 20_000_000
+			sc.Iterations = 1
+		}
+		res, err := stream.Run(tb.Server, tb.Placer(), sc)
+		if err != nil {
+			panic(err)
+		}
+		c.res = res
+	})
+	out := make(map[string]float64)
 	fmt.Fprintf(w, "Figure 5 — STREAM sustained bandwidth (GiB/s); theoretical channel max 12.5\n")
 	fmt.Fprintf(w, "  %-22s %-8s %8s %8s %8s %8s\n", "config", "threads", "copy", "scale", "add", "triad")
-	for _, threads := range []int{4, 8, 16} {
-		for _, cfg := range configs {
-			tb, err := core.NewTestbed(cfg, 4<<30)
-			if err != nil {
-				panic(err)
-			}
-			sc := stream.DefaultConfig(threads)
-			if scale == Quick {
-				sc.Elements = 20_000_000
-				sc.Iterations = 1
-			}
-			res, err := stream.Run(tb.Server, tb.Placer(), sc)
-			if err != nil {
-				panic(err)
-			}
-			row := make(map[stream.Kernel]float64)
-			for _, r := range res {
-				row[r.Kernel] = r.GiBps
-				out[fmt.Sprintf("%v/%d/%v", cfg, threads, r.Kernel)] = r.GiBps
-			}
-			fmt.Fprintf(w, "  %-22s %-8d %8.2f %8.2f %8.2f %8.2f\n", cfg, threads,
-				row[stream.Copy], row[stream.Scale], row[stream.Add], row[stream.Triad])
+	for _, c := range cells {
+		row := make(map[stream.Kernel]float64)
+		for _, res := range c.res {
+			row[res.Kernel] = res.GiBps
+			out[fmt.Sprintf("%v/%d/%v", c.cfg, c.threads, res.Kernel)] = res.GiBps
 		}
+		fmt.Fprintf(w, "  %-22s %-8d %8.2f %8.2f %8.2f %8.2f\n", c.cfg, c.threads,
+			row[stream.Copy], row[stream.Scale], row[stream.Add], row[stream.Triad])
 	}
 	return out
 }
@@ -165,30 +186,56 @@ func Fig6Profile(w io.Writer, scale Scale) {
 }
 
 // Fig7Throughput reproduces Figure 7: YCSB A and E throughput for 4 and 32
-// partitions under all five configurations.
+// partitions under all five configurations. It runs sequentially; use
+// Runner.Fig7Throughput to spread the cells across cores.
 func Fig7Throughput(w io.Writer, scale Scale) map[string]float64 {
-	out := make(map[string]float64)
-	fmt.Fprintf(w, "Figure 7 — YCSB throughput (ops/sec)\n")
+	return seqRunner.Fig7Throughput(w, scale)
+}
+
+// Fig7Throughput is the parallel-cell form of the package-level function:
+// one cell per (workload, partitions, configuration) tuple.
+func (r *Runner) Fig7Throughput(w io.Writer, scale Scale) map[string]float64 {
+	configs := core.AllConfigs()
+	type cell struct {
+		wl         ycsb.Workload
+		parts      int
+		cfg        core.MemoryConfig
+		throughput float64
+	}
+	var cells []cell
 	for _, wl := range []ycsb.Workload{ycsb.WorkloadA, ycsb.WorkloadE} {
 		for _, parts := range []int{4, 32} {
-			fmt.Fprintf(w, "  %v p=%-3d:", wl, parts)
-			for _, cfg := range core.AllConfigs() {
-				rc := imdb.DefaultRunConfig(wl, parts)
-				if scale == Quick {
-					rc.Clients = 120
-					rc.OpsPerClient = 20
-				}
-				if wl == ycsb.WorkloadE {
-					rc.Clients = 60
-					rc.OpsPerClient = 12
-				}
-				res, err := imdb.Run(cfg, rc)
-				if err != nil {
-					panic(err)
-				}
-				out[fmt.Sprintf("%v/%d/%v", wl, parts, cfg)] = res.Throughput
-				fmt.Fprintf(w, " %s=%.0f", cfg, res.Throughput)
+			for _, cfg := range configs {
+				cells = append(cells, cell{wl: wl, parts: parts, cfg: cfg})
 			}
+		}
+	}
+	r.run(len(cells), func(i int) {
+		c := &cells[i]
+		rc := imdb.DefaultRunConfig(c.wl, c.parts)
+		if scale == Quick {
+			rc.Clients = 120
+			rc.OpsPerClient = 20
+		}
+		if c.wl == ycsb.WorkloadE {
+			rc.Clients = 60
+			rc.OpsPerClient = 12
+		}
+		res, err := imdb.Run(c.cfg, rc)
+		if err != nil {
+			panic(err)
+		}
+		c.throughput = res.Throughput
+	})
+	out := make(map[string]float64)
+	fmt.Fprintf(w, "Figure 7 — YCSB throughput (ops/sec)\n")
+	for i, c := range cells {
+		if i%len(configs) == 0 {
+			fmt.Fprintf(w, "  %v p=%-3d:", c.wl, c.parts)
+		}
+		out[fmt.Sprintf("%v/%d/%v", c.wl, c.parts, c.cfg)] = c.throughput
+		fmt.Fprintf(w, " %s=%.0f", c.cfg, c.throughput)
+		if i%len(configs) == len(configs)-1 {
 			fmt.Fprintln(w)
 		}
 	}
@@ -196,13 +243,18 @@ func Fig7Throughput(w io.Writer, scale Scale) map[string]float64 {
 }
 
 // Fig8Memcached reproduces Figure 8: the Memcached GET latency CDF per
-// configuration (reported as avg/p50/p90/p99 plus CDF points).
+// configuration (reported as avg/p50/p90/p99 plus CDF points). It runs
+// sequentially; use Runner.Fig8Memcached to spread the cells across cores.
 func Fig8Memcached(w io.Writer, scale Scale) map[core.MemoryConfig]*kvcache.Result {
-	out := make(map[core.MemoryConfig]*kvcache.Result)
-	fmt.Fprintf(w, "Figure 8 — Memcached GET latency (microseconds)\n")
-	fmt.Fprintf(w, "  %-22s %8s %8s %8s %8s %8s %8s\n",
-		"config", "avg", "p50", "p90", "p99", "hit%", "ops/s")
-	for _, cfg := range core.AllConfigs() {
+	return seqRunner.Fig8Memcached(w, scale)
+}
+
+// Fig8Memcached is the parallel-cell form of the package-level function:
+// one cell per configuration.
+func (r *Runner) Fig8Memcached(w io.Writer, scale Scale) map[core.MemoryConfig]*kvcache.Result {
+	configs := core.AllConfigs()
+	results := make([]*kvcache.Result, len(configs))
+	r.run(len(configs), func(i int) {
 		rc := kvcache.DefaultRunConfig()
 		if scale == Quick {
 			rc.Threads = 32
@@ -210,10 +262,18 @@ func Fig8Memcached(w io.Writer, scale Scale) map[core.MemoryConfig]*kvcache.Resu
 			rc.CacheBytes = 64 << 20
 			rc.Keys = 2_000_000
 		}
-		res, err := kvcache.Run(cfg, rc)
+		res, err := kvcache.Run(configs[i], rc)
 		if err != nil {
 			panic(err)
 		}
+		results[i] = res
+	})
+	out := make(map[core.MemoryConfig]*kvcache.Result)
+	fmt.Fprintf(w, "Figure 8 — Memcached GET latency (microseconds)\n")
+	fmt.Fprintf(w, "  %-22s %8s %8s %8s %8s %8s %8s\n",
+		"config", "avg", "p50", "p90", "p99", "hit%", "ops/s")
+	for i, cfg := range configs {
+		res := results[i]
 		out[cfg] = res
 		h := res.GetLatency
 		fmt.Fprintf(w, "  %-22s %8.0f %8.0f %8.0f %8.0f %7.1f%% %8.0f\n",
@@ -225,30 +285,56 @@ func Fig8Memcached(w io.Writer, scale Scale) map[core.MemoryConfig]*kvcache.Resu
 }
 
 // Fig9Search reproduces Figure 9: ESRally "nested" track throughput across
-// challenges, shard counts and configurations.
+// challenges, shard counts and configurations. It runs sequentially; use
+// Runner.Fig9Search to spread the cells across cores.
 func Fig9Search(w io.Writer, scale Scale) map[string]float64 {
-	out := make(map[string]float64)
-	fmt.Fprintf(w, "Figure 9 — ESRally \"nested\" track throughput (ops/sec)\n")
+	return seqRunner.Fig9Search(w, scale)
+}
+
+// Fig9Search is the parallel-cell form of the package-level function: one
+// cell per (challenge, shards, configuration) tuple.
+func (r *Runner) Fig9Search(w io.Writer, scale Scale) map[string]float64 {
+	configs := core.AllConfigs()
+	type cell struct {
+		ch         search.Challenge
+		shards     int
+		cfg        core.MemoryConfig
+		throughput float64
+	}
+	var cells []cell
 	for _, ch := range search.Challenges() {
 		for _, shards := range []int{5, 32} {
-			fmt.Fprintf(w, "  %-8v sh=%-3d:", ch, shards)
-			for _, cfg := range core.AllConfigs() {
-				rc := search.DefaultRunConfig(ch, shards)
-				if scale == Quick {
-					rc.Clients = 32
-					rc.OpsPerClient = 2
-					rc.Corpus.Docs = 120_000
-					if ch == search.MA {
-						rc.OpsPerClient = 10
-					}
-				}
-				res, err := search.Run(cfg, rc)
-				if err != nil {
-					panic(err)
-				}
-				out[fmt.Sprintf("%v/%d/%v", ch, shards, cfg)] = res.Throughput
-				fmt.Fprintf(w, " %s=%.0f", cfg, res.Throughput)
+			for _, cfg := range configs {
+				cells = append(cells, cell{ch: ch, shards: shards, cfg: cfg})
 			}
+		}
+	}
+	r.run(len(cells), func(i int) {
+		c := &cells[i]
+		rc := search.DefaultRunConfig(c.ch, c.shards)
+		if scale == Quick {
+			rc.Clients = 32
+			rc.OpsPerClient = 2
+			rc.Corpus.Docs = 120_000
+			if c.ch == search.MA {
+				rc.OpsPerClient = 10
+			}
+		}
+		res, err := search.Run(c.cfg, rc)
+		if err != nil {
+			panic(err)
+		}
+		c.throughput = res.Throughput
+	})
+	out := make(map[string]float64)
+	fmt.Fprintf(w, "Figure 9 — ESRally \"nested\" track throughput (ops/sec)\n")
+	for i, c := range cells {
+		if i%len(configs) == 0 {
+			fmt.Fprintf(w, "  %-8v sh=%-3d:", c.ch, c.shards)
+		}
+		out[fmt.Sprintf("%v/%d/%v", c.ch, c.shards, c.cfg)] = c.throughput
+		fmt.Fprintf(w, " %s=%.0f", c.cfg, c.throughput)
+		if i%len(configs) == len(configs)-1 {
 			fmt.Fprintln(w)
 		}
 	}

@@ -15,9 +15,16 @@ import (
 
 // AblationHBM evaluates the Section VII proposal of an HBM caching layer at
 // the compute endpoint: the Memcached experiment on single-disaggregated
-// memory, with and without a 4 GiB HBM cache in front of the network.
+// memory, with and without a 4 GiB HBM cache in front of the network. It
+// runs sequentially; use Runner.AblationHBM to spread the cells across
+// cores.
 func AblationHBM(w io.Writer, scale Scale) {
-	fmt.Fprintf(w, "Ablation A4 — HBM caching layer (Section VII future work)\n")
+	seqRunner.AblationHBM(w, scale)
+}
+
+// AblationHBM is the parallel-cell form of the package-level function: one
+// cell per HBM sizing.
+func (r *Runner) AblationHBM(w io.Writer, scale Scale) {
 	rc := kvcache.DefaultRunConfig()
 	if scale == Quick {
 		rc.Threads = 32
@@ -25,8 +32,14 @@ func AblationHBM(w io.Writer, scale Scale) {
 		rc.CacheBytes = 64 << 20
 		rc.Keys = 2_000_000
 	}
-	for _, hbm := range []int64{0, 4 << 30} {
-		hbm := hbm
+	sizes := []int64{0, 4 << 30}
+	type cell struct {
+		res     *kvcache.Result
+		hitRate float64
+	}
+	cells := make([]cell, len(sizes))
+	r.run(len(sizes), func(i int) {
+		hbm := sizes[i]
 		tb, err := core.NewTestbedSpec(core.TestbedSpec{
 			Config:      core.ConfigSingleDisaggregated,
 			RemoteBytes: rc.CacheBytes * 2,
@@ -42,14 +55,18 @@ func AblationHBM(w io.Writer, scale Scale) {
 		if err != nil {
 			panic(err)
 		}
+		cells[i].res = res
 		hits, misses := tb.Att.Backend.HBMStats()
-		hitRate := 0.0
 		if hits+misses > 0 {
-			hitRate = float64(hits) / float64(hits+misses)
+			cells[i].hitRate = float64(hits) / float64(hits+misses)
 		}
+	})
+	fmt.Fprintf(w, "Ablation A4 — HBM caching layer (Section VII future work)\n")
+	for i, hbm := range sizes {
+		res := cells[i].res
 		fmt.Fprintf(w, "  hbm=%-6v avg=%4.0fus p90=%4.0fus p99=%4.0fus hbm-hit=%4.1f%%\n",
 			hbm > 0, res.GetLatency.Mean(), res.GetLatency.Quantile(0.9),
-			res.GetLatency.Quantile(0.99), 100*hitRate)
+			res.GetLatency.Quantile(0.99), 100*cells[i].hitRate)
 	}
 }
 
@@ -86,10 +103,19 @@ func ProjectionIntegration(w io.Writer) {
 // the paper cites (Section VII: a POWER9 carries four OpenCAPI stacks,
 // 800 Gbit/s per processor) using one donor per pair of channels so the
 // per-donor C1 ceiling does not mask fabric scaling.
+// It runs sequentially; use Runner.ProjectionMultiStack to spread the
+// cells across cores.
 func ProjectionMultiStack(w io.Writer, scale Scale) {
-	fmt.Fprintf(w, "Projection P2 — multi-channel / multi-donor scaling (STREAM copy, 16 threads)\n")
-	fmt.Fprintf(w, "  %-10s %-8s %12s\n", "channels", "donors", "copy GiB/s")
-	for _, donors := range []int{1, 2, 4} {
+	seqRunner.ProjectionMultiStack(w, scale)
+}
+
+// ProjectionMultiStack is the parallel-cell form of the package-level
+// function: one cell per donor count.
+func (r *Runner) ProjectionMultiStack(w io.Writer, scale Scale) {
+	donorCounts := []int{1, 2, 4}
+	gibps := make([]float64, len(donorCounts))
+	r.run(len(donorCounts), func(i int) {
+		donors := donorCounts[i]
 		cluster := core.NewCluster()
 		server, err := cluster.AddHost(core.DefaultHostConfig("server0"))
 		if err != nil {
@@ -122,7 +148,12 @@ func ProjectionMultiStack(w io.Writer, scale Scale) {
 		if err != nil {
 			panic(err)
 		}
-		fmt.Fprintf(w, "  %-10d %-8d %12.2f\n", donors*2, donors, res[0].GiBps)
+		gibps[i] = res[0].GiBps
+	})
+	fmt.Fprintf(w, "Projection P2 — multi-channel / multi-donor scaling (STREAM copy, 16 threads)\n")
+	fmt.Fprintf(w, "  %-10s %-8s %12s\n", "channels", "donors", "copy GiB/s")
+	for i, donors := range donorCounts {
+		fmt.Fprintf(w, "  %-10d %-8d %12.2f\n", donors*2, donors, gibps[i])
 	}
 	fmt.Fprintf(w, "  (each donor contributes its own C1 interface, so pooling from\n")
 	fmt.Fprintf(w, "   multiple donors scales past the single-donor 16 GiB/s ceiling)\n")

@@ -1,0 +1,52 @@
+package dcsim
+
+import (
+	"testing"
+
+	"thymesisflow/internal/dctrace"
+)
+
+// BenchmarkDcsimPlace measures raw placement throughput at full Figure 1
+// scale: place/release cycles against both models with 12,555 units, the
+// regime where the free-capacity index replaces the linear best-fit scan.
+func BenchmarkDcsimPlace(b *testing.B) {
+	cfg := dctrace.DefaultConfig()
+	cfg.Tasks = 20_000
+	tasks := dctrace.Generate(cfg)
+
+	b.Run("fixed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := NewFixedModel(DefaultServers, 1)
+			for _, t := range tasks {
+				if m.place(t) {
+					m.release(t)
+				}
+			}
+		}
+	})
+	b.Run("disagg", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := NewDisaggModel(DefaultServers, DefaultServers, DefaultLinksPerModule, 1)
+			for _, t := range tasks {
+				if m.place(t) {
+					m.release(t)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkDcsimStudy measures the end-to-end motivation study at the
+// Quick (Fig1) scale used by CI.
+func BenchmarkDcsimStudy(b *testing.B) {
+	cfg := dctrace.DefaultConfig()
+	cfg.Seed = 42
+	cfg.Tasks = 12_000
+	cfg.ArrivalRate = cfg.ArrivalRate * 800 / DefaultServers
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RunStudy(cfg, 800, DefaultLinksPerModule)
+	}
+}

@@ -1,0 +1,123 @@
+package dcsim
+
+// capIndex is a bucketed free-list over units keyed by free capacity. It
+// replaces the O(n) linear/sampled best-fit scan: a placement query walks
+// buckets upward from the demanded capacity and returns a near-best-fit
+// unit in O(buckets + candidates) — effectively O(1) amortized at Figure 1
+// scale — while release/update re-files a unit in O(1).
+//
+// Quantization makes "best fit" approximate: within one bucket, member
+// capacities differ by at most the bucket width (maxCap/buckets), so the
+// leftover of the returned unit is within one bucket width of the true
+// minimum. That is tighter than the seed implementation's 96-sample
+// randomized policy, and — with no RNG — placement is deterministic by
+// construction.
+type capIndex struct {
+	buckets [][]int32 // bucket -> member unit ids, unordered
+	pos     []int32   // unit -> index within its bucket slice
+	bucket  []int32   // unit -> bucket id, -1 when not indexed
+	scale   float64   // buckets per unit of capacity
+	nb      int
+}
+
+// capBuckets trades index granularity against walk length. 256 buckets on
+// a [0,1] capacity range bounds the best-fit error at ~0.4% of a unit.
+const capBuckets = 256
+
+// newCapIndex builds an index for n units with capacities in [0, maxCap].
+// Units start unindexed; call update to insert them.
+func newCapIndex(n int, maxCap float64) *capIndex {
+	x := &capIndex{
+		buckets: make([][]int32, capBuckets),
+		pos:     make([]int32, n),
+		bucket:  make([]int32, n),
+		scale:   float64(capBuckets) / maxCap,
+		nb:      capBuckets,
+	}
+	for i := range x.bucket {
+		x.bucket[i] = -1
+	}
+	return x
+}
+
+func (x *capIndex) bucketOf(c float64) int {
+	b := int(c * x.scale)
+	if b < 0 {
+		b = 0
+	}
+	if b >= x.nb {
+		b = x.nb - 1
+	}
+	return b
+}
+
+// update files unit u under capacity c, inserting it if absent.
+func (x *capIndex) update(u int, c float64) {
+	b := int32(x.bucketOf(c))
+	if x.bucket[u] == b {
+		return
+	}
+	if x.bucket[u] >= 0 {
+		x.removeFromBucket(u)
+	}
+	x.buckets[b] = append(x.buckets[b], int32(u))
+	x.bucket[u] = b
+	x.pos[u] = int32(len(x.buckets[b]) - 1)
+}
+
+// remove unindexes unit u (e.g. its link budget is exhausted); a later
+// update re-inserts it.
+func (x *capIndex) remove(u int) {
+	if x.bucket[u] < 0 {
+		return
+	}
+	x.removeFromBucket(u)
+	x.bucket[u] = -1
+}
+
+func (x *capIndex) removeFromBucket(u int) {
+	b := x.bucket[u]
+	members := x.buckets[b]
+	i := x.pos[u]
+	last := members[len(members)-1]
+	members[i] = last
+	x.pos[last] = i
+	x.buckets[b] = members[:len(members)-1]
+}
+
+// searchCandidates bounds how many fitting units a query examines inside
+// the first feasible bucket before committing to the best seen. Members of
+// one bucket differ by at most a bucket width, so a small sample already
+// pins the leftover near the bucket minimum.
+const searchCandidates = 8
+
+// search returns a unit with capacity >= need minimizing leftover() among
+// the examined candidates, or -1 if no indexed unit satisfies fits. fits
+// must imply capacity >= need is necessary but may add further constraints
+// (second dimension, link budget); leftover orders candidates within the
+// winning bucket.
+func (x *capIndex) search(need float64, fits func(int) bool, leftover func(int) float64) int {
+	for b := x.bucketOf(need); b < x.nb; b++ {
+		best := -1
+		bestLeft := 0.0
+		found := 0
+		for _, m := range x.buckets[b] {
+			u := int(m)
+			if !fits(u) {
+				continue
+			}
+			if l := leftover(u); best == -1 || l < bestLeft {
+				best, bestLeft = u, l
+			}
+			if found++; found >= searchCandidates {
+				break
+			}
+		}
+		if best >= 0 {
+			// Any fit in this bucket beats every fit in a higher bucket by
+			// construction (capacity, hence leftover, grows with bucket id).
+			return best
+		}
+	}
+	return -1
+}

@@ -1,0 +1,130 @@
+package dcsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"thymesisflow/internal/dctrace"
+)
+
+func TestCapIndexSearchFindsSmallestFeasibleBucket(t *testing.T) {
+	caps := []float64{0.1, 0.35, 0.5, 0.9, 1.0}
+	x := newCapIndex(len(caps), 1.0)
+	for i, c := range caps {
+		x.update(i, c)
+	}
+	got := x.search(0.4,
+		func(i int) bool { return caps[i] >= 0.4 },
+		func(i int) float64 { return caps[i] - 0.4 },
+	)
+	if got != 2 {
+		t.Fatalf("search(0.4) = unit %d (cap %.2f), want unit 2 (cap 0.50)", got, caps[got])
+	}
+	if got := x.search(1.5, func(int) bool { return false }, func(int) float64 { return 0 }); got != -1 {
+		t.Fatalf("infeasible search returned %d, want -1", got)
+	}
+}
+
+func TestCapIndexRemoveAndReinsert(t *testing.T) {
+	caps := []float64{0.8, 0.8, 0.8}
+	x := newCapIndex(3, 1.0)
+	for i, c := range caps {
+		x.update(i, c)
+	}
+	fits := func(i int) bool { return caps[i] >= 0.5 }
+	left := func(i int) float64 { return caps[i] - 0.5 }
+	x.remove(1)
+	x.remove(0)
+	if got := x.search(0.5, fits, left); got != 2 {
+		t.Fatalf("search after removes = %d, want 2", got)
+	}
+	x.remove(2)
+	if got := x.search(0.5, fits, left); got != -1 {
+		t.Fatalf("search on empty index = %d, want -1", got)
+	}
+	x.update(1, 0.8)
+	if got := x.search(0.5, fits, left); got != 1 {
+		t.Fatalf("search after reinsert = %d, want 1", got)
+	}
+	// Idempotent operations must not corrupt bucket membership.
+	x.remove(0)
+	x.update(1, 0.8)
+	if got := x.search(0.5, fits, left); got != 1 {
+		t.Fatalf("search after idempotent ops = %d, want 1", got)
+	}
+}
+
+// TestCapIndexAgainstLinearScan cross-checks the index against a brute
+// force scan across a randomized workload of updates, removals and
+// queries: the index must return a unit whose leftover is within one
+// bucket width of the true best fit, and must agree exactly on
+// feasibility.
+func TestCapIndexAgainstLinearScan(t *testing.T) {
+	const n = 300
+	rng := rand.New(rand.NewSource(9))
+	caps := make([]float64, n)
+	indexed := make([]bool, n)
+	x := newCapIndex(n, 1.0)
+	for i := range caps {
+		caps[i] = rng.Float64()
+		x.update(i, caps[i])
+		indexed[i] = true
+	}
+	bucketWidth := 1.0 / capBuckets
+	for iter := 0; iter < 5000; iter++ {
+		switch rng.Intn(4) {
+		case 0: // re-capacity a unit
+			i := rng.Intn(n)
+			caps[i] = rng.Float64()
+			x.update(i, caps[i])
+			indexed[i] = true
+		case 1: // unindex a unit
+			i := rng.Intn(n)
+			x.remove(i)
+			indexed[i] = false
+		default: // query
+			need := rng.Float64()
+			fits := func(i int) bool { return caps[i] >= need }
+			left := func(i int) float64 { return caps[i] - need }
+			got := x.search(need, fits, left)
+			// Brute-force best over indexed units.
+			best := -1
+			bestLeft := 0.0
+			for i := 0; i < n; i++ {
+				if !indexed[i] || !fits(i) {
+					continue
+				}
+				if l := left(i); best == -1 || l < bestLeft {
+					best, bestLeft = i, l
+				}
+			}
+			if (got == -1) != (best == -1) {
+				t.Fatalf("iter %d: feasibility mismatch: index=%d brute=%d (need %.4f)", iter, got, best, need)
+			}
+			if got >= 0 {
+				if !fits(got) {
+					t.Fatalf("iter %d: index returned non-fitting unit %d", iter, got)
+				}
+				if left(got) > bestLeft+bucketWidth+1e-12 {
+					t.Fatalf("iter %d: leftover %.5f exceeds best %.5f + bucket width %.5f",
+						iter, left(got), bestLeft, bucketWidth)
+				}
+			}
+		}
+	}
+}
+
+func TestPlacementDeterministicWithoutSampling(t *testing.T) {
+	// Two models built with different seeds must now behave identically:
+	// the indexed policy has no randomized component.
+	a := NewFixedModel(50, 1)
+	b := NewFixedModel(50, 999)
+	rng := rand.New(rand.NewSource(4))
+	for id := 0; id < 500; id++ {
+		task := dctrace.Task{ID: id, CPU: 0.05 + 0.4*rng.Float64(), Mem: 0.05 + 0.4*rng.Float64()}
+		pa, pb := a.place(task), b.place(task)
+		if pa != pb {
+			t.Fatalf("task %d: placement diverged across seeds (%v vs %v)", id, pa, pb)
+		}
+	}
+}

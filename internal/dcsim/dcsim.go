@@ -12,7 +12,6 @@ package dcsim
 
 import (
 	"container/heap"
-	"math/rand"
 
 	"thymesisflow/internal/dctrace"
 )
@@ -167,39 +166,4 @@ func run(tasks []dctrace.Task, m model) Result {
 		res.OffMem = wOffM / wTotal
 	}
 	return res
-}
-
-// bestFit returns the index (within candidates) of the fitting unit with
-// the least leftover after placement, or -1. Candidate sampling keeps the
-// online policy near-optimal at trace scale while bounding cost; sampling
-// is deterministic under the model's seeded PRNG.
-func bestFit(rng *rand.Rand, nUnits int, fits func(int) bool, leftover func(int) float64) int {
-	const samples = 96
-	best := -1
-	bestLeft := 0.0
-	for s := 0; s < samples; s++ {
-		i := rng.Intn(nUnits)
-		if !fits(i) {
-			continue
-		}
-		l := leftover(i)
-		if best == -1 || l < bestLeft {
-			best, bestLeft = i, l
-		}
-	}
-	if best >= 0 {
-		return best
-	}
-	// Fall back to a full scan so feasible requests are never rejected due
-	// to sampling.
-	for i := 0; i < nUnits; i++ {
-		if !fits(i) {
-			continue
-		}
-		l := leftover(i)
-		if best == -1 || l < bestLeft {
-			best, bestLeft = i, l
-		}
-	}
-	return best
 }

@@ -1,39 +1,45 @@
 package dcsim
 
 import (
-	"math/rand"
-
 	"thymesisflow/internal/dctrace"
 )
 
 // FixedModel is the conventional data-centre: whole servers with fixed
 // CPU/memory proportions; a task must fit both dimensions on one server.
+//
+// Placement is near-best-fit on combined free capacity (CPU + memory, the
+// seed policy's leftover metric) served from a capIndex, so a placement
+// costs O(1) amortized instead of a linear scan over 12,555 servers.
 type FixedModel struct {
-	rng     *rand.Rand
 	cpuFree []float64
 	memFree []float64
 	tasks   []int // active tasks per server
 	where   map[int]int
+	idx     *capIndex // keyed on cpuFree+memFree
 }
 
-// NewFixedModel builds a fixed data-centre of n servers.
+// NewFixedModel builds a fixed data-centre of n servers. The seed argument
+// is retained for call-site compatibility: the indexed policy is
+// deterministic and no longer samples candidates randomly.
 func NewFixedModel(n int, seed int64) *FixedModel {
+	_ = seed
 	m := &FixedModel{
-		rng:     rand.New(rand.NewSource(seed)),
 		cpuFree: make([]float64, n),
 		memFree: make([]float64, n),
 		tasks:   make([]int, n),
 		where:   make(map[int]int),
+		idx:     newCapIndex(n, 2.0),
 	}
 	for i := range m.cpuFree {
 		m.cpuFree[i] = 1.0
 		m.memFree[i] = 1.0
+		m.idx.update(i, 2.0)
 	}
 	return m
 }
 
 func (m *FixedModel) place(t dctrace.Task) bool {
-	i := bestFit(m.rng, len(m.cpuFree),
+	i := m.idx.search(t.CPU+t.Mem,
 		func(i int) bool { return m.cpuFree[i] >= t.CPU && m.memFree[i] >= t.Mem },
 		func(i int) float64 { return (m.cpuFree[i] - t.CPU) + (m.memFree[i] - t.Mem) },
 	)
@@ -44,6 +50,7 @@ func (m *FixedModel) place(t dctrace.Task) bool {
 	m.memFree[i] -= t.Mem
 	m.tasks[i]++
 	m.where[t.ID] = i
+	m.idx.update(i, m.cpuFree[i]+m.memFree[i])
 	return true
 }
 
@@ -53,6 +60,7 @@ func (m *FixedModel) release(t dctrace.Task) {
 	m.memFree[i] += t.Mem
 	m.tasks[i]--
 	delete(m.where, t.ID)
+	m.idx.update(i, m.cpuFree[i]+m.memFree[i])
 }
 
 func (m *FixedModel) snapshot() (sCPU, onCPU, sMem, onMem float64, offC, offM, totC, totM int) {
@@ -76,54 +84,76 @@ func (m *FixedModel) snapshot() (sCPU, onCPU, sMem, onMem float64, offC, offM, t
 // memory module, consuming one fabric link on each side of the pairing.
 // The fabric is fully connected, so any compute module can reach any memory
 // module while links remain (Section II: 16 links per module).
+//
+// Each side keeps its own capIndex on free capacity; modules whose link
+// budget is exhausted are unindexed until a link frees up, so the link
+// constraint costs nothing at query time.
 type DisaggModel struct {
-	rng *rand.Rand
-
 	cpuFree  []float64
 	cpuTasks []int
 	cpuLinks []int
+	cpuIdx   *capIndex
 
 	memFree  []float64
 	memTasks []int
 	memLinks []int
+	memIdx   *capIndex
 
 	where map[int][2]int
 }
 
 // NewDisaggModel builds nCompute compute and nMemory memory modules with
-// the given link budget per module.
+// the given link budget per module. The seed argument is retained for
+// call-site compatibility; placement is deterministic.
 func NewDisaggModel(nCompute, nMemory, links int, seed int64) *DisaggModel {
+	_ = seed
 	m := &DisaggModel{
-		rng:      rand.New(rand.NewSource(seed)),
 		cpuFree:  make([]float64, nCompute),
 		cpuTasks: make([]int, nCompute),
 		cpuLinks: make([]int, nCompute),
+		cpuIdx:   newCapIndex(nCompute, 1.0),
 		memFree:  make([]float64, nMemory),
 		memTasks: make([]int, nMemory),
 		memLinks: make([]int, nMemory),
+		memIdx:   newCapIndex(nMemory, 1.0),
 		where:    make(map[int][2]int),
 	}
 	for i := range m.cpuFree {
 		m.cpuFree[i] = 1.0
 		m.cpuLinks[i] = links
+		if links > 0 {
+			m.cpuIdx.update(i, 1.0)
+		}
 	}
 	for i := range m.memFree {
 		m.memFree[i] = 1.0
 		m.memLinks[i] = links
+		if links > 0 {
+			m.memIdx.update(i, 1.0)
+		}
 	}
 	return m
 }
 
+// refile re-indexes one side's module after a capacity or link change.
+func refile(idx *capIndex, unit int, free float64, links int) {
+	if links <= 0 {
+		idx.remove(unit)
+		return
+	}
+	idx.update(unit, free)
+}
+
 func (m *DisaggModel) place(t dctrace.Task) bool {
-	ci := bestFit(m.rng, len(m.cpuFree),
-		func(i int) bool { return m.cpuFree[i] >= t.CPU && m.cpuLinks[i] > 0 },
+	ci := m.cpuIdx.search(t.CPU,
+		func(i int) bool { return m.cpuFree[i] >= t.CPU },
 		func(i int) float64 { return m.cpuFree[i] - t.CPU },
 	)
 	if ci < 0 {
 		return false
 	}
-	mi := bestFit(m.rng, len(m.memFree),
-		func(i int) bool { return m.memFree[i] >= t.Mem && m.memLinks[i] > 0 },
+	mi := m.memIdx.search(t.Mem,
+		func(i int) bool { return m.memFree[i] >= t.Mem },
 		func(i int) float64 { return m.memFree[i] - t.Mem },
 	)
 	if mi < 0 {
@@ -132,9 +162,11 @@ func (m *DisaggModel) place(t dctrace.Task) bool {
 	m.cpuFree[ci] -= t.CPU
 	m.cpuTasks[ci]++
 	m.cpuLinks[ci]--
+	refile(m.cpuIdx, ci, m.cpuFree[ci], m.cpuLinks[ci])
 	m.memFree[mi] -= t.Mem
 	m.memTasks[mi]++
 	m.memLinks[mi]--
+	refile(m.memIdx, mi, m.memFree[mi], m.memLinks[mi])
 	m.where[t.ID] = [2]int{ci, mi}
 	return true
 }
@@ -145,9 +177,11 @@ func (m *DisaggModel) release(t dctrace.Task) {
 	m.cpuFree[ci] += t.CPU
 	m.cpuTasks[ci]--
 	m.cpuLinks[ci]++
+	refile(m.cpuIdx, ci, m.cpuFree[ci], m.cpuLinks[ci])
 	m.memFree[mi] += t.Mem
 	m.memTasks[mi]--
 	m.memLinks[mi]++
+	refile(m.memIdx, mi, m.memFree[mi], m.memLinks[mi])
 	delete(m.where, t.ID)
 }
 

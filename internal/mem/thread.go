@@ -100,8 +100,18 @@ func (t *Thread) Access(p *sim.Proc, addr uint64, size int64, write bool) sim.Ti
 		return 0
 	}
 	llc := t.sys.LLC(t.sock)
-	var missBytes map[NodeID]int64
-	var missAddr map[NodeID]uint64
+	// Misses are grouped into per-node bursts, accumulated in first-touch
+	// order in a small stack-allocated buffer: one access rarely spans more
+	// than a handful of NUMA nodes, and the former map version allocated
+	// twice per missing access on the simulator's single hottest path (and
+	// issued the bursts in randomized map order).
+	type nodeBurst struct {
+		id    NodeID
+		bytes int64
+		first uint64
+	}
+	var burstBuf [8]nodeBurst
+	bursts := burstBuf[:0]
 	lines := int64(0)
 	first := addr &^ (CachelineSize - 1)
 	last := (addr + uint64(size) - 1) &^ (CachelineSize - 1)
@@ -120,24 +130,29 @@ func (t *Thread) Access(p *sim.Proc, addr uint64, size int64, write bool) sim.Ti
 			hitLat += t.cfg.LLCLat
 			continue
 		}
-		if missBytes == nil {
-			missBytes = make(map[NodeID]int64, 2)
-			missAddr = make(map[NodeID]uint64, 2)
-		}
 		id := t.sys.NodeOf(la)
-		if _, seen := missBytes[id]; !seen {
-			missAddr[id] = la
+		idx := -1
+		for i := range bursts {
+			if bursts[i].id == id {
+				idx = i
+				break
+			}
 		}
-		missBytes[id] += CachelineSize
+		if idx < 0 {
+			bursts = append(bursts, nodeBurst{id: id, first: la})
+			idx = len(bursts) - 1
+		}
+		bursts[idx].bytes += CachelineSize
 	}
 	var missLat sim.Time
-	for id, n := range missBytes {
-		be := t.sys.Node(id).Backend
+	for i := range bursts {
+		b := &bursts[i]
+		be := t.sys.Node(b.id).Backend
 		var l sim.Time
 		if ab, ok := be.(AddrBackend); ok {
-			l = ab.AccessAt(missAddr[id], n, write)
+			l = ab.AccessAt(b.first, b.bytes, write)
 		} else {
-			l = be.Access(n, write)
+			l = be.Access(b.bytes, write)
 		}
 		if l > missLat {
 			missLat = l // bursts to different nodes overlap

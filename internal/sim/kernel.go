@@ -1,65 +1,58 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Event is a scheduled callback. Cancel it with Cancel before it fires if it
 // is no longer wanted.
+//
+// Event structs are recycled: once an event has fired (or been dropped after
+// cancellation) the kernel may reuse its storage for a later Schedule call.
+// A handle is therefore only valid until the event fires or is cancelled —
+// the idiomatic pattern (see llc.Port's replay timer) is to nil the stored
+// handle inside the callback and to never touch a handle afterwards.
+// Cancelling an already-fired, not-yet-recycled event remains a no-op.
 type Event struct {
-	at      Time
-	seq     uint64
-	fn      func()
-	index   int // heap index; -1 once popped or cancelled
-	cancled bool
+	at        Time
+	seq       uint64
+	fn        func()
+	heapPos   int32 // position in the 4-ary heap; -1 once popped
+	cancelled bool
+	k         *Kernel
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Event) Cancel() { e.cancled = true }
+// already-cancelled event is a no-op. The event stays queued until its
+// deadline (lazy deletion) but its callback will not run and Pending no
+// longer counts it.
+func (e *Event) Cancel() {
+	if e.cancelled || e.heapPos < 0 {
+		return
+	}
+	e.cancelled = true
+	e.fn = nil // release the closure eagerly
+	e.k.cancelledQueued++
+}
 
 // At reports the virtual time the event is scheduled for.
 func (e *Event) At() Time { return e.at }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
-
 // Kernel is a discrete-event simulation executive: a virtual clock plus an
 // event queue ordered by (time, insertion sequence). The zero value is not
 // usable; construct with NewKernel.
+//
+// The event queue is an inlined 4-ary heap: compared with container/heap's
+// binary heap it halves the tree depth, touches fewer cache lines per
+// sift, and avoids the interface-boxed Push/Pop round trips. Fired events
+// are recycled through a free list, so steady-state scheduling does not
+// allocate.
 type Kernel struct {
-	now     Time
-	pq      eventHeap
-	seq     uint64
-	procs   int // live processes (for leak detection)
-	stopped bool
+	now             Time
+	pq              []*Event
+	seq             uint64
+	procs           int // live processes (for leak detection)
+	stopped         bool
+	cancelledQueued int      // cancelled events still in pq (lazy deletion)
+	free            []*Event // recycled Event structs
 }
 
 // NewKernel returns a kernel with the clock at time zero.
@@ -86,8 +79,16 @@ func (k *Kernel) ScheduleAt(t Time, fn func()) *Event {
 		panic(fmt.Sprintf("sim: ScheduleAt(%v) is in the past (now=%v)", t, k.now))
 	}
 	k.seq++
-	e := &Event{at: t, seq: k.seq, fn: fn}
-	heap.Push(&k.pq, e)
+	var e *Event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		*e = Event{at: t, seq: k.seq, fn: fn, k: k}
+	} else {
+		e = &Event{at: t, seq: k.seq, fn: fn, k: k}
+	}
+	k.heapPush(e)
 	return e
 }
 
@@ -110,16 +111,108 @@ func (k *Kernel) RunUntil(limit Time) Time {
 			k.now = limit
 			return k.now
 		}
-		e := heap.Pop(&k.pq).(*Event)
-		if e.cancled {
+		e := k.heapPop()
+		if e.cancelled {
+			k.cancelledQueued--
+			k.recycle(e)
 			continue
 		}
 		k.now = e.at
-		e.fn()
+		fn := e.fn
+		fn()
+		k.recycle(e)
 	}
 	return k.now
 }
 
-// Pending reports the number of events still queued (including cancelled
-// events that have not yet been popped).
-func (k *Kernel) Pending() int { return len(k.pq) }
+// maxFree caps the free list. Steady-state simulations recycle through a
+// small working set; after a one-shot burst drains, retaining every dead
+// event would only inflate the GC-scanned heap, so the excess is dropped.
+const maxFree = 4096
+
+// recycle returns a popped event to the free list.
+func (k *Kernel) recycle(e *Event) {
+	if len(k.free) >= maxFree {
+		return
+	}
+	e.fn = nil
+	e.k = nil
+	k.free = append(k.free, e)
+}
+
+// Pending reports the number of events still queued and due to fire.
+// Cancelled events awaiting lazy removal from the queue are not counted.
+func (k *Kernel) Pending() int { return len(k.pq) - k.cancelledQueued }
+
+// The event queue: an inlined 4-ary min-heap on (at, seq). Children of
+// node i live at 4i+1..4i+4; the parent of node i is (i-1)/4.
+
+func eventBefore(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (k *Kernel) heapPush(e *Event) {
+	i := len(k.pq)
+	k.pq = append(k.pq, e)
+	// Sift up.
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := k.pq[parent]
+		if !eventBefore(e, p) {
+			break
+		}
+		k.pq[i] = p
+		p.heapPos = int32(i)
+		i = parent
+	}
+	k.pq[i] = e
+	e.heapPos = int32(i)
+}
+
+func (k *Kernel) heapPop() *Event {
+	top := k.pq[0]
+	top.heapPos = -1
+	n := len(k.pq) - 1
+	last := k.pq[n]
+	k.pq[n] = nil
+	k.pq = k.pq[:n]
+	if n > 0 {
+		k.siftDown(last)
+	}
+	return top
+}
+
+// siftDown places e, displaced from the tail, starting at the root.
+func (k *Kernel) siftDown(e *Event) {
+	pq := k.pq
+	n := len(pq)
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		// Find the smallest of up to four children.
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if eventBefore(pq[c], pq[min]) {
+				min = c
+			}
+		}
+		if !eventBefore(pq[min], e) {
+			break
+		}
+		pq[i] = pq[min]
+		pq[i].heapPos = int32(i)
+		i = min
+	}
+	pq[i] = e
+	e.heapPos = int32(i)
+}

@@ -1,0 +1,69 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernelScheduleRun drives the kernel hot path: schedule 1e5
+// events in a mixed past/future pattern and drain them. The allocs/op
+// figure tracks the event free list; ns/op tracks the 4-ary heap.
+func BenchmarkKernelScheduleRun(b *testing.B) {
+	const events = 100_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := NewKernel()
+		fired := 0
+		// A self-rescheduling chain exercises steady-state recycling: each
+		// fired event schedules its successor, the way Proc.Sleep and the
+		// pipe/resource timers drive the kernel in real experiments.
+		var step func()
+		step = func() {
+			fired++
+			if fired < events {
+				k.Schedule(Time(fired%7)*Nanosecond, step)
+			}
+		}
+		// Seed a modest standing population so the heap has depth.
+		for j := 0; j < 64; j++ {
+			k.Schedule(Time(j)*Nanosecond, func() {})
+		}
+		k.Schedule(0, step)
+		k.Run()
+		if fired != events {
+			b.Fatalf("fired %d events, want %d", fired, events)
+		}
+	}
+}
+
+// BenchmarkKernelScheduleBurst measures the bulk schedule-then-drain
+// pattern: all events queued up front, then one Run.
+func BenchmarkKernelScheduleBurst(b *testing.B) {
+	const events = 100_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := NewKernel()
+		fired := 0
+		for j := 0; j < events; j++ {
+			k.Schedule(Time(j%1024)*Nanosecond, func() { fired++ })
+		}
+		k.Run()
+		if fired != events {
+			b.Fatalf("fired %d events, want %d", fired, events)
+		}
+	}
+}
+
+// BenchmarkKernelCancel measures the schedule-then-cancel pattern used by
+// timeout guards (arm a timer, cancel it when the response arrives).
+func BenchmarkKernelCancel(b *testing.B) {
+	const events = 100_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := NewKernel()
+		for j := 0; j < events; j++ {
+			e := k.Schedule(Time(j%512)*Nanosecond, func() {})
+			if j%2 == 0 {
+				e.Cancel()
+			}
+		}
+		k.Run()
+	}
+}

@@ -66,6 +66,74 @@ func TestKernelCancel(t *testing.T) {
 	}
 }
 
+func TestPendingExcludesCancelled(t *testing.T) {
+	k := NewKernel()
+	events := make([]*Event, 5)
+	for i := range events {
+		events[i] = k.Schedule(Time(i+1)*Nanosecond, func() {})
+	}
+	if got := k.Pending(); got != 5 {
+		t.Fatalf("Pending = %d, want 5", got)
+	}
+	events[1].Cancel()
+	events[3].Cancel()
+	if got := k.Pending(); got != 3 {
+		t.Fatalf("Pending after 2 cancels = %d, want 3 (cancelled events must not count)", got)
+	}
+	// Double-cancel must not double-count.
+	events[1].Cancel()
+	if got := k.Pending(); got != 3 {
+		t.Fatalf("Pending after double cancel = %d, want 3", got)
+	}
+	k.Run()
+	if got := k.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", got)
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	e := k.Schedule(Nanosecond, func() { fired++ })
+	k.Run()
+	e.Cancel() // already fired: must be a no-op and must not corrupt Pending
+	if got := k.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after cancelling a fired event, want 0", got)
+	}
+	later := k.Schedule(Nanosecond, func() { fired++ })
+	_ = later
+	k.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 (stale cancel must not suppress later events)", fired)
+	}
+}
+
+// TestEventRecyclingPreservesOrder drives enough schedule/fire cycles that
+// the free list is exercised heavily, and checks ordering plus tie-break
+// semantics survive recycling.
+func TestEventRecyclingPreservesOrder(t *testing.T) {
+	k := NewKernel()
+	var got []Time
+	n := 0
+	var step func()
+	step = func() {
+		got = append(got, k.Now())
+		if n++; n < 5000 {
+			k.Schedule(Time(n%13)*Nanosecond, step)
+		}
+	}
+	k.Schedule(0, step)
+	k.Run()
+	if len(got) != 5000 {
+		t.Fatalf("fired %d events, want 5000", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("time went backwards at %d: %v < %v", i, got[i], got[i-1])
+		}
+	}
+}
+
 func TestKernelRunUntil(t *testing.T) {
 	k := NewKernel()
 	var fired []Time

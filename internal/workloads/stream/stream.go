@@ -149,6 +149,15 @@ func runKernel(host *core.Host, bufs []*mem.Buffer, kern Kernel, cfg Config) flo
 			host.Cores.Acquire(p, 1)
 			defer host.Cores.Release(1)
 			th := host.NewThread(0)
+			// Per-node traffic accumulator in first-touch order. A map here
+			// would allocate per chunk and — because Go randomizes map
+			// iteration — issue the node bursts in a different order every
+			// run, perturbing simulated timing nondeterministically.
+			type nodeBytes struct {
+				node  mem.NodeID
+				bytes int64
+			}
+			var perNode []nodeBytes
 			for iter := 0; iter < cfg.Iterations; iter++ {
 				for off := lo; off < hi; off += cfg.ChunkBytes {
 					n := cfg.ChunkBytes
@@ -159,14 +168,25 @@ func runKernel(host *core.Host, bufs []*mem.Buffer, kern Kernel, cfg Config) flo
 					// Group the chunk's traffic per NUMA node. All arrays
 					// share a placement pattern, so walking one buffer and
 					// scaling by bytes-per-element prices all of them.
-					perNode := make(map[mem.NodeID]int64, 2)
+					perNode = perNode[:0]
 					for _, run := range bufs[0].RunsIn(off, n) {
-						perNode[run.Node] += run.Bytes / 8 * perElem
+						add := run.Bytes / 8 * perElem
+						found := false
+						for i := range perNode {
+							if perNode[i].node == run.Node {
+								perNode[i].bytes += add
+								found = true
+								break
+							}
+						}
+						if !found {
+							perNode = append(perNode, nodeBytes{run.Node, add})
+						}
 					}
 					chunkFlops := elems * flops
-					for node, bytes := range perNode {
-						share := chunkFlops * bytes / (elems * perElem)
-						th.StreamChunk(p, node, bytes, share)
+					for _, nb := range perNode {
+						share := chunkFlops * nb.bytes / (elems * perElem)
+						th.StreamChunk(p, nb.node, nb.bytes, share)
 					}
 					totalBytes += elems * perElem
 				}

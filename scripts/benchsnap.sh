@@ -1,0 +1,56 @@
+#!/bin/sh
+# benchsnap.sh OUT.json — record a wall-clock/allocation snapshot:
+#   * quick-scale tfbench full suite, sequential (-parallel 1) vs all
+#     cores (-parallel 0)
+#   * sim kernel schedule/run micro-benchmark (ns/op, allocs/op)
+#   * dcsim placement micro-benchmark (ns/op)
+# The parallel and sequential suites print byte-identical output (asserted
+# by internal/bench tests); only wall-clock may differ.
+set -eu
+
+out=${1:-BENCH_PR1.json}
+bin=$(mktemp -t tfbench.XXXXXX)
+trap 'rm -f "$bin"' EXIT
+
+go build -o "$bin" ./cmd/tfbench
+
+now_s() { date +%s.%N 2>/dev/null || date +%s; }
+elapsed() { awk "BEGIN{printf \"%.2f\", $2 - $1}"; }
+
+t0=$(now_s)
+"$bin" -parallel 1 >/dev/null
+t1=$(now_s)
+seq_s=$(elapsed "$t0" "$t1")
+
+t0=$(now_s)
+"$bin" -parallel 0 >/dev/null
+t1=$(now_s)
+par_s=$(elapsed "$t0" "$t1")
+
+kern=$(go test -run xxx -bench BenchmarkKernelScheduleRun -benchmem \
+	-benchtime 5x ./internal/sim/ | awk '/BenchmarkKernelScheduleRun/ {print $3, $7}')
+kern_ns=$(echo "$kern" | awk '{print $1}')
+kern_allocs=$(echo "$kern" | awk '{print $2}')
+
+place=$(go test -run xxx -bench 'BenchmarkDcsimPlace/fixed' -benchtime 3x \
+	./internal/dcsim/ | awk '/BenchmarkDcsimPlace\/fixed/ {print $3}')
+
+cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 1)
+
+cat > "$out" <<EOF
+{
+  "snapshot": "PR1 parallel engine + allocation-lean kernel + indexed placement",
+  "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "host_cores": $cores,
+  "quick_suite_wall_seconds": {
+    "sequential": $seq_s,
+    "parallel_all_cores": $par_s
+  },
+  "kernel_schedule_run": {
+    "ns_per_op": $kern_ns,
+    "allocs_per_op": $kern_allocs
+  },
+  "dcsim_place_fixed_ns_per_op": $place
+}
+EOF
+echo "wrote $out (sequential ${seq_s}s, parallel ${par_s}s)"
