@@ -1,17 +1,21 @@
-# Developer entry points. `make check` is the tier-1 gate (vet + build +
-# race-enabled tests — the parallel experiment engine is the repo's first
-# real concurrency, so the race detector is load-bearing). `make bench-quick`
-# snapshots wall-clock and allocation numbers into BENCH_PR1.json.
+# Developer entry points. `make check` is the tier-1 gate (lint + vet +
+# build + race-enabled tests — the parallel experiment engine is the repo's
+# first real concurrency, so the race detector is load-bearing). `make
+# bench-quick` snapshots wall-clock and allocation numbers into
+# BENCH_PR1.json.
 
 GO ?= go
 
-.PHONY: check test build vet bench-quick bench
+.PHONY: check test build vet lint bench-quick bench trace-demo
 
-check: vet build
+check: lint vet build
 	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
+
+lint:
+	sh scripts/lint.sh
 
 build:
 	$(GO) build ./...
@@ -28,3 +32,9 @@ bench:
 # kernel and placement micro-benchmarks, written to BENCH_PR1.json.
 bench-quick:
 	sh scripts/benchsnap.sh BENCH_PR1.json
+
+# Produce a sample cross-layer trace (and metrics snapshot) from the quick
+# Figure 5 run: open trace_fig5.json in Perfetto (https://ui.perfetto.dev)
+# or chrome://tracing. See docs/OBSERVABILITY.md.
+trace-demo:
+	$(GO) run ./cmd/tfbench -experiment fig5 -trace trace_fig5.json -metrics metrics_fig5.json

@@ -24,12 +24,16 @@ import (
 	"strings"
 
 	"thymesisflow/internal/bench"
+	"thymesisflow/internal/metrics"
+	"thymesisflow/internal/trace"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all", "experiment to run (fig1|rtt|fig5|fig6|fig7|fig8|fig9|ablation-replay|ablation-bonding|ablation-migration|ablation-hbm|projection-integration|projection-multistack|all)")
 	full := flag.Bool("full", false, "run at calibrated (paper) scale instead of quick scale")
 	parallel := flag.Int("parallel", 1, "experiment-cell workers: 1 = sequential, 0 = one per core, N = N workers")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto / chrome://tracing)")
+	metricsOut := flag.String("metrics", "", "write a metrics-registry snapshot JSON file")
 	flag.Parse()
 
 	scale := bench.Quick
@@ -38,6 +42,17 @@ func main() {
 	}
 	w := os.Stdout
 	r := bench.NewRunner(*parallel)
+
+	var ring *trace.Ring
+	if *traceOut != "" {
+		ring = trace.NewRing(trace.DefaultRingCapacity)
+		r.Tracer = ring
+	}
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.NewRegistry()
+		r.Metrics = reg
+	}
 
 	runners := []struct {
 		names []string
@@ -81,4 +96,43 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if ring != nil {
+		if err := writeTrace(*traceOut, ring); err != nil {
+			fmt.Fprintf(os.Stderr, "tfbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "trace: %d events (%d dropped) -> %s\n", ring.Len(), ring.Dropped(), *traceOut)
+	}
+	if reg != nil {
+		if err := writeMetrics(*metricsOut, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "tfbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "metrics -> %s\n", *metricsOut)
+	}
+}
+
+func writeTrace(path string, ring *trace.Ring) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ring.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeMetrics(path string, reg *metrics.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

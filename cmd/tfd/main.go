@@ -21,6 +21,8 @@ import (
 	"thymesisflow/internal/agent"
 	"thymesisflow/internal/controlplane"
 	"thymesisflow/internal/core"
+	"thymesisflow/internal/metrics"
+	"thymesisflow/internal/trace"
 )
 
 func main() {
@@ -29,6 +31,8 @@ func main() {
 	transceivers := flag.Int("transceivers", 2, "transceivers per endpoint")
 	adminToken := flag.String("admin-token", "tf-admin", "bearer token with write access")
 	readerToken := flag.String("reader-token", "tf-reader", "bearer token with read-only access")
+	traceEvents := flag.Int("trace-events", 1<<16, "trace ring capacity in events (0 disables tracing)")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (admin token required)")
 	flag.Parse()
 
 	names := strings.Split(*hosts, ",")
@@ -73,6 +77,21 @@ func main() {
 		AdminTokens:  []string{*adminToken},
 		ReaderTokens: []string{*readerToken},
 	})
+
+	// Live telemetry: a metrics registry over the whole cluster and a
+	// bounded trace ring on the shared kernel, served read-only under
+	// /v1/metrics and /v1/trace/snapshot.
+	reg := metrics.NewRegistry()
+	cluster.RegisterMetrics(reg, "")
+	var ring *trace.Ring
+	if *traceEvents > 0 {
+		ring = trace.NewRing(*traceEvents)
+		cluster.K.SetTracer(ring)
+	}
+	svc.SetTelemetry(reg, ring)
+	if *enablePprof {
+		api.EnablePprof()
+	}
 
 	log.Printf("tfd: rack of %d hosts up, serving on %s", len(names), *listen)
 	log.Fatal(http.ListenAndServe(*listen, api))

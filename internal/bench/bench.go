@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 
+	"thymesisflow/internal/capi"
 	"thymesisflow/internal/core"
 	"thymesisflow/internal/dcsim"
 	"thymesisflow/internal/dctrace"
@@ -122,6 +123,13 @@ func (r *Runner) Fig5Stream(w io.Writer, scale Scale) map[string]float64 {
 		if err != nil {
 			panic(err)
 		}
+		if r.Tracer != nil {
+			tb.Cluster.K.SetTracer(r.Tracer)
+			probeDatapath(tb)
+		}
+		if r.Metrics != nil {
+			tb.Cluster.RegisterMetrics(r.Metrics, fmt.Sprintf("fig5.%s.%d.", c.cfg, c.threads))
+		}
 		sc := stream.DefaultConfig(c.threads)
 		if scale == Quick {
 			sc.Elements = 20_000_000
@@ -146,6 +154,28 @@ func (r *Runner) Fig5Stream(w io.Writer, scale Scale) map[string]float64 {
 			row[stream.Copy], row[stream.Scale], row[stream.Add], row[stream.Triad])
 	}
 	return out
+}
+
+// probeDatapath issues a short burst of functional loads through the full
+// transaction datapath (RMMU -> routing -> LLC -> phy -> donor C1 and
+// back). STREAM itself is priced through the analytic backend, which never
+// emits llc/capi frames — so a traced run starts with this probe to put the
+// transaction layers on the record. It runs to completion before the
+// workload starts and only executes when a tracer is attached, leaving
+// untraced results untouched.
+func probeDatapath(tb *core.Testbed) {
+	if tb.Att == nil {
+		return
+	}
+	k := tb.Cluster.K
+	k.Go("trace-probe", func(p *sim.Proc) {
+		for i := 0; i < 32; i++ {
+			if _, err := tb.Cluster.Load(p, tb.Att, int64(i)*capi.Cacheline, capi.Cacheline); err != nil {
+				panic(err)
+			}
+		}
+	})
+	k.Run()
 }
 
 // Fig6Profile reproduces Figure 6: VoltDB package IPC and utilized cores

@@ -4,6 +4,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"thymesisflow/internal/metrics"
+	"thymesisflow/internal/trace"
 )
 
 // Runner executes the independent cells of an experiment — one (config,
@@ -18,6 +21,17 @@ import (
 // runner".
 type Runner struct {
 	workers int
+
+	// Tracer, when non-nil, is attached to each cell's kernel, recording
+	// cross-layer spans into one shared sink (trace.Ring is safe for
+	// concurrent cells). Traced cells additionally run a short functional
+	// datapath probe so llc/capi/rmmu/phy activity appears in the trace even
+	// for workloads priced through the analytic backend. Leave nil for
+	// byte-identical untraced results.
+	Tracer trace.Tracer
+	// Metrics, when non-nil, receives per-cell cluster telemetry
+	// (registered under a per-cell prefix; see Cluster.RegisterMetrics).
+	Metrics *metrics.Registry
 }
 
 // NewRunner returns a runner with the given worker count; workers <= 0

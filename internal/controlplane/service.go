@@ -8,6 +8,8 @@ import (
 	"thymesisflow/internal/agent"
 	"thymesisflow/internal/core"
 	"thymesisflow/internal/mem"
+	"thymesisflow/internal/metrics"
+	"thymesisflow/internal/trace"
 )
 
 // Executor carries out planned attachments on the physical (simulated)
@@ -93,6 +95,11 @@ type Service struct {
 
 	attachments map[string]*AttachmentRecord
 	nextNetID   uint16
+
+	// metrics and ring back the read-only telemetry endpoints; nil until
+	// SetTelemetry is called.
+	metrics *metrics.Registry
+	ring    *trace.Ring
 }
 
 // NewService builds a control plane over the given model and executor. The

@@ -1,0 +1,97 @@
+package controlplane
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"thymesisflow/internal/metrics"
+	"thymesisflow/internal/trace"
+)
+
+// SetTelemetry attaches the live metrics registry and trace ring the REST
+// layer serves under GET /v1/metrics and GET /v1/trace/snapshot. Either may
+// be nil; unconfigured telemetry endpoints answer 404.
+func (s *Service) SetTelemetry(reg *metrics.Registry, ring *trace.Ring) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = reg
+	s.ring = ring
+}
+
+// MetricsSnapshot captures the registry under the service lock, so the
+// collector pass is serialized against concurrent Attach/Detach mutating the
+// cluster the collectors read from. ok is false when no registry is
+// configured.
+func (s *Service) MetricsSnapshot() (metrics.Snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.metrics == nil {
+		return metrics.Snapshot{}, false
+	}
+	return s.metrics.Snapshot(), true
+}
+
+// TraceRing returns the configured trace recorder (nil when tracing is not
+// configured).
+func (s *Service) TraceRing() *trace.Ring {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ring
+}
+
+func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	if !a.authorize(w, r, RoleReader) {
+		return
+	}
+	snap, ok := a.svc.MetricsSnapshot()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "telemetry not configured")
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleTraceSnapshot streams the retained trace as Chrome trace-event JSON.
+// The trace exposes the fine-grained activity of every tenant's traffic, so
+// it is admin-only where the aggregate metrics are reader-visible.
+func (a *API) handleTraceSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	if !a.authorize(w, r, RoleAdmin) {
+		return
+	}
+	ring := a.svc.TraceRing()
+	if ring == nil {
+		writeErr(w, http.StatusNotFound, "telemetry not configured")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	ring.WriteChromeTrace(w) //nolint:errcheck
+}
+
+// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/,
+// admin-gated with the same bearer-token scheme as the rest of the API.
+// Off by default: profiling endpoints can stall the process and leak
+// internals, so the operator opts in (tfd -pprof).
+func (a *API) EnablePprof() {
+	admin := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if !a.authorize(w, r, RoleAdmin) {
+				return
+			}
+			h(w, r)
+		}
+	}
+	a.mux.HandleFunc("/debug/pprof/", admin(pprof.Index))
+	a.mux.HandleFunc("/debug/pprof/cmdline", admin(pprof.Cmdline))
+	a.mux.HandleFunc("/debug/pprof/profile", admin(pprof.Profile))
+	a.mux.HandleFunc("/debug/pprof/symbol", admin(pprof.Symbol))
+	a.mux.HandleFunc("/debug/pprof/trace", admin(pprof.Trace))
+}

@@ -1,0 +1,103 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"thymesisflow/internal/metrics"
+	"thymesisflow/internal/trace"
+)
+
+// restAPIWithTelemetry is restAPI plus a configured registry and trace ring.
+func restAPIWithTelemetry(t *testing.T) (*API, *metrics.Registry, *trace.Ring) {
+	t.Helper()
+	api, svc := restAPI(t)
+	reg := metrics.NewRegistry()
+	ring := trace.NewRing(1 << 10)
+	svc.SetTelemetry(reg, ring)
+	return api, reg, ring
+}
+
+func TestMetricsEndpointAuth(t *testing.T) {
+	api, reg, _ := restAPIWithTelemetry(t)
+	reg.Counter("attach_total").Add(3)
+
+	// Reader can read aggregate metrics.
+	w := doReq(t, api, http.MethodGet, "/v1/metrics", "reader-tok", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("reader GET /v1/metrics = %d body=%s", w.Code, w.Body.String())
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["attach_total"] != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// No token: 401.
+	if w := doReq(t, api, http.MethodGet, "/v1/metrics", "", nil); w.Code != http.StatusUnauthorized {
+		t.Fatalf("anonymous GET /v1/metrics = %d", w.Code)
+	}
+	// Wrong method: 405.
+	if w := doReq(t, api, http.MethodPost, "/v1/metrics", "admin-tok", nil); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/metrics = %d", w.Code)
+	}
+}
+
+func TestTraceSnapshotEndpointAuth(t *testing.T) {
+	api, _, ring := restAPIWithTelemetry(t)
+	ring.Span(trace.LayerSim, "dispatch", 0, 1_000_000)
+	ring.Instant(trace.LayerLLC, "tx_frame", 2_000_000)
+
+	// The trace is admin-only: readers get 403, anonymous 401.
+	if w := doReq(t, api, http.MethodGet, "/v1/trace/snapshot", "reader-tok", nil); w.Code != http.StatusForbidden {
+		t.Fatalf("reader GET /v1/trace/snapshot = %d", w.Code)
+	}
+	if w := doReq(t, api, http.MethodGet, "/v1/trace/snapshot", "", nil); w.Code != http.StatusUnauthorized {
+		t.Fatalf("anonymous GET /v1/trace/snapshot = %d", w.Code)
+	}
+
+	w := doReq(t, api, http.MethodGet, "/v1/trace/snapshot", "admin-tok", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("admin GET /v1/trace/snapshot = %d body=%s", w.Code, w.Body.String())
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("trace snapshot is not valid JSON: %v", err)
+	}
+	// 2 recorded events + per-layer thread_name metadata.
+	if len(doc.TraceEvents) < 2 {
+		t.Fatalf("traceEvents = %d, want >= 2", len(doc.TraceEvents))
+	}
+}
+
+func TestTelemetryNotConfigured(t *testing.T) {
+	api, _ := restAPI(t) // no SetTelemetry
+	if w := doReq(t, api, http.MethodGet, "/v1/metrics", "reader-tok", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("unconfigured GET /v1/metrics = %d", w.Code)
+	}
+	if w := doReq(t, api, http.MethodGet, "/v1/trace/snapshot", "admin-tok", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("unconfigured GET /v1/trace/snapshot = %d", w.Code)
+	}
+}
+
+func TestPprofAdminGated(t *testing.T) {
+	api, _, _ := restAPIWithTelemetry(t)
+	// Not mounted until EnablePprof: the mux falls through to 404.
+	if w := doReq(t, api, http.MethodGet, "/debug/pprof/cmdline", "admin-tok", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("pprof before EnablePprof = %d, want 404", w.Code)
+	}
+	api.EnablePprof()
+	if w := doReq(t, api, http.MethodGet, "/debug/pprof/cmdline", "reader-tok", nil); w.Code != http.StatusForbidden {
+		t.Fatalf("reader pprof = %d, want 403", w.Code)
+	}
+	if w := doReq(t, api, http.MethodGet, "/debug/pprof/cmdline", "", nil); w.Code != http.StatusUnauthorized {
+		t.Fatalf("anonymous pprof = %d, want 401", w.Code)
+	}
+	if w := doReq(t, api, http.MethodGet, "/debug/pprof/cmdline", "admin-tok", nil); w.Code != http.StatusOK {
+		t.Fatalf("admin pprof = %d, want 200", w.Code)
+	}
+}

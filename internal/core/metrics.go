@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+
+	"thymesisflow/internal/llc"
+	"thymesisflow/internal/metrics"
+)
+
+// RegisterMetrics publishes the cluster's live telemetry into reg under the
+// given prefix (may be empty). Gauges sample the simulation directly; LLC
+// protocol counters are collected per attachment compute port on every
+// registry snapshot, with interval deltas so registry counters track the
+// ports exactly (see llc.RegisterMetrics for the single-port variant).
+//
+// Attachments created after registration are picked up automatically: the
+// collector walks the live attachment set on every snapshot.
+func (c *Cluster) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.GaugeFunc(prefix+"sim.queue_depth", func() float64 { return float64(c.K.Pending()) })
+	reg.GaugeFunc(prefix+"sim.now_seconds", func() float64 { return c.K.Now().Seconds() })
+	reg.GaugeFunc(prefix+"attachments", func() float64 { return float64(len(c.attachments)) })
+
+	prevPort := make(map[string]llc.Stats)
+	prevBytes := make(map[string]int64)
+	reg.AddCollector(func(r *metrics.Registry) {
+		for _, att := range c.Attachments() {
+			for i, p := range att.computePorts {
+				key := fmt.Sprintf("%sllc.%s.port%d.", prefix, att.ID, i)
+				cur := p.Stats()
+				cur.Sub(prevPort[key]).AddTo(r, key)
+				prevPort[key] = cur
+			}
+			var total int64
+			for _, pipe := range att.Backend.Channels() {
+				total += pipe.TotalBytes()
+			}
+			bkey := prefix + "backend." + att.ID + ".bytes"
+			r.Counter(bkey).Add(total - prevBytes[att.ID])
+			prevBytes[att.ID] = total
+		}
+	})
+}

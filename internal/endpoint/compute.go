@@ -16,6 +16,7 @@ import (
 	"thymesisflow/internal/rmmu"
 	"thymesisflow/internal/route"
 	"thymesisflow/internal/sim"
+	"thymesisflow/internal/trace"
 )
 
 // C1BytesPerSec is the sustainable bandwidth of the OpenCAPI C1 interface
@@ -57,6 +58,7 @@ func NewCompute(k *sim.Kernel, name string, sections int, sectionSize int64) (*C
 	if err != nil {
 		return nil, err
 	}
+	m.Instrument(k) // per-translation trace instants, once a tracer attaches
 	return &ComputeEndpoint{
 		k:       k,
 		name:    name,
@@ -105,6 +107,13 @@ func (ce *ComputeEndpoint) issue(p *sim.Proc, t *capi.Transaction) (*capi.Transa
 	if err := ce.rmmu.Translate(t); err != nil {
 		return nil, err
 	}
+	// The capi span covers the transaction's full round trip as the host
+	// bus sees it: attachment ingress to response delivery.
+	tr := ce.k.Tracer()
+	var tok trace.SpanToken
+	if tr != nil {
+		tok = tr.Begin(trace.LayerCAPI, t.Op.String(), ce.k.NowPS())
+	}
 	ce.nextTag++
 	t.Tag = ce.nextTag
 	w := &pendingReq{sig: sim.NewSignal(ce.k)}
@@ -113,9 +122,15 @@ func (ce *ComputeEndpoint) issue(p *sim.Proc, t *capi.Transaction) (*capi.Transa
 	p.Sleep(SideLatency)
 	if err := ce.router.ForwardFrom(p, t); err != nil {
 		delete(ce.waiting, t.Tag)
+		if tr != nil {
+			tr.End(tok, ce.k.NowPS())
+		}
 		return nil, err
 	}
 	w.sig.Wait(p)
+	if tr != nil {
+		tr.End(tok, ce.k.NowPS())
+	}
 	return w.resp, nil
 }
 

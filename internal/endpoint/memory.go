@@ -6,6 +6,7 @@ import (
 	"thymesisflow/internal/capi"
 	"thymesisflow/internal/llc"
 	"thymesisflow/internal/sim"
+	"thymesisflow/internal/trace"
 )
 
 // StolenRegion is a pinned, cacheline-aligned span of donor memory exposed
@@ -115,11 +116,25 @@ func (me *MemoryEndpoint) handleRequest(port *llc.Port, t *capi.Transaction) {
 		panic(fmt.Sprintf("endpoint: %s: response opcode %v on memory endpoint", me.name, t.Op))
 	}
 	reg := me.regionFor(t.Addr, t.Size)
+	tr := me.k.Tracer()
 	if reg == nil {
 		// Illegal destination: the control plane never configures flows to
 		// unpinned memory, so fail the transaction (Section IV-C).
 		me.rejected++
+		if tr != nil {
+			tr.Instant(trace.LayerCAPI, "c1_reject", me.k.NowPS())
+		}
 		return
+	}
+	// The donor-side capi span covers the C1 master's service time:
+	// request arrival to response leaving on the wire.
+	var tok trace.SpanToken
+	if tr != nil {
+		name := "c1_read"
+		if t.Op == capi.OpWriteReq {
+			name = "c1_write"
+		}
+		tok = tr.Begin(trace.LayerCAPI, name, me.k.NowPS())
 	}
 	// Price the access: memory-side attachment ingress, the C1 master's
 	// bandwidth ceiling, and donor DRAM.
@@ -139,7 +154,12 @@ func (me *MemoryEndpoint) handleRequest(port *llc.Port, t *capi.Transaction) {
 		me.served++
 		// Egress through the memory-side attachment hardware, then out on
 		// the arrival channel.
-		me.k.Schedule(SideLatency, func() { port.Send(resp) })
+		me.k.Schedule(SideLatency, func() {
+			if tr != nil {
+				tr.End(tok, me.k.NowPS())
+			}
+			port.Send(resp)
+		})
 	})
 }
 

@@ -1,0 +1,38 @@
+package llc
+
+import "thymesisflow/internal/metrics"
+
+// Registry adapter: Port keeps its protocol counters in the plain Stats
+// struct (no per-increment synchronization on the simulation hot path) and
+// this file bridges them into a metrics.Registry at snapshot time, turning
+// absolute snapshots into counter increments via Stats.Sub.
+
+// AddTo adds the counters of s — normally an interval delta produced by
+// Stats.Sub — to registry counters named prefix + counter.
+func (s Stats) AddTo(reg *metrics.Registry, prefix string) {
+	reg.Counter(prefix + "tx_frames").Add(s.TxFrames)
+	reg.Counter(prefix + "tx_control").Add(s.TxControl)
+	reg.Counter(prefix + "tx_replayed").Add(s.TxReplayed)
+	reg.Counter(prefix + "rx_frames").Add(s.RxFrames)
+	reg.Counter(prefix + "rx_crc_errors").Add(s.RxCRCErrors)
+	reg.Counter(prefix + "rx_gaps").Add(s.RxGaps)
+	reg.Counter(prefix + "rx_duplicates").Add(s.RxDuplicates)
+	reg.Counter(prefix + "tx_transactions").Add(s.TxTransactions)
+	reg.Counter(prefix + "rx_transactions").Add(s.RxTransactions)
+	reg.Counter(prefix + "padding_flits").Add(s.PaddingFlits)
+	reg.Counter(prefix + "credit_stalls").Add(s.CreditStalls)
+}
+
+// RegisterMetrics registers a collector that publishes p's protocol
+// counters into reg under prefix (e.g. "llc.att-0.port0.") on every
+// registry snapshot. Each collection adds only the activity since the
+// previous one, so registry counters track the port exactly.
+func RegisterMetrics(reg *metrics.Registry, prefix string, p *Port) {
+	var prev Stats
+	reg.AddCollector(func(r *metrics.Registry) {
+		cur := p.Stats()
+		cur.Sub(prev).AddTo(r, prefix)
+		prev = cur
+	})
+	reg.GaugeFunc(prefix+"credits", func() float64 { return float64(p.Credits()) })
+}

@@ -6,6 +6,7 @@ import (
 	"thymesisflow/internal/capi"
 	"thymesisflow/internal/phy"
 	"thymesisflow/internal/sim"
+	"thymesisflow/internal/trace"
 )
 
 // Config tunes a Port's protocol parameters.
@@ -61,11 +62,16 @@ type Port struct {
 	credQueued   bool
 	creditWaiter *sim.Signal
 
+	// replaySpan is the open trace span of the current replay window (0
+	// when no replay is outstanding or tracing is disabled).
+	replaySpan trace.SpanToken
+
 	// Stats.
 	stats Stats
 }
 
-// Stats aggregates protocol counters.
+// Stats aggregates protocol counters. All fields are cumulative since port
+// creation and only ever increase.
 type Stats struct {
 	TxFrames       int64
 	TxControl      int64
@@ -80,8 +86,33 @@ type Stats struct {
 	CreditStalls   int64
 }
 
-// Stats returns a copy of the port's counters.
+// Stats returns a snapshot of the port's counters: a value copy taken at
+// call time. The snapshot does not track later protocol activity — take a
+// second snapshot and diff with Sub to measure an interval:
+//
+//	before := p.Stats()
+//	// ... run traffic ...
+//	window := p.Stats().Sub(before)
 func (p *Port) Stats() Stats { return p.stats }
+
+// Sub returns the counter-wise difference s - prev: the protocol activity
+// between the two snapshots. The registry adapter (RegisterMetrics) uses it
+// to convert absolute snapshots into counter increments.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		TxFrames:       s.TxFrames - prev.TxFrames,
+		TxControl:      s.TxControl - prev.TxControl,
+		TxReplayed:     s.TxReplayed - prev.TxReplayed,
+		RxFrames:       s.RxFrames - prev.RxFrames,
+		RxCRCErrors:    s.RxCRCErrors - prev.RxCRCErrors,
+		RxGaps:         s.RxGaps - prev.RxGaps,
+		RxDuplicates:   s.RxDuplicates - prev.RxDuplicates,
+		TxTransactions: s.TxTransactions - prev.TxTransactions,
+		RxTransactions: s.RxTransactions - prev.RxTransactions,
+		PaddingFlits:   s.PaddingFlits - prev.PaddingFlits,
+		CreditStalls:   s.CreditStalls - prev.CreditStalls,
+	}
+}
 
 // NewPair wires two ports over a bidirectional phy link and returns
 // (a, b): a transmits on link.AtoB and receives from link.BtoA; b is the
@@ -132,9 +163,18 @@ func (p *Port) Send(t *capi.Transaction) {
 // backlog, blocks the calling process until credits free up — modelling a
 // full Tx queue pushing back into the fabric.
 func (p *Port) SendFrom(proc *sim.Proc, t *capi.Transaction) {
-	for p.credits <= 0 {
-		p.stats.CreditStalls++
-		p.creditWaiter.Wait(proc)
+	if p.credits <= 0 {
+		var tok trace.SpanToken
+		if tr := p.k.Tracer(); tr != nil {
+			tok = tr.Begin(trace.LayerLLC, "credit_stall", p.k.NowPS())
+		}
+		for p.credits <= 0 {
+			p.stats.CreditStalls++
+			p.creditWaiter.Wait(proc)
+		}
+		if tr := p.k.Tracer(); tr != nil {
+			tr.End(tok, p.k.NowPS())
+		}
 	}
 	p.Send(t)
 }
@@ -187,6 +227,9 @@ func (p *Port) transmitFrame(f *Frame) {
 		}
 	}
 	p.stats.TxFrames++
+	if tr := p.k.Tracer(); tr != nil {
+		tr.Instant(trace.LayerLLC, "tx_frame", p.k.NowPS())
+	}
 	p.out.Transmit(wire, len(wire))
 	p.armTxTimer(f.Seq)
 }
@@ -244,6 +287,9 @@ func (p *Port) receive(d phy.Delivery) {
 	f, err := Decode(wire)
 	if err != nil {
 		p.stats.RxCRCErrors++
+		if tr := p.k.Tracer(); tr != nil {
+			tr.Instant(trace.LayerLLC, "rx_crc_error", p.k.NowPS())
+		}
 		// CRC error: we cannot trust the header, ask for replay from the
 		// next expected frame.
 		p.requestReplay()
@@ -299,6 +345,13 @@ func (p *Port) handleData(f *Frame) {
 	case f.Seq == p.expected:
 		p.expected++
 		p.cancelReplayTimer()
+		if p.replaySpan != 0 {
+			// In-order delivery resumed: the replay window closes.
+			if tr := p.k.Tracer(); tr != nil {
+				tr.End(p.replaySpan, p.k.NowPS())
+			}
+			p.replaySpan = 0
+		}
 		p.replayAsked = false
 		for _, t := range f.Txns {
 			if t.Op == capi.OpNop {
@@ -313,6 +366,9 @@ func (p *Port) handleData(f *Frame) {
 		p.scheduleCreditReturn()
 	case f.Seq > p.expected:
 		p.stats.RxGaps++
+		if tr := p.k.Tracer(); tr != nil {
+			tr.Instant(trace.LayerLLC, "rx_gap", p.k.NowPS())
+		}
 		p.requestReplay()
 	default:
 		// Duplicate from a replay we already consumed.
@@ -329,6 +385,13 @@ func (p *Port) requestReplay() {
 		return
 	}
 	p.replayAsked = true
+	if p.replaySpan == 0 {
+		// Open the replay-window span; timer-driven re-requests within the
+		// same outage keep the original span running.
+		if tr := p.k.Tracer(); tr != nil {
+			p.replaySpan = tr.Begin(trace.LayerLLC, "replay", p.k.NowPS())
+		}
+	}
 	p.sendControl(true, p.expected, p.takeCredits(), p.expected)
 	p.armReplayTimer()
 }

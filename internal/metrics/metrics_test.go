@@ -90,6 +90,50 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// Property: merging two histograms is indistinguishable from observing the
+// whole dataset sequentially — for any values and any split point, Count,
+// Min, Max, Mean and the quantiles of merge(h(left), h(right)) equal those
+// of h(left ++ right). Exact equality holds because Merge adds raw buckets
+// and sums rather than resampling.
+func TestQuickMergeMatchesSequential(t *testing.T) {
+	f := func(raw []uint32, split uint8) bool {
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r % 1000000) // includes 0: the <=0 bucket
+		}
+		cut := 0
+		if len(vals) > 0 {
+			cut = int(split) % (len(vals) + 1)
+		}
+		left, right, seq := NewHistogram(), NewHistogram(), NewHistogram()
+		for _, v := range vals[:cut] {
+			left.Observe(v)
+		}
+		for _, v := range vals[cut:] {
+			right.Observe(v)
+		}
+		for _, v := range vals {
+			seq.Observe(v)
+		}
+		left.Merge(right)
+		if left.Count() != seq.Count() || left.Min() != seq.Min() || left.Max() != seq.Max() {
+			return false
+		}
+		if math.Abs(left.Mean()-seq.Mean()) > 1e-9*math.Max(1, math.Abs(seq.Mean())) {
+			return false
+		}
+		for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+			if left.Quantile(q) != seq.Quantile(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: quantile approximation error is within the bucket resolution
 // (1%) plus bucketing slack for any positive dataset.
 func TestQuickQuantileAccuracy(t *testing.T) {

@@ -1,10 +1,15 @@
 package metrics
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
-// Counter is a simple monotonic event counter.
+// Counter is a monotonic event counter. Updates and reads are atomic, so a
+// counter registered in a Registry may be scraped (e.g. by the control
+// plane's /v1/metrics endpoint) while the simulation mutates it.
 type Counter struct {
-	n int64
+	n atomic.Int64
 }
 
 // Add increments the counter by d (d must be >= 0).
@@ -12,17 +17,17 @@ func (c *Counter) Add(d int64) {
 	if d < 0 {
 		panic("metrics: Counter.Add negative delta")
 	}
-	c.n += d
+	c.n.Add(d)
 }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 { return c.n }
+func (c *Counter) Value() int64 { return c.n.Load() }
 
 // Reset zeroes the counter.
-func (c *Counter) Reset() { c.n = 0 }
+func (c *Counter) Reset() { c.n.Store(0) }
 
 // PerfSample mirrors the Linux perf events the paper collects for the VoltDB
 // profiling campaign (Section VI-D): instructions, cycles, task-clock,

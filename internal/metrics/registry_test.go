@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops").Add(3)
+	r.Counter("ops").Inc() // same instrument by name
+	r.Gauge("depth").Set(7.5)
+	r.GaugeFunc("live", func() float64 { return 2 })
+	r.Histogram("lat").Observe(10)
+	r.Histogram("lat").Observe(20)
+
+	s := r.Snapshot()
+	if s.Counters["ops"] != 4 {
+		t.Fatalf("ops = %d, want 4", s.Counters["ops"])
+	}
+	if s.Gauges["depth"] != 7.5 || s.Gauges["live"] != 2 {
+		t.Fatalf("gauges = %v", s.Gauges)
+	}
+	h := s.Histograms["lat"]
+	if h.Count != 2 || math.Abs(h.Mean-15) > 1e-9 {
+		t.Fatalf("lat summary = %+v", h)
+	}
+}
+
+func TestRegistryCollector(t *testing.T) {
+	r := NewRegistry()
+	// A collector mimicking the llc adapter: pulls a component-internal
+	// counter into the registry as an increment on every snapshot.
+	internal := int64(0)
+	prev := int64(0)
+	r.AddCollector(func(reg *Registry) {
+		reg.Counter("pulled").Add(internal - prev)
+		prev = internal
+	})
+
+	internal = 5
+	if s := r.Snapshot(); s.Counters["pulled"] != 5 {
+		t.Fatalf("first snapshot pulled = %d, want 5", s.Counters["pulled"])
+	}
+	internal = 8
+	if s := r.Snapshot(); s.Counters["pulled"] != 8 {
+		t.Fatalf("second snapshot pulled = %d, want 8 (cumulative)", s.Counters["pulled"])
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Add(10)
+	r.Gauge("g").Set(1)
+	a := r.Snapshot()
+	r.Counter("x").Add(5)
+	r.Gauge("g").Set(2)
+	b := r.Snapshot()
+	d := b.Delta(a)
+	if d.Counters["x"] != 5 {
+		t.Fatalf("delta x = %d, want 5", d.Counters["x"])
+	}
+	if d.Gauges["g"] != 2 {
+		t.Fatalf("delta gauge = %v, want instantaneous 2", d.Gauges["g"])
+	}
+}
+
+func TestRegistryWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(3)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("WriteJSON output not valid JSON: %v\n%s", err, buf.String())
+	}
+	if s.Counters["c"] != 1 || s.Gauges["g"] != 3 {
+		t.Fatalf("round-tripped snapshot = %+v", s)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Gauge("depth").Set(float64(j))
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	if got := r.Snapshot().Counters["shared"]; got != 4000 {
+		t.Fatalf("shared = %d, want 4000", got)
+	}
+}

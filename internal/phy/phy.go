@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"thymesisflow/internal/sim"
+	"thymesisflow/internal/trace"
 )
 
 // LaneGbps is the line rate of one GTY transceiver lane.
@@ -120,13 +121,25 @@ func (c *Channel) Transmit(payload any, n int) {
 	}
 	c.sent++
 	_, done := c.pipe.Reserve(int64(n))
+	tr := c.k.Tracer()
 	if c.faults.DropProb > 0 && c.rng.Float64() < c.faults.DropProb {
 		c.dropped++
+		if tr != nil {
+			tr.Instant(trace.LayerPhy, "drop", c.k.NowPS())
+		}
 		return
 	}
 	corrupt := c.faults.CorruptProb > 0 && c.rng.Float64() < c.faults.CorruptProb
 	if corrupt {
 		c.corrupted++
+		if tr != nil {
+			tr.Instant(trace.LayerPhy, "corrupt", c.k.NowPS())
+		}
+	}
+	if tr != nil {
+		// The frame's time on the wire: serialization queueing plus the
+		// crossing latency, ending at the delivery instant.
+		tr.Span(trace.LayerPhy, "xmit", c.k.NowPS(), int64(done+c.oneWay))
 	}
 	d := Delivery{Payload: payload, Bytes: n, Corrupted: corrupt}
 	c.k.ScheduleAt(done+c.oneWay, func() { c.deliver(d) })

@@ -1,0 +1,68 @@
+package rmmu
+
+import (
+	"testing"
+
+	"thymesisflow/internal/capi"
+	"thymesisflow/internal/trace"
+)
+
+// fakeSource is a trace.Source with a settable clock, standing in for
+// *sim.Kernel.
+type fakeSource struct {
+	now int64
+	tr  trace.Tracer
+}
+
+func (f *fakeSource) NowPS() int64         { return f.now }
+func (f *fakeSource) Tracer() trace.Tracer { return f.tr }
+
+func TestTranslateEmitsInstants(t *testing.T) {
+	m := mustNew(t, 2, 1<<20)
+	if err := m.Map(0, 0x1000000, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	ring := trace.NewRing(16)
+	src := &fakeSource{now: 42_000, tr: ring}
+	m.Instrument(src)
+
+	ok := &capi.Transaction{Op: capi.OpReadReq, Addr: 0, Size: capi.Cacheline}
+	if err := m.Translate(ok); err != nil {
+		t.Fatal(err)
+	}
+	src.now = 43_000
+	fault := &capi.Transaction{Op: capi.OpReadReq, Addr: 1 << 20, Size: capi.Cacheline}
+	if err := m.Translate(fault); err == nil {
+		t.Fatal("translate through unmapped section succeeded")
+	}
+
+	evs := ring.Snapshot()
+	if len(evs) != 2 {
+		t.Fatalf("recorded %d events, want 2", len(evs))
+	}
+	if evs[0].Layer != trace.LayerRMMU || evs[0].Name != "translate" || evs[0].TS != 42_000 {
+		t.Fatalf("first event = %+v", evs[0])
+	}
+	if evs[1].Name != "translate_fault" || evs[1].TS != 43_000 {
+		t.Fatalf("second event = %+v", evs[1])
+	}
+}
+
+// TestTranslateUninstrumented checks the nil-source and nil-tracer paths
+// stay silent no-ops (the zero-overhead contract).
+func TestTranslateUninstrumented(t *testing.T) {
+	m := mustNew(t, 1, 1<<20)
+	if err := m.Map(0, 0, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	txn := func() *capi.Transaction {
+		return &capi.Transaction{Op: capi.OpReadReq, Addr: 0, Size: capi.Cacheline}
+	}
+	if err := m.Translate(txn()); err != nil { // no source at all
+		t.Fatal(err)
+	}
+	m.Instrument(&fakeSource{}) // source with nil tracer
+	if err := m.Translate(txn()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"thymesisflow/internal/trace"
+)
 
 // Event is a scheduled callback. Cancel it with Cancel before it fires if it
 // is no longer wanted.
@@ -13,6 +17,7 @@ import "fmt"
 // Cancelling an already-fired, not-yet-recycled event remains a no-op.
 type Event struct {
 	at        Time
+	schedAt   Time // time Schedule was called (dispatch-latency tracing)
 	seq       uint64
 	fn        func()
 	heapPos   int32 // position in the 4-ary heap; -1 once popped
@@ -53,7 +58,25 @@ type Kernel struct {
 	stopped         bool
 	cancelledQueued int      // cancelled events still in pq (lazy deletion)
 	free            []*Event // recycled Event structs
+
+	// tracer, when non-nil, receives a dispatch span and a queue-depth
+	// sample per fired event; datapath components reach it through
+	// Tracer(). The nil path costs one load+compare and zero allocations
+	// (asserted by TestKernelNilTracerZeroAllocs).
+	tracer trace.Tracer
 }
+
+// SetTracer attaches a tracer to the kernel; components built on this
+// kernel pick it up through Tracer() on their next emission, so a tracer
+// may be attached (or detached with nil) at any point of a run.
+func (k *Kernel) SetTracer(tr trace.Tracer) { k.tracer = tr }
+
+// Tracer returns the attached tracer (nil when tracing is disabled).
+func (k *Kernel) Tracer() trace.Tracer { return k.tracer }
+
+// NowPS returns the current virtual time in picoseconds. Together with
+// Tracer it makes *Kernel a trace.Source for kernel-less components.
+func (k *Kernel) NowPS() int64 { return int64(k.now) }
 
 // NewKernel returns a kernel with the clock at time zero.
 func NewKernel() *Kernel {
@@ -84,9 +107,18 @@ func (k *Kernel) ScheduleAt(t Time, fn func()) *Event {
 		e = k.free[n-1]
 		k.free[n-1] = nil
 		k.free = k.free[:n-1]
-		*e = Event{at: t, seq: k.seq, fn: fn, k: k}
+		// Field-wise reset: a whole-struct literal assignment compiles to a
+		// bulk typed copy (with write barriers for the pointer fields) that
+		// measurably slows the scheduling hot path.
+		e.at = t
+		e.schedAt = k.now
+		e.seq = k.seq
+		e.fn = fn
+		e.heapPos = 0
+		e.cancelled = false
+		e.k = k
 	} else {
-		e = &Event{at: t, seq: k.seq, fn: fn, k: k}
+		e = &Event{at: t, schedAt: k.now, seq: k.seq, fn: fn, k: k}
 	}
 	k.heapPush(e)
 	return e
@@ -118,6 +150,13 @@ func (k *Kernel) RunUntil(limit Time) Time {
 			continue
 		}
 		k.now = e.at
+		if tr := k.tracer; tr != nil {
+			// The dispatch span covers the event's queue residency
+			// (schedule -> fire); the counter samples queue depth as seen
+			// at the moment this event left the heap.
+			tr.Span(trace.LayerSim, "dispatch", int64(e.schedAt), int64(e.at))
+			tr.Counter(trace.LayerSim, "queue_depth", int64(e.at), float64(len(k.pq)))
+		}
 		fn := e.fn
 		fn()
 		k.recycle(e)

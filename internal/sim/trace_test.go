@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+
+	"thymesisflow/internal/trace"
+)
+
+// TestKernelTraceDispatch checks the kernel's per-event emissions: one
+// dispatch span covering schedule->fire and one queue-depth sample per fired
+// event, all on the sim layer.
+func TestKernelTraceDispatch(t *testing.T) {
+	k := NewKernel()
+	ring := trace.NewRing(64)
+	k.SetTracer(ring)
+	ran := 0
+	k.Schedule(5*Nanosecond, func() { ran++ })
+	k.Schedule(10*Nanosecond, func() { ran++ })
+	k.Run()
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
+	}
+	var spans, counters int
+	for _, e := range ring.Snapshot() {
+		if e.Layer != trace.LayerSim {
+			t.Fatalf("unexpected layer %q", e.Layer)
+		}
+		switch e.Ph {
+		case trace.PhaseSpan:
+			if e.Name != "dispatch" {
+				t.Fatalf("span name = %q", e.Name)
+			}
+			if e.TS != 0 || e.Dur <= 0 {
+				t.Fatalf("dispatch span ts=%d dur=%d, want ts=0 dur>0", e.TS, e.Dur)
+			}
+			spans++
+		case trace.PhaseCounter:
+			if e.Name != "queue_depth" {
+				t.Fatalf("counter name = %q", e.Name)
+			}
+			counters++
+		}
+	}
+	if spans != 2 || counters != 2 {
+		t.Fatalf("spans=%d counters=%d, want 2 and 2", spans, counters)
+	}
+}
+
+// TestKernelNilTracerZeroAllocs asserts the disabled-tracing hot path stays
+// allocation-free: with a warmed kernel (grown heap, populated free list) a
+// self-rescheduling event chain must not allocate at all, so attaching the
+// trace hooks costs untraced simulations nothing (ISSUE: 0 extra allocs vs
+// the PR-1 baseline).
+func TestKernelNilTracerZeroAllocs(t *testing.T) {
+	k := NewKernel()
+	const events = 1000
+	fired := 0
+	var step func()
+	step = func() {
+		fired++
+		if fired < events {
+			k.Schedule(Time(fired%7)*Nanosecond, step)
+		}
+	}
+	run := func() {
+		fired = 0
+		k.Schedule(0, step)
+		k.Run()
+	}
+	run() // warm the heap and the event free list
+
+	if allocs := testing.AllocsPerRun(10, run); allocs != 0 {
+		t.Fatalf("nil-tracer kernel path allocates %.1f allocs/run, want 0", allocs)
+	}
+}
+
+// BenchmarkKernelScheduleRunTraced is BenchmarkKernelScheduleRun with a ring
+// recorder attached: the cost of tracing when it is ON. Compare against
+// BenchmarkKernelScheduleRun (which must stay at its untraced baseline).
+func BenchmarkKernelScheduleRunTraced(b *testing.B) {
+	const events = 100_000
+	ring := trace.NewRing(trace.DefaultRingCapacity)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := NewKernel()
+		k.SetTracer(ring)
+		fired := 0
+		var step func()
+		step = func() {
+			fired++
+			if fired < events {
+				k.Schedule(Time(fired%7)*Nanosecond, step)
+			}
+		}
+		for j := 0; j < 64; j++ {
+			k.Schedule(Time(j)*Nanosecond, func() {})
+		}
+		k.Schedule(0, step)
+		k.Run()
+		if fired != events {
+			b.Fatalf("fired %d events, want %d", fired, events)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package trace is the cross-layer tracing subsystem: a zero-overhead-when-
+// disabled Tracer interface, a bounded ring-buffer recorder, and a Chrome
+// trace-event exporter (chrome://tracing / Perfetto) so a full simulated run
+// can be inspected on a timeline.
+//
+// Every event is keyed by a layer (the component of the disaggregation
+// datapath that emitted it: sim, phy, llc, capi, rmmu) and stamped with the
+// *virtual* simulation time in picoseconds, so the exported timeline shows
+// where simulated time goes inside the stack — flit flight times, credit
+// stalls, replay windows, CAPI transaction latencies — not host wall-clock.
+//
+// Instrumented components hold a Tracer and guard every emission with a nil
+// check:
+//
+//	if tr := k.Tracer(); tr != nil {
+//	    tr.Instant(trace.LayerRMMU, "translate", k.NowPS())
+//	}
+//
+// so the disabled path costs one pointer load and compare, and zero
+// allocations (verified by TestKernelNilTracerZeroAllocs in internal/sim).
+package trace
+
+import "sync"
+
+// Layer names used across the stack. Free-form strings are allowed; these
+// constants name the layers of the ThymesisFlow datapath.
+const (
+	LayerSim  = "sim"  // discrete-event kernel (dispatch latency, queue depth)
+	LayerPhy  = "phy"  // physical channels (frame flight, drops, corruption)
+	LayerLLC  = "llc"  // low-latency link protocol (frames, replay, credits)
+	LayerCAPI = "capi" // cache-coherent transactions (request round trips)
+	LayerRMMU = "rmmu" // remote-MMU translations
+)
+
+// SpanToken identifies an open span returned by Begin and consumed by End.
+// The zero token is invalid; End ignores it, so an untraced Begin/End pair
+// degenerates to two no-ops.
+type SpanToken uint64
+
+// Tracer records spans and instant events on a virtual timeline. All
+// timestamps are virtual simulation time in picoseconds. Implementations
+// must be safe for concurrent use: independent simulation kernels (e.g. the
+// parallel experiment runner's cells) may share one recorder.
+type Tracer interface {
+	// Begin opens a span on a layer. The returned token is passed to End
+	// when the span closes; spans may stay open across event callbacks.
+	Begin(layer, name string, tsPS int64) SpanToken
+	// End closes a span opened by Begin. Ending an evicted or zero token is
+	// a no-op.
+	End(tok SpanToken, tsPS int64)
+	// Span records a complete span whose endpoints are both known.
+	Span(layer, name string, startPS, endPS int64)
+	// Instant records a point event.
+	Instant(layer, name string, tsPS int64)
+	// Counter records a sample of a named numeric series (rendered as a
+	// counter track on the timeline).
+	Counter(layer, name string, tsPS int64, value float64)
+}
+
+// Source is a virtual clock plus a late-bound tracer lookup. *sim.Kernel
+// implements it, letting kernel-less components (the RMMU section table) be
+// instrumented once at construction and still honour a tracer attached to
+// the kernel afterwards.
+type Source interface {
+	NowPS() int64
+	Tracer() Tracer
+}
+
+// Phase distinguishes event kinds, mirroring the Chrome trace-event phases.
+type Phase byte
+
+// Event phases.
+const (
+	PhaseSpan    Phase = 'X' // complete span (TS..TS+Dur)
+	PhaseInstant Phase = 'i' // point event
+	PhaseCounter Phase = 'C' // counter sample (Value)
+)
+
+// Event is one recorded trace event.
+type Event struct {
+	Seq   uint64 // global record sequence (monotonic, 0-based)
+	TS    int64  // virtual time, picoseconds
+	Dur   int64  // span duration in picoseconds; -1 while the span is open
+	Layer string
+	Name  string
+	Ph    Phase
+	Value float64 // counter sample value (PhaseCounter only)
+}
+
+// DefaultRingCapacity bounds recorders created with NewRing(0): 1 Mi events
+// (~64 MiB) keeps the tail of even a full-scale experiment without letting
+// an unbounded trace eat the host.
+const DefaultRingCapacity = 1 << 20
+
+// Ring is a bounded ring-buffer Tracer: it retains the most recent
+// `capacity` events and silently evicts the oldest beyond that, so tracing
+// can stay attached to a long-lived simulation (or a live tfd daemon)
+// without unbounded growth. The buffer is allocated up front; recording
+// never allocates.
+type Ring struct {
+	mu  sync.Mutex
+	buf []Event
+	seq uint64 // total events ever recorded; next sequence number
+}
+
+// NewRing returns a recorder retaining the last `capacity` events
+// (DefaultRingCapacity if capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// record appends an event and returns its sequence number.
+func (r *Ring) record(e Event) uint64 {
+	seq := r.seq
+	e.Seq = seq
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[seq%uint64(cap(r.buf))] = e
+	}
+	r.seq++
+	return seq
+}
+
+// Begin implements Tracer.
+func (r *Ring) Begin(layer, name string, tsPS int64) SpanToken {
+	r.mu.Lock()
+	seq := r.record(Event{TS: tsPS, Dur: -1, Layer: layer, Name: name, Ph: PhaseSpan})
+	r.mu.Unlock()
+	return SpanToken(seq + 1) // +1 keeps the zero token invalid
+}
+
+// End implements Tracer. If the span was evicted from the ring in the
+// meantime its completion is silently dropped.
+func (r *Ring) End(tok SpanToken, tsPS int64) {
+	if tok == 0 {
+		return
+	}
+	seq := uint64(tok - 1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if seq >= r.seq || r.seq-seq > uint64(cap(r.buf)) {
+		return // never recorded, or already evicted
+	}
+	e := &r.buf[seq%uint64(cap(r.buf))]
+	if e.Seq != seq {
+		return // slot reused by a newer event
+	}
+	if d := tsPS - e.TS; d >= 0 {
+		e.Dur = d
+	}
+}
+
+// Span implements Tracer.
+func (r *Ring) Span(layer, name string, startPS, endPS int64) {
+	dur := endPS - startPS
+	if dur < 0 {
+		dur = 0
+	}
+	r.mu.Lock()
+	r.record(Event{TS: startPS, Dur: dur, Layer: layer, Name: name, Ph: PhaseSpan})
+	r.mu.Unlock()
+}
+
+// Instant implements Tracer.
+func (r *Ring) Instant(layer, name string, tsPS int64) {
+	r.mu.Lock()
+	r.record(Event{TS: tsPS, Layer: layer, Name: name, Ph: PhaseInstant})
+	r.mu.Unlock()
+}
+
+// Counter implements Tracer.
+func (r *Ring) Counter(layer, name string, tsPS int64, value float64) {
+	r.mu.Lock()
+	r.record(Event{TS: tsPS, Layer: layer, Name: name, Ph: PhaseCounter, Value: value})
+	r.mu.Unlock()
+}
+
+// Len reports the number of events currently retained.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Recorded reports the total number of events ever recorded, including
+// evicted ones.
+func (r *Ring) Recorded() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Dropped reports how many events have been evicted by the ring bound.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq - uint64(len(r.buf))
+}
+
+// Snapshot returns the retained events oldest-first. The returned slice is
+// a copy and safe to use while recording continues.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		copy(out, r.buf)
+		return out
+	}
+	head := int(r.seq % uint64(cap(r.buf))) // index of the oldest event
+	n := copy(out, r.buf[head:])
+	copy(out[n:], r.buf[:head])
+	return out
+}
+
+var _ Tracer = (*Ring)(nil)

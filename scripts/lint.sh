@@ -1,0 +1,12 @@
+#!/bin/sh
+# Formatting gate: fail when any tracked Go file differs from gofmt output.
+# Part of `make check` (see Makefile).
+set -eu
+cd "$(dirname "$0")/.."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "lint: files need gofmt:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+echo "lint: gofmt clean"
