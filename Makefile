@@ -6,10 +6,25 @@
 
 GO ?= go
 
-.PHONY: check test build vet lint bench-quick bench trace-demo
+.PHONY: check ci test build vet lint chaos fuzz-smoke bench-quick bench trace-demo
 
 check: lint vet build
 	$(GO) test -race ./...
+
+# Full CI gate: everything `check` runs, plus the chaos conformance
+# campaign through the tfbench binary and a short fuzz smoke of the frame
+# decoder. This is the target a pipeline should invoke.
+ci: check chaos fuzz-smoke
+
+# Run the fault-injection conformance campaign (docs/RELIABILITY.md).
+# Fails if any scenario violates its losslessness/replay/credit invariants.
+chaos:
+	$(GO) run ./cmd/tfbench -chaos -seed 1 -parallel 0 -chaos-out chaos_report.json
+
+# Brief coverage-guided fuzz of the LLC frame decoder against corrupted
+# and truncated wire images.
+fuzz-smoke:
+	$(GO) test ./internal/llc/ -fuzz FuzzDecodeCorrupted -fuzztime 10s
 
 vet:
 	$(GO) vet ./...

@@ -15,6 +15,17 @@
 // (N=0 means one per core, N=1 — the default — is sequential). Every cell
 // owns its simulation kernel and the merged tables are printed in cell
 // order, so the output does not depend on N.
+//
+// Chaos mode runs the fault-injection conformance campaign instead of the
+// figures:
+//
+//	tfbench -chaos                          # full catalogue, default seed
+//	tfbench -chaos -seed 42 -chaos-out r.json
+//	tfbench -chaos -chaos-scenario crc-burst -seed 42
+//
+// The campaign seed is printed in the report; re-running any scenario with
+// that seed reproduces its report byte for byte (see docs/RELIABILITY.md).
+// Exit status is non-zero if any scenario violates its invariants.
 package main
 
 import (
@@ -24,6 +35,7 @@ import (
 	"strings"
 
 	"thymesisflow/internal/bench"
+	"thymesisflow/internal/chaos"
 	"thymesisflow/internal/metrics"
 	"thymesisflow/internal/trace"
 )
@@ -34,6 +46,10 @@ func main() {
 	parallel := flag.Int("parallel", 1, "experiment-cell workers: 1 = sequential, 0 = one per core, N = N workers")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto / chrome://tracing)")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry snapshot JSON file")
+	chaosMode := flag.Bool("chaos", false, "run the fault-injection conformance campaign instead of the figures")
+	chaosSeed := flag.Int64("seed", 1, "campaign seed for -chaos; the same seed reproduces the report byte for byte")
+	chaosScenario := flag.String("chaos-scenario", "", "run a single catalogue scenario by name (default: all)")
+	chaosOut := flag.String("chaos-out", "", "write the campaign report JSON to a file instead of stdout")
 	flag.Parse()
 
 	scale := bench.Quick
@@ -42,6 +58,10 @@ func main() {
 	}
 	w := os.Stdout
 	r := bench.NewRunner(*parallel)
+
+	if *chaosMode {
+		os.Exit(runChaos(r, *chaosSeed, *chaosScenario, *chaosOut))
+	}
 
 	var ring *trace.Ring
 	if *traceOut != "" {
@@ -111,6 +131,52 @@ func main() {
 		}
 		fmt.Fprintf(w, "metrics -> %s\n", *metricsOut)
 	}
+}
+
+// runChaos executes the fault-injection campaign and returns the process
+// exit code: 0 when every scenario passed, 1 otherwise.
+func runChaos(r *bench.Runner, seed int64, scenario, out string) int {
+	cat := chaos.Catalogue()
+	if scenario != "" {
+		s, ok := chaos.Find(scenario)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tfbench: unknown chaos scenario %q; catalogue:\n", scenario)
+			for _, c := range cat {
+				fmt.Fprintf(os.Stderr, "  %-24s %s\n", c.Name, c.Description)
+			}
+			return 2
+		}
+		cat = []chaos.Scenario{s}
+	}
+	rep := r.Chaos(cat, seed)
+	data, err := rep.JSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tfbench: %v\n", err)
+		return 1
+	}
+	if out != "" {
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tfbench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("chaos report (seed %d) -> %s\n", seed, out)
+	} else {
+		fmt.Printf("%s\n", data)
+	}
+	for _, sr := range rep.Scenarios {
+		status := "PASS"
+		if !sr.Passed {
+			status = "FAIL"
+		}
+		fmt.Fprintf(os.Stderr, "%s %-24s seed=%d ops=%d/%d replayed=%d state=%s\n",
+			status, sr.Name, sr.Seed, sr.OpsOK, sr.Ops, sr.LLC.TxReplayed, sr.FinalState)
+	}
+	if !rep.Passed {
+		fmt.Fprintf(os.Stderr, "tfbench: campaign FAILED (reproduce with -chaos -seed %d)\n", seed)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "tfbench: campaign passed (reproduce with -chaos -seed %d)\n", seed)
+	return 0
 }
 
 func writeTrace(path string, ring *trace.Ring) error {

@@ -1,0 +1,22 @@
+package bench
+
+import "thymesisflow/internal/chaos"
+
+// Chaos runs a fault-injection campaign across the worker pool, one
+// scenario per cell. Every scenario builds its own sim.Kernel and derives
+// its PRNG seeds from (campaign seed, scenario name), so the assembled
+// report is byte-identical to a sequential run regardless of worker count
+// or completion order — the same guarantee the figure runners give.
+func (r *Runner) Chaos(scenarios []chaos.Scenario, seed int64) chaos.Report {
+	rep := chaos.Report{Seed: seed, Passed: true}
+	rep.Scenarios = make([]chaos.ScenarioReport, len(scenarios))
+	r.run(len(scenarios), func(i int) {
+		rep.Scenarios[i] = chaos.Run(scenarios[i], seed)
+	})
+	for _, sr := range rep.Scenarios {
+		if !sr.Passed {
+			rep.Passed = false
+		}
+	}
+	return rep
+}

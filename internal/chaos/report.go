@@ -1,0 +1,78 @@
+package chaos
+
+import "encoding/json"
+
+// Report is the result of one campaign: every scenario's outcome plus the
+// campaign seed that reproduces it exactly. All values derive from virtual
+// time and deterministic counters, so the same seed yields a byte-identical
+// report regardless of wall-clock, host, or worker count.
+type Report struct {
+	Seed      int64            `json:"seed"`
+	Passed    bool             `json:"passed"`
+	Scenarios []ScenarioReport `json:"scenarios"`
+}
+
+// ScenarioReport is one scenario's outcome.
+type ScenarioReport struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// Seed is the scenario's derived seed. Running the scenario alone with
+	// the campaign seed reproduces this value and the whole report.
+	Seed     int64    `json:"seed"`
+	Passed   bool     `json:"passed"`
+	Failures []string `json:"failures,omitempty"`
+
+	// Workload outcome.
+	Ops        int    `json:"ops"`
+	OpsOK      int    `json:"ops_ok"`
+	OpsFailed  int    `json:"ops_failed"`
+	FirstError string `json:"first_error,omitempty"`
+	// LinesVerified counts cachelines whose content was checked — against
+	// donor memory for every acknowledged store, and additionally end to end
+	// through the datapath when the attachment survives the scenario.
+	LinesVerified int `json:"lines_verified"`
+
+	// Degradation measurements (virtual time).
+	WorkNS         int64   `json:"work_ns"`
+	AvgLatencyNS   int64   `json:"avg_latency_ns"`
+	MaxLatencyNS   int64   `json:"max_latency_ns"`
+	ThroughputMiBs float64 `json:"throughput_mib_s"`
+
+	// Protocol and wire counters aggregated over both link directions.
+	LLC LLCStats `json:"llc"`
+	Phy PhyStats `json:"phy"`
+
+	// FinalState is the attachment's lifecycle state at scenario end.
+	FinalState string `json:"final_state"`
+}
+
+// LLCStats aggregates the protocol counters of both ports of a link.
+type LLCStats struct {
+	TxFrames        int64 `json:"tx_frames"`
+	TxControl       int64 `json:"tx_control"`
+	TxReplayed      int64 `json:"tx_replayed"`
+	TxTransactions  int64 `json:"tx_transactions"`
+	RxTransactions  int64 `json:"rx_transactions"`
+	RxCRCErrors     int64 `json:"rx_crc_errors"`
+	RxGaps          int64 `json:"rx_gaps"`
+	RxDuplicates    int64 `json:"rx_duplicates"`
+	CreditStalls    int64 `json:"credit_stalls"`
+	CreditProbes    int64 `json:"credit_probes"`
+	ReplayExhausted int64 `json:"replay_exhausted"`
+	ReplayOverflows int64 `json:"replay_overflows"`
+	TxAbandoned     int64 `json:"tx_abandoned"`
+	LinkDownEvents  int64 `json:"link_down_events"`
+}
+
+// PhyStats aggregates wire counters over both channels of a link.
+type PhyStats struct {
+	Sent      int64 `json:"sent"`
+	Dropped   int64 `json:"dropped"`
+	Corrupted int64 `json:"corrupted"`
+}
+
+// JSON renders the report as indented JSON. Map-free structures and
+// deterministic inputs make the output byte-identical for a given seed.
+func (r Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

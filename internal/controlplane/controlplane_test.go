@@ -333,3 +333,37 @@ func TestRESTAttachmentStats(t *testing.T) {
 		t.Fatalf("unauthorized stats status = %d", w.Code)
 	}
 }
+
+func TestRESTAttachmentState(t *testing.T) {
+	api, svc := restAPI(t)
+	w := doReq(t, api, http.MethodPost, "/v1/attachments", "admin-tok", AttachRequest{
+		ComputeHost: "node0", DonorHost: "node1", Bytes: 1 << 20, Channels: 1,
+	})
+	if w.Code != http.StatusCreated {
+		t.Fatalf("POST status = %d", w.Code)
+	}
+	var rec AttachmentRecord
+	if err := json.Unmarshal(w.Body.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	w = doReq(t, api, http.MethodGet, "/v1/attachments/"+rec.ID+"/state", "reader-tok", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("state status = %d body=%s", w.Code, w.Body.String())
+	}
+	var st map[string]string
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st["state"] != "active" {
+		t.Fatalf("state = %q, want active", st["state"])
+	}
+	if got, ok := svc.AttachmentState(rec.ID); !ok || got != "active" {
+		t.Fatalf("service state = %q ok=%v", got, ok)
+	}
+	if w := doReq(t, api, http.MethodGet, "/v1/attachments/nope/state", "reader-tok", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown state status = %d", w.Code)
+	}
+	if w := doReq(t, api, http.MethodGet, "/v1/attachments/"+rec.ID+"/state", "", nil); w.Code != http.StatusUnauthorized {
+		t.Fatalf("unauthorized state status = %d", w.Code)
+	}
+}

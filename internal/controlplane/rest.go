@@ -121,6 +121,22 @@ func (a *API) handleAttachment(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "missing attachment id")
 		return
 	}
+	if rest, found := strings.CutSuffix(id, "/state"); found {
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, "method not allowed")
+			return
+		}
+		if !a.authorize(w, r, RoleReader) {
+			return
+		}
+		st, ok := a.svc.AttachmentState(rest)
+		if !ok {
+			writeErr(w, http.StatusNotFound, "no state for attachment")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"id": rest, "state": st})
+		return
+	}
 	if rest, found := strings.CutSuffix(id, "/stats"); found {
 		if r.Method != http.MethodGet {
 			writeErr(w, http.StatusMethodNotAllowed, "method not allowed")

@@ -57,6 +57,43 @@ func (ce ClusterExecutor) Traffic(id string) (core.TrafficStats, bool) {
 	return att.Traffic(), true
 }
 
+// StateReporter is optionally implemented by executors that can report an
+// attachment's lifecycle state (active / draining / link-down); the REST
+// layer exposes it under GET /v1/attachments/{id}/state so operators can
+// observe degraded-mode recovery and detach-under-load progress.
+type StateReporter interface {
+	AttachmentState(id string) (string, bool)
+}
+
+// AttachmentState implements StateReporter.
+func (ce ClusterExecutor) AttachmentState(id string) (string, bool) {
+	att, ok := ce.Cluster.Attachment(id)
+	if !ok {
+		return "", false
+	}
+	return att.State().String(), true
+}
+
+// AttachmentState returns the lifecycle state of an attachment when the
+// executor supports state reporting. Attachments the control plane knows
+// about but the executor no longer holds (torn down underneath it) read as
+// detached.
+func (s *Service) AttachmentState(id string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, known := s.attachments[id]; !known {
+		return "", false
+	}
+	sr, ok := s.exec.(StateReporter)
+	if !ok {
+		return "", false
+	}
+	if st, ok := sr.AttachmentState(id); ok {
+		return st, true
+	}
+	return core.StateDetached.String(), true
+}
+
 // Traffic returns datapath counters for an attachment when the executor
 // supports reporting.
 func (s *Service) Traffic(id string) (core.TrafficStats, bool) {

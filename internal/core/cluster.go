@@ -70,6 +70,40 @@ func (c *Cluster) Hosts() []*Host {
 	return out
 }
 
+// AttachState is the lifecycle state of an attachment. State transitions
+// are driven entirely in virtual time, so campaigns observing them are
+// deterministic.
+type AttachState int
+
+// Attachment lifecycle states.
+const (
+	// StateActive: the datapath is up and serving Load/Store traffic.
+	StateActive AttachState = iota
+	// StateDraining: a graceful detach has begun; new requests are rejected
+	// while outstanding transactions complete.
+	StateDraining
+	// StateLinkDown: the LLC escalated (replay/probe exhaustion); the
+	// datapath is fenced and outstanding transactions were faulted.
+	StateLinkDown
+	// StateDetached: teardown completed; the attachment no longer exists in
+	// the cluster (the state survives on retained pointers for inspection).
+	StateDetached
+)
+
+var attachStateNames = [...]string{"active", "draining", "link-down", "detached"}
+
+// String returns the lower-case state name used in control-plane payloads.
+func (s AttachState) String() string {
+	if int(s) < len(attachStateNames) {
+		return attachStateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// ErrDetaching is the error outstanding transactions complete with when a
+// forced detach fences the datapath underneath them.
+var ErrDetaching = fmt.Errorf("core: attachment detaching")
+
 // Attachment is one live disaggregated-memory binding: Bytes of the donor's
 // memory appear as the CPU-less NUMA node Node on the compute host.
 type Attachment struct {
@@ -95,6 +129,7 @@ type Attachment struct {
 	DeviceBase uint64
 
 	computePorts []*llc.Port
+	state        AttachState
 	// qos shapes this flow when it shares channels with other attachments;
 	// sharers counts attachments reusing this one's channels.
 	qos        *route.QoS
@@ -105,6 +140,14 @@ type Attachment struct {
 // QoS returns the shaping arbiter of the attachment's channel group (nil
 // when the channels are dedicated).
 func (a *Attachment) QoS() *route.QoS { return a.qos }
+
+// State returns the attachment's lifecycle state.
+func (a *Attachment) State() AttachState { return a.state }
+
+// Ports returns the compute-side LLC ports, one per channel. Campaign
+// engines reach through them (Port.Channel, Port.Peer) to install fault
+// schedules and read protocol stats.
+func (a *Attachment) Ports() []*llc.Port { return a.computePorts }
 
 // TrafficStats aggregates an attachment's observable datapath counters.
 type TrafficStats struct {
@@ -161,6 +204,10 @@ type AttachSpec struct {
 	// QoSWeight assigns this flow's bandwidth weight within the shared
 	// channel group (default 1). Only meaningful with sharing.
 	QoSWeight int
+	// LLC overrides the protocol parameters of newly created links (nil
+	// selects llc.DefaultConfig). Campaigns shrink the credit window or the
+	// escalation budget to provoke starvation and link-down paths quickly.
+	LLC *llc.Config
 }
 
 // Attach performs the full software-defined attachment: donor-side steal
@@ -240,14 +287,23 @@ func (c *Cluster) Attach(spec AttachSpec) (*Attachment, error) {
 		bonded = base.Bonded
 	} else {
 		// Network bring-up: one LLC/phy link per channel.
+		llcCfg := llc.DefaultConfig()
+		if spec.LLC != nil {
+			llcCfg = *spec.LLC
+		}
 		for i := 0; i < spec.Channels; i++ {
 			f := c.Faults
 			f.Seed += int64(i) * 7919
 			link := phy.NewLink(c.K, fmt.Sprintf("%s-%s.ch%d", ch.Name, dh.Name, i),
 				phy.LanesPerChannel, phy.SerdesCrossing, f)
-			cp, mp := llc.NewPair(c.K, fmt.Sprintf("%s.llc%d", id, i), link, llc.DefaultConfig())
+			cp, mp := llc.NewPair(c.K, fmt.Sprintf("%s.llc%d", id, i), link, llcCfg)
 			ch.Compute.AttachPort(cp)
 			dh.Memory.AttachPort(mp)
+			// Either side escalating fences the whole attachment: outstanding
+			// transactions are faulted instead of hanging, and the state is
+			// surfaced through the control plane.
+			cp.OnLinkDown = func() { c.onLinkDown(ch, cp) }
+			mp.OnLinkDown = func() { c.onLinkDown(ch, cp) }
 			att.computePorts = append(att.computePorts, cp)
 		}
 	}
@@ -348,6 +404,98 @@ func (c *Cluster) rollbackDonor(dh *Host, region *endpoint.StolenRegion, bytes i
 	dh.Mem.Node(dh.LocalNode(0)).Capacity += bytes
 }
 
+// onLinkDown handles an LLC escalation on one of host ch's ports: every
+// attachment routed over that port is fenced and the endpoint's outstanding
+// transactions are faulted so blocked issuers wake with ErrLinkDown.
+func (c *Cluster) onLinkDown(ch *Host, port *llc.Port) {
+	for _, id := range c.attachmentIDs() {
+		att := c.attachments[id]
+		if att.ComputeHost != ch.Name {
+			continue
+		}
+		for _, p := range att.computePorts {
+			if p == port && att.state != StateDetached {
+				att.state = StateLinkDown
+			}
+		}
+	}
+	ch.Compute.SetLinkDown()
+	ch.Compute.FaultOutstanding(endpoint.ErrLinkDown)
+}
+
+// attachmentIDs returns live attachment IDs in sorted order so every
+// cluster-wide walk is deterministic.
+func (c *Cluster) attachmentIDs() []string {
+	ids := make([]string, 0, len(c.attachments))
+	for id := range c.attachments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ApplyFaultSchedule installs sched on every channel of the attachment, both
+// directions, with per-channel derived seeds so multi-channel attachments
+// draw independent but reproducible fault streams.
+func (c *Cluster) ApplyFaultSchedule(att *Attachment, sched phy.FaultSchedule) {
+	for i, p := range att.computePorts {
+		fwd := sched
+		fwd.Base.Seed = sched.Base.Seed + int64(i)*7919
+		p.Channel().SetSchedule(fwd)
+		if p.Peer() != nil {
+			rev := sched
+			rev.Base.Seed = sched.Base.Seed + int64(i)*7919 + 1
+			p.Peer().Channel().SetSchedule(rev)
+		}
+	}
+}
+
+// drainPollInterval is how often a graceful detach re-checks the endpoint's
+// outstanding-transaction count in virtual time.
+const drainPollInterval = sim.Microsecond
+
+// BeginDetach starts detaching an attachment while traffic may still be in
+// flight. New Load/Store requests are rejected immediately (StateDraining).
+// With force=false the detach completes once every outstanding transaction
+// has drained; with force=true outstanding transactions are faulted with
+// ErrDetaching and teardown proceeds at once. done (optional) is called in
+// virtual time with the final teardown result.
+func (c *Cluster) BeginDetach(id string, force bool, done func(error)) error {
+	att, ok := c.attachments[id]
+	if !ok {
+		return fmt.Errorf("core: unknown attachment %q", id)
+	}
+	if att.state == StateDraining {
+		return fmt.Errorf("core: attachment %q already draining", id)
+	}
+	ch := c.hosts[att.ComputeHost]
+	att.state = StateDraining
+	finish := func() {
+		err := c.Detach(id)
+		if err == nil {
+			att.state = StateDetached
+		}
+		if done != nil {
+			done(err)
+		}
+	}
+	if force {
+		ch.Compute.FaultOutstanding(ErrDetaching)
+		c.K.Schedule(0, finish)
+		return nil
+	}
+	var poll func()
+	poll = func() {
+		if ch.Compute.Outstanding() == 0 {
+			finish()
+			return
+		}
+		c.K.Schedule(drainPollInterval, poll)
+	}
+	c.K.Schedule(0, poll)
+	return nil
+}
+
 // Detach tears an attachment down. Pages still on the disaggregated node
 // are migrated to the compute host's local node first (the OS-level path a
 // planned removal takes); detach fails if local memory cannot absorb them.
@@ -392,6 +540,7 @@ func (c *Cluster) Detach(id string) error {
 	}
 	c.rollbackDonor(dh, att.Region, att.Bytes)
 	delete(c.attachments, id)
+	att.state = StateDetached
 	return nil
 }
 
@@ -415,6 +564,9 @@ func (c *Cluster) Attachments() []*Attachment {
 // -> LLC -> phy -> donor C1 -> back). off is a byte offset within the
 // attachment.
 func (c *Cluster) Load(p *sim.Proc, att *Attachment, off int64, size int32) ([]byte, error) {
+	if att.state != StateActive {
+		return nil, fmt.Errorf("core: load on attachment %s in state %s", att.ID, att.state)
+	}
 	if off < 0 || off+int64(size) > att.Bytes {
 		return nil, fmt.Errorf("core: load offset %d+%d outside attachment of %d", off, size, att.Bytes)
 	}
@@ -427,6 +579,9 @@ func (c *Cluster) Load(p *sim.Proc, att *Attachment, off int64, size int32) ([]b
 
 // Store writes through the full transaction datapath.
 func (c *Cluster) Store(p *sim.Proc, att *Attachment, off int64, data []byte) error {
+	if att.state != StateActive {
+		return fmt.Errorf("core: store on attachment %s in state %s", att.ID, att.state)
+	}
 	if off < 0 || off+int64(len(data)) > att.Bytes {
 		return fmt.Errorf("core: store offset %d+%d outside attachment of %d", off, len(data), att.Bytes)
 	}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"thymesisflow/internal/capi"
+	"thymesisflow/internal/endpoint"
+	"thymesisflow/internal/llc"
+	"thymesisflow/internal/phy"
+	"thymesisflow/internal/sim"
+)
+
+// TestBeginDetachDrainsOutstanding starts a graceful detach while a worker
+// has requests in flight: in-flight requests must complete normally, new
+// requests must be rejected, and teardown must finish only after the drain.
+func TestBeginDetachDrainsOutstanding(t *testing.T) {
+	c, a, _ := newTestCluster(t)
+	att, err := c.Attach(AttachSpec{
+		ComputeHost: "hostA", DonorHost: "hostB", Bytes: 1 << 20, Backing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var completed, rejected int
+	c.K.Go("worker", func(p *sim.Proc) {
+		buf := make([]byte, capi.Cacheline)
+		for i := 0; i < 200; i++ {
+			capi.FillPattern(buf, uint64(i))
+			if err := c.Store(p, att, int64(i)*capi.Cacheline, buf); err != nil {
+				rejected++
+				return
+			}
+			completed++
+		}
+	})
+	var detachErr error
+	detachDone := false
+	c.K.Schedule(20*sim.Microsecond, func() {
+		if err := c.BeginDetach(att.ID, false, func(e error) {
+			detachErr = e
+			detachDone = true
+		}); err != nil {
+			t.Error(err)
+		}
+		if att.State() != StateDraining {
+			t.Errorf("state after BeginDetach = %v", att.State())
+		}
+	})
+	c.K.RunUntil(100 * sim.Millisecond)
+	if !detachDone || detachErr != nil {
+		t.Fatalf("detach done=%v err=%v", detachDone, detachErr)
+	}
+	if att.State() != StateDetached {
+		t.Fatalf("state = %v, want detached", att.State())
+	}
+	if completed == 0 || rejected != 1 {
+		t.Fatalf("completed=%d rejected=%d; want some completions and exactly one rejection", completed, rejected)
+	}
+	if _, ok := c.Attachment(att.ID); ok {
+		t.Fatal("attachment still registered after detach")
+	}
+	// Donor capacity fully restored.
+	if got := c.hosts["hostB"].Mem.Node(c.hosts["hostB"].LocalNode(0)).Capacity; got != 4<<30 {
+		t.Fatalf("donor capacity = %d after detach", got)
+	}
+	_ = a
+}
+
+// TestBeginDetachForceFaultsInFlight forces a detach under load: the
+// worker's blocked request must complete with ErrDetaching instead of
+// hanging, and teardown must proceed immediately.
+func TestBeginDetachForceFaultsInFlight(t *testing.T) {
+	c, _, _ := newTestCluster(t)
+	att, err := c.Attach(AttachSpec{
+		ComputeHost: "hostA", DonorHost: "hostB", Bytes: 1 << 20, Backing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var workerErr error
+	c.K.Go("worker", func(p *sim.Proc) {
+		for i := 0; i < 10000; i++ {
+			if _, err := c.Load(p, att, 0, capi.Cacheline); err != nil {
+				workerErr = err
+				return
+			}
+		}
+	})
+	detachDone := false
+	c.K.Schedule(10*sim.Microsecond, func() {
+		if err := c.BeginDetach(att.ID, true, func(e error) {
+			if e != nil {
+				t.Errorf("forced detach failed: %v", e)
+			}
+			detachDone = true
+		}); err != nil {
+			t.Error(err)
+		}
+	})
+	c.K.RunUntil(10 * sim.Millisecond)
+	if !detachDone {
+		t.Fatal("forced detach did not complete")
+	}
+	if workerErr != ErrDetaching && workerErr != nil {
+		// The worker was either mid-flight (faulted with ErrDetaching) or
+		// between requests (rejected by the state gate) — both must error.
+		t.Logf("worker saw state-gate error: %v", workerErr)
+	}
+	if workerErr == nil {
+		t.Fatal("worker never observed the detach")
+	}
+	if c.hosts["hostA"].Compute.Outstanding() != 0 {
+		t.Fatal("outstanding requests leaked through forced detach")
+	}
+}
+
+// TestLinkDownEscalationSurfaces kills an attachment's link mid-traffic: the
+// LLC must escalate, outstanding requests must fault with ErrLinkDown, and
+// the attachment state must read link-down.
+func TestLinkDownEscalationSurfaces(t *testing.T) {
+	c, _, _ := newTestCluster(t)
+	cfg := llc.DefaultConfig()
+	cfg.ReplayTimeout = sim.Microsecond
+	cfg.MaxReplayAttempts = 8
+	att, err := c.Attach(AttachSpec{
+		ComputeHost: "hostA", DonorHost: "hostB", Bytes: 1 << 20, Backing: true, LLC: &cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean until 20 us, then the link dies completely.
+	c.ApplyFaultSchedule(att, phy.FaultSchedule{
+		Windows: []phy.Window{{From: 20 * sim.Microsecond, To: sim.Time(1 << 62), DropProb: 1}},
+	})
+	var workerErr error
+	c.K.Go("worker", func(p *sim.Proc) {
+		for i := 0; i < 10000; i++ {
+			if _, err := c.Load(p, att, 0, capi.Cacheline); err != nil {
+				workerErr = err
+				return
+			}
+		}
+	})
+	c.K.RunUntil(50 * sim.Millisecond)
+	if att.State() != StateLinkDown {
+		t.Fatalf("state = %v, want link-down", att.State())
+	}
+	if workerErr != endpoint.ErrLinkDown {
+		t.Fatalf("worker error = %v, want ErrLinkDown", workerErr)
+	}
+	down := false
+	for _, p := range att.Ports() {
+		if p.Down() || (p.Peer() != nil && p.Peer().Down()) {
+			down = true
+		}
+	}
+	if !down {
+		t.Fatal("no LLC port is down despite escalation")
+	}
+}
+
+// TestApplyFaultScheduleIsReproducible installs the same schedule twice on
+// identical clusters and requires identical protocol stats.
+func TestApplyFaultScheduleIsReproducible(t *testing.T) {
+	run := func() llc.Stats {
+		c, _, _ := newTestCluster(t)
+		att, err := c.Attach(AttachSpec{
+			ComputeHost: "hostA", DonorHost: "hostB", Bytes: 1 << 20, Backing: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.ApplyFaultSchedule(att, phy.FaultSchedule{
+			Base: phy.FaultConfig{DropProb: 0.05, CorruptProb: 0.05, Seed: 77},
+		})
+		c.K.Go("worker", func(p *sim.Proc) {
+			buf := make([]byte, capi.Cacheline)
+			for i := 0; i < 100; i++ {
+				capi.FillPattern(buf, uint64(i))
+				if err := c.Store(p, att, int64(i)*capi.Cacheline, buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+		c.K.RunUntil(100 * sim.Millisecond)
+		return att.Ports()[0].Stats()
+	}
+	if run() != run() {
+		t.Fatal("scheduled fault runs diverged")
+	}
+}

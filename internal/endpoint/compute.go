@@ -9,6 +9,7 @@ package endpoint
 
 import (
 	"fmt"
+	"sort"
 
 	"thymesisflow/internal/capi"
 	"thymesisflow/internal/llc"
@@ -43,14 +44,25 @@ type ComputeEndpoint struct {
 	nextTag uint32
 	waiting map[uint32]*pendingReq
 
-	loads  int64
-	stores int64
+	// linkDown fences the issue path after LLC escalation or forced detach.
+	linkDown bool
+
+	loads   int64
+	stores  int64
+	faulted int64
 }
 
 type pendingReq struct {
 	sig  *sim.Signal
 	resp *capi.Transaction
+	err  error
 }
+
+// ErrLinkDown is the error outstanding and subsequent requests complete with
+// after the endpoint's link has been fenced (LLC escalation or forced
+// detach). Callers distinguish it from RMMU translation faults to decide
+// between retrying elsewhere and reporting a wild access.
+var ErrLinkDown = fmt.Errorf("endpoint: link down")
 
 // NewCompute builds a compute endpoint with the given RMMU geometry.
 func NewCompute(k *sim.Kernel, name string, sections int, sectionSize int64) (*ComputeEndpoint, error) {
@@ -101,9 +113,44 @@ func (ce *ComputeEndpoint) handleResponse(t *capi.Transaction) {
 	})
 }
 
+// Outstanding returns the number of requests issued but not yet completed.
+// Detach-under-load drains an attachment by polling this in virtual time.
+func (ce *ComputeEndpoint) Outstanding() int { return len(ce.waiting) }
+
+// SetLinkDown marks the endpoint's datapath as fenced: every subsequent
+// issue fails fast with ErrLinkDown instead of translating and forwarding
+// into a dead link.
+func (ce *ComputeEndpoint) SetLinkDown() { ce.linkDown = true }
+
+// FaultOutstanding completes every outstanding request with err, waking its
+// blocked issuer. Tags are faulted in sorted order so the wake-up sequence —
+// and therefore the downstream event order — is deterministic regardless of
+// map iteration order. Used by link-down escalation and forced detach.
+func (ce *ComputeEndpoint) FaultOutstanding(err error) int {
+	if len(ce.waiting) == 0 {
+		return 0
+	}
+	tags := make([]uint32, 0, len(ce.waiting))
+	for tag := range ce.waiting {
+		tags = append(tags, tag)
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+	for _, tag := range tags {
+		w := ce.waiting[tag]
+		delete(ce.waiting, tag)
+		w.err = err
+		w.sig.Broadcast()
+	}
+	ce.faulted += int64(len(tags))
+	return len(tags)
+}
+
 // issue translates and forwards one request, then blocks the calling
 // process until the response arrives. It returns the response transaction.
 func (ce *ComputeEndpoint) issue(p *sim.Proc, t *capi.Transaction) (*capi.Transaction, error) {
+	if ce.linkDown {
+		return nil, ErrLinkDown
+	}
 	if err := ce.rmmu.Translate(t); err != nil {
 		return nil, err
 	}
@@ -130,6 +177,9 @@ func (ce *ComputeEndpoint) issue(p *sim.Proc, t *capi.Transaction) (*capi.Transa
 	w.sig.Wait(p)
 	if tr != nil {
 		tr.End(tok, ce.k.NowPS())
+	}
+	if w.err != nil {
+		return nil, w.err
 	}
 	return w.resp, nil
 }
@@ -158,3 +208,7 @@ func (ce *ComputeEndpoint) Store(p *sim.Proc, deviceAddr uint64, data []byte) er
 
 // Stats returns completed (loads, stores).
 func (ce *ComputeEndpoint) Stats() (loads, stores int64) { return ce.loads, ce.stores }
+
+// Faulted returns the number of outstanding requests completed with an error
+// by FaultOutstanding since creation.
+func (ce *ComputeEndpoint) Faulted() int64 { return ce.faulted }

@@ -55,10 +55,19 @@ type Frame struct {
 	Txns []*capi.Transaction // data frames
 
 	// Control frame payload.
-	ReplayFrom   uint64 // request replay starting at this sequence, if ReplayValid
-	ReplayValid  bool
-	CreditReturn uint32 // transaction slots freed at the receiver
-	CumAck       uint64 // highest in-order sequence received + 1 (prunes replay buffer)
+	ReplayFrom  uint64 // request replay starting at this sequence, if ReplayValid
+	ReplayValid bool
+	// CumFreed is the cumulative count of transaction slots freed at the
+	// receiver since port creation. Carrying the running total instead of an
+	// increment makes credit returns idempotent: a lost control frame is
+	// repaired by any later one, so credits are conserved under arbitrary
+	// control-frame loss.
+	CumFreed uint64
+	// Probe requests an immediate credit-return control frame from the peer.
+	// A credit-starved transmitter sends probes when it has pending traffic
+	// but no acknowledgement traffic left to piggy-back returns on.
+	Probe  bool
+	CumAck uint64 // highest in-order sequence received + 1 (prunes replay buffer)
 
 	crc uint32
 }
@@ -100,7 +109,12 @@ func (f *Frame) Encode() []byte {
 			put8(0)
 		}
 		put64(f.ReplayFrom)
-		put32(f.CreditReturn)
+		if f.Probe {
+			put8(1)
+		} else {
+			put8(0)
+		}
+		put64(f.CumFreed)
 		put64(f.CumAck)
 	case kindData:
 		put64(f.Seq)
@@ -169,12 +183,13 @@ func Decode(wire []byte) (*Frame, error) {
 	f.Kind = frameKind(get8())
 	switch f.Kind {
 	case kindControl:
-		if !need(1 + 8 + 4 + 8) {
+		if !need(1 + 8 + 1 + 8 + 8) {
 			return nil, errShort
 		}
 		f.ReplayValid = get8() == 1
 		f.ReplayFrom = get64()
-		f.CreditReturn = get32()
+		f.Probe = get8() == 1
+		f.CumFreed = get64()
 		f.CumAck = get64()
 	case kindData:
 		if !need(8 + 2) {

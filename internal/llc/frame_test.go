@@ -62,11 +62,12 @@ func TestFrameWithDataPayload(t *testing.T) {
 
 func TestControlFrameRoundTrip(t *testing.T) {
 	f := &Frame{
-		Kind:         kindControl,
-		ReplayValid:  true,
-		ReplayFrom:   100,
-		CreditReturn: 37,
-		CumAck:       99,
+		Kind:        kindControl,
+		ReplayValid: true,
+		ReplayFrom:  100,
+		CumFreed:    37,
+		Probe:       true,
+		CumAck:      99,
 	}
 	wire := f.Encode()
 	if len(wire) != ControlFrameBytes {
@@ -76,7 +77,7 @@ func TestControlFrameRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !got.ReplayValid || got.ReplayFrom != 100 || got.CreditReturn != 37 || got.CumAck != 99 {
+	if !got.ReplayValid || got.ReplayFrom != 100 || got.CumFreed != 37 || !got.Probe || got.CumAck != 99 {
 		t.Fatalf("decoded control %+v", got)
 	}
 }

@@ -21,6 +21,11 @@ func (s Stats) AddTo(reg *metrics.Registry, prefix string) {
 	reg.Counter(prefix + "rx_transactions").Add(s.RxTransactions)
 	reg.Counter(prefix + "padding_flits").Add(s.PaddingFlits)
 	reg.Counter(prefix + "credit_stalls").Add(s.CreditStalls)
+	reg.Counter(prefix + "credit_probes").Add(s.CreditProbes)
+	reg.Counter(prefix + "replay_exhausted").Add(s.ReplayExhausted)
+	reg.Counter(prefix + "replay_overflows").Add(s.ReplayOverflows)
+	reg.Counter(prefix + "tx_abandoned").Add(s.TxAbandoned)
+	reg.Counter(prefix + "link_down_events").Add(s.LinkDownEvents)
 }
 
 // RegisterMetrics registers a collector that publishes p's protocol

@@ -21,14 +21,28 @@ type Config struct {
 	// ReplayTimeout re-requests a replay if an expected frame has not
 	// arrived (covers the case where the replay request itself is lost).
 	ReplayTimeout sim.Time
+	// MaxReplayAttempts bounds how long the port fights a dead link: after
+	// this many consecutive timeout-driven retransmissions of one frame (Tx
+	// side), unanswered replay requests (Rx side), or unanswered credit
+	// probes, the port escalates to the link-down state instead of retrying
+	// forever. Zero selects the default.
+	MaxReplayAttempts int
 }
+
+// DefaultMaxReplayAttempts is the escalation threshold substituted for a
+// zero Config.MaxReplayAttempts: generous enough that any statistically
+// recoverable loss pattern recovers (32 consecutive losses of one frame at
+// 10% loss has probability 1e-32), small enough that a dead link is
+// declared down in ~32 replay timeouts.
+const DefaultMaxReplayAttempts = 32
 
 // DefaultConfig returns the calibrated protocol parameters.
 func DefaultConfig() Config {
 	return Config{
-		Credits:       256,
-		ReplayBuffer:  1024,
-		ReplayTimeout: 20 * sim.Microsecond,
+		Credits:           256,
+		ReplayBuffer:      1024,
+		ReplayTimeout:     20 * sim.Microsecond,
+		MaxReplayAttempts: DefaultMaxReplayAttempts,
 	}
 }
 
@@ -46,21 +60,35 @@ type Port struct {
 	// layer (the routing layer / endpoint attachment logic).
 	OnReceive func(*capi.Transaction)
 
+	// OnLinkDown, when set, is invoked (as a fresh event) the moment the
+	// port escalates to the link-down state. Endpoint logic uses it to fault
+	// outstanding transactions deterministically instead of hanging forever.
+	OnLinkDown func()
+
 	// Tx state.
-	credits     int
-	pending     []*capi.Transaction
-	flushQueued bool
-	nextSeq     uint64
-	replayBuf   map[uint64][]byte // seq -> encoded wire frame
-	oldestKept  uint64
+	credits       int
+	freedSeen     uint64 // highest cumulative slots-freed total seen from the peer
+	pending       []*capi.Transaction
+	flushQueued   bool
+	nextSeq       uint64
+	replayBuf     map[uint64][]byte // seq -> encoded wire frame
+	oldestKept    uint64
+	probeTimer    *sim.Event
+	probeAttempts int
 
 	// Rx state.
 	expected     uint64
+	freedTotal   uint64 // cumulative transaction slots freed since creation
 	replayAsked  bool
 	replayTimer  *sim.Event
-	pendingCred  uint32
+	rxStalls     int // consecutive replay timeouts without forward progress
 	credQueued   bool
 	creditWaiter *sim.Signal
+
+	// down latches once the port escalates: replay attempts, replay
+	// requests, or credit probes exhausted MaxReplayAttempts. A down port
+	// stops transmitting and ignores deliveries (the link is fenced).
+	down bool
 
 	// replaySpan is the open trace span of the current replay window (0
 	// when no replay is outstanding or tracing is disabled).
@@ -84,6 +112,20 @@ type Stats struct {
 	RxTransactions int64
 	PaddingFlits   int64
 	CreditStalls   int64
+	// CreditProbes counts probe control frames sent while credit-starved
+	// with pending traffic (the repair path for lost credit returns).
+	CreditProbes int64
+	// ReplayExhausted counts escalations caused by a frame, replay request,
+	// or credit probe exceeding MaxReplayAttempts without progress.
+	ReplayExhausted int64
+	// ReplayOverflows counts escalations caused by a full replay window
+	// (the peer stopped acknowledging entirely).
+	ReplayOverflows int64
+	// TxAbandoned counts transactions discarded because the port was down.
+	TxAbandoned int64
+	// LinkDownEvents counts transitions into the link-down state (0 or 1:
+	// the state latches).
+	LinkDownEvents int64
 }
 
 // Stats returns a snapshot of the port's counters: a value copy taken at
@@ -100,17 +142,22 @@ func (p *Port) Stats() Stats { return p.stats }
 // to convert absolute snapshots into counter increments.
 func (s Stats) Sub(prev Stats) Stats {
 	return Stats{
-		TxFrames:       s.TxFrames - prev.TxFrames,
-		TxControl:      s.TxControl - prev.TxControl,
-		TxReplayed:     s.TxReplayed - prev.TxReplayed,
-		RxFrames:       s.RxFrames - prev.RxFrames,
-		RxCRCErrors:    s.RxCRCErrors - prev.RxCRCErrors,
-		RxGaps:         s.RxGaps - prev.RxGaps,
-		RxDuplicates:   s.RxDuplicates - prev.RxDuplicates,
-		TxTransactions: s.TxTransactions - prev.TxTransactions,
-		RxTransactions: s.RxTransactions - prev.RxTransactions,
-		PaddingFlits:   s.PaddingFlits - prev.PaddingFlits,
-		CreditStalls:   s.CreditStalls - prev.CreditStalls,
+		TxFrames:        s.TxFrames - prev.TxFrames,
+		TxControl:       s.TxControl - prev.TxControl,
+		TxReplayed:      s.TxReplayed - prev.TxReplayed,
+		RxFrames:        s.RxFrames - prev.RxFrames,
+		RxCRCErrors:     s.RxCRCErrors - prev.RxCRCErrors,
+		RxGaps:          s.RxGaps - prev.RxGaps,
+		RxDuplicates:    s.RxDuplicates - prev.RxDuplicates,
+		TxTransactions:  s.TxTransactions - prev.TxTransactions,
+		RxTransactions:  s.RxTransactions - prev.RxTransactions,
+		PaddingFlits:    s.PaddingFlits - prev.PaddingFlits,
+		CreditStalls:    s.CreditStalls - prev.CreditStalls,
+		CreditProbes:    s.CreditProbes - prev.CreditProbes,
+		ReplayExhausted: s.ReplayExhausted - prev.ReplayExhausted,
+		ReplayOverflows: s.ReplayOverflows - prev.ReplayOverflows,
+		TxAbandoned:     s.TxAbandoned - prev.TxAbandoned,
+		LinkDownEvents:  s.LinkDownEvents - prev.LinkDownEvents,
 	}
 }
 
@@ -130,6 +177,16 @@ func newPort(k *sim.Kernel, name string, out *phy.Channel, cfg Config) *Port {
 	if cfg.Credits <= 0 || cfg.ReplayBuffer <= 0 || cfg.ReplayTimeout <= 0 {
 		panic("llc: invalid config")
 	}
+	if cfg.MaxReplayAttempts <= 0 {
+		cfg.MaxReplayAttempts = DefaultMaxReplayAttempts
+	}
+	// Every unacknowledged data frame carries at least one credit-consuming
+	// transaction, so at most Credits frames are ever unacknowledged; a
+	// smaller replay buffer could be forced to abandon unacked frames,
+	// silently breaking losslessness.
+	if cfg.ReplayBuffer < cfg.Credits {
+		panic(fmt.Sprintf("llc: replay buffer %d smaller than credit window %d", cfg.ReplayBuffer, cfg.Credits))
+	}
 	return &Port{
 		k:            k,
 		name:         name,
@@ -147,6 +204,16 @@ func (p *Port) Name() string { return p.name }
 // Credits returns the Tx-side credit count currently available.
 func (p *Port) Credits() int { return p.credits }
 
+// Peer returns the other end of the link (nil for unpaired ports).
+func (p *Port) Peer() *Port { return p.peer }
+
+// Channel returns the outbound phy channel — campaign engines install fault
+// schedules on it.
+func (p *Port) Channel() *phy.Channel { return p.out }
+
+// Down reports whether the port has escalated to the link-down state.
+func (p *Port) Down() bool { return p.down }
+
 // Send queues a transaction for transmission. Transactions arriving within
 // the same event cascade are packed into common frames. If the transmitter
 // is out of credits the transaction waits (backpressure) — Send itself never
@@ -155,20 +222,27 @@ func (p *Port) Send(t *capi.Transaction) {
 	if err := t.Validate(); err != nil {
 		panic(fmt.Sprintf("llc: %s: sending invalid transaction: %v", p.name, err))
 	}
+	if p.down {
+		p.stats.TxAbandoned++
+		return
+	}
 	p.pending = append(p.pending, t)
 	p.scheduleFlush()
 }
 
 // SendFrom is like Send but, when the link has a large untransmitted
 // backlog, blocks the calling process until credits free up — modelling a
-// full Tx queue pushing back into the fabric.
+// full Tx queue pushing back into the fabric. If the port escalates to
+// link-down while the caller is stalled, the call returns without sending
+// (the transaction is abandoned and counted; the endpoint's link-down hook
+// is responsible for faulting it).
 func (p *Port) SendFrom(proc *sim.Proc, t *capi.Transaction) {
-	if p.credits <= 0 {
+	if p.credits <= 0 && !p.down {
 		var tok trace.SpanToken
 		if tr := p.k.Tracer(); tr != nil {
 			tok = tr.Begin(trace.LayerLLC, "credit_stall", p.k.NowPS())
 		}
-		for p.credits <= 0 {
+		for p.credits <= 0 && !p.down {
 			p.stats.CreditStalls++
 			p.creditWaiter.Wait(proc)
 		}
@@ -192,7 +266,19 @@ func (p *Port) scheduleFlush() {
 // padding flits) and sent immediately rather than waiting for more traffic.
 func (p *Port) flush() {
 	p.flushQueued = false
+	if p.down {
+		return
+	}
 	for len(p.pending) > 0 && p.credits > 0 {
+		if p.nextSeq-p.oldestKept >= uint64(p.cfg.ReplayBuffer) {
+			// Replay window full: the peer has stopped acknowledging.
+			// Transmitting would force an unacked frame out of the replay
+			// buffer and silently break losslessness — escalate instead.
+			// (Unreachable while ReplayBuffer >= Credits; kept as a guard.)
+			p.stats.ReplayOverflows++
+			p.escalateDown()
+			return
+		}
 		f := &Frame{Kind: kindData, Seq: p.nextSeq}
 		flitsLeft := FrameFlits
 		for len(p.pending) > 0 && p.credits > 0 {
@@ -213,59 +299,125 @@ func (p *Port) flush() {
 		p.stats.PaddingFlits += int64(flitsLeft)
 		p.transmitFrame(f)
 	}
+	if len(p.pending) > 0 && p.credits <= 0 {
+		// Starved with pending traffic: if the credit returns were lost there
+		// is no data flowing to piggy-back repairs on, so probe explicitly.
+		p.armProbeTimer()
+	}
 }
 
 func (p *Port) transmitFrame(f *Frame) {
 	wire := f.Encode()
 	p.nextSeq++
 	p.replayBuf[f.Seq] = wire
-	if f.Seq >= uint64(p.cfg.ReplayBuffer) {
-		// Bound the buffer even if the peer stops acking.
-		for del := p.oldestKept; del+uint64(p.cfg.ReplayBuffer) <= f.Seq; del++ {
-			delete(p.replayBuf, del)
-			p.oldestKept = del + 1
-		}
-	}
 	p.stats.TxFrames++
 	if tr := p.k.Tracer(); tr != nil {
 		tr.Instant(trace.LayerLLC, "tx_frame", p.k.NowPS())
 	}
 	p.out.Transmit(wire, len(wire))
-	p.armTxTimer(f.Seq)
+	p.armTxTimer(f.Seq, 0)
 }
 
 // armTxTimer covers tail loss: if a frame is still unacknowledged after the
 // replay timeout (e.g. it was the last frame of a burst and was dropped, so
-// the receiver never saw a sequence gap), retransmit it proactively.
-func (p *Port) armTxTimer(seq uint64) {
+// the receiver never saw a sequence gap), retransmit it proactively. After
+// MaxReplayAttempts consecutive timeouts for the same frame the port
+// declares the link dead and escalates.
+func (p *Port) armTxTimer(seq uint64, attempt int) {
 	p.k.Schedule(p.cfg.ReplayTimeout, func() {
-		if p.oldestKept > seq {
-			return // acknowledged
+		if p.down || p.oldestKept > seq {
+			return // link fenced, or frame acknowledged
 		}
-		wire, ok := p.replayBuf[seq]
-		if !ok {
+		if _, ok := p.replayBuf[seq]; !ok {
 			return
 		}
+		if attempt >= p.cfg.MaxReplayAttempts {
+			p.stats.ReplayExhausted++
+			p.escalateDown()
+			return
+		}
+		wire := p.replayBuf[seq]
 		p.stats.TxReplayed++
 		p.out.Transmit(wire, len(wire))
-		p.armTxTimer(seq)
+		p.armTxTimer(seq, attempt+1)
 	})
 }
 
-// sendControl emits an in-band single-flit control frame carrying replay
-// requests and/or credit returns. Control frames bypass credits and the
-// replay buffer (they are idempotent; loss is covered by the timeout).
-func (p *Port) sendControl(replayValid bool, replayFrom uint64, credits uint32, cumAck uint64) {
+// sendControl emits an in-band single-flit control frame. Every control
+// frame carries the receiver's full cumulative state — slots freed since
+// creation (CumFreed) and the in-order ack horizon (CumAck) — so control
+// frames are idempotent: loss of any one is repaired by the next, and
+// credits are conserved under arbitrary control-frame loss. Control frames
+// bypass credits and the replay buffer.
+func (p *Port) sendControl(replayValid bool, replayFrom uint64, probe bool) {
 	f := &Frame{
-		Kind:         kindControl,
-		ReplayValid:  replayValid,
-		ReplayFrom:   replayFrom,
-		CreditReturn: credits,
-		CumAck:       cumAck,
+		Kind:        kindControl,
+		ReplayValid: replayValid,
+		ReplayFrom:  replayFrom,
+		Probe:       probe,
+		CumFreed:    p.freedTotal,
+		CumAck:      p.expected,
 	}
 	wire := f.Encode()
 	p.stats.TxControl++
 	p.out.Transmit(wire, len(wire))
+}
+
+// armProbeTimer starts the credit-probe cycle; probes repeat every replay
+// timeout while the port stays starved, and escalate once exhausted.
+func (p *Port) armProbeTimer() {
+	if p.probeTimer != nil || p.down {
+		return
+	}
+	p.probeTimer = p.k.Schedule(p.cfg.ReplayTimeout, func() {
+		p.probeTimer = nil
+		if p.down || p.credits > 0 || len(p.pending) == 0 {
+			p.probeAttempts = 0
+			return
+		}
+		if p.probeAttempts >= p.cfg.MaxReplayAttempts {
+			p.stats.ReplayExhausted++
+			p.escalateDown()
+			return
+		}
+		p.probeAttempts++
+		p.stats.CreditProbes++
+		p.sendControl(false, 0, true)
+		p.armProbeTimer()
+	})
+}
+
+// escalateDown latches the port into the link-down state: recovery has
+// exhausted its retry budget, so the link is fenced rather than retried
+// forever. A down port stops transmitting, ignores deliveries, releases
+// credit-stalled senders (their transactions are abandoned and counted) and
+// notifies the upper layer through OnLinkDown so outstanding transactions
+// can be faulted deterministically.
+func (p *Port) escalateDown() {
+	if p.down {
+		return
+	}
+	p.down = true
+	p.stats.LinkDownEvents++
+	p.cancelReplayTimer()
+	if p.probeTimer != nil {
+		p.probeTimer.Cancel()
+		p.probeTimer = nil
+	}
+	if tr := p.k.Tracer(); tr != nil {
+		tr.Instant(trace.LayerLLC, "link_down", p.k.NowPS())
+		if p.replaySpan != 0 {
+			tr.End(p.replaySpan, p.k.NowPS())
+			p.replaySpan = 0
+		}
+	}
+	p.stats.TxAbandoned += int64(len(p.pending))
+	p.pending = nil
+	p.creditWaiter.Broadcast()
+	if p.OnLinkDown != nil {
+		cb := p.OnLinkDown
+		p.k.Schedule(0, cb)
+	}
 }
 
 // Deliver injects a phy delivery into this port's receive path. NewPair
@@ -275,6 +427,9 @@ func (p *Port) Deliver(d phy.Delivery) { p.receive(d) }
 
 // receive handles a phy delivery on the inbound channel.
 func (p *Port) receive(d phy.Delivery) {
+	if p.down {
+		return // fenced: late deliveries are ignored
+	}
 	wire, ok := d.Payload.([]byte)
 	if !ok {
 		panic("llc: non-frame payload on channel")
@@ -304,13 +459,24 @@ func (p *Port) receive(d phy.Delivery) {
 }
 
 func (p *Port) handleControl(f *Frame) {
-	if f.CreditReturn > 0 {
-		p.credits += int(f.CreditReturn)
+	if f.CumFreed > p.freedSeen {
+		p.credits += int(f.CumFreed - p.freedSeen)
+		p.freedSeen = f.CumFreed
 		if p.credits > p.cfg.Credits {
 			panic(fmt.Sprintf("llc: %s: credit overflow (%d > %d)", p.name, p.credits, p.cfg.Credits))
 		}
+		if p.probeTimer != nil {
+			p.probeTimer.Cancel()
+			p.probeTimer = nil
+		}
+		p.probeAttempts = 0
 		p.creditWaiter.Broadcast()
 		p.scheduleFlush()
+	}
+	if f.Probe {
+		// The peer is credit-starved and suspects lost returns: refresh our
+		// cumulative state immediately (idempotent, so always safe).
+		p.scheduleCreditReturn()
 	}
 	// Prune the replay buffer up to the peer's cumulative ack.
 	for del := p.oldestKept; del < f.CumAck; del++ {
@@ -344,6 +510,7 @@ func (p *Port) handleData(f *Frame) {
 	switch {
 	case f.Seq == p.expected:
 		p.expected++
+		p.rxStalls = 0
 		p.cancelReplayTimer()
 		if p.replaySpan != 0 {
 			// In-order delivery resumed: the replay window closes.
@@ -358,7 +525,7 @@ func (p *Port) handleData(f *Frame) {
 				continue
 			}
 			p.stats.RxTransactions++
-			p.pendingCred++
+			p.freedTotal++
 			if p.OnReceive != nil {
 				p.OnReceive(t)
 			}
@@ -392,7 +559,7 @@ func (p *Port) requestReplay() {
 			p.replaySpan = tr.Begin(trace.LayerLLC, "replay", p.k.NowPS())
 		}
 	}
-	p.sendControl(true, p.expected, p.takeCredits(), p.expected)
+	p.sendControl(true, p.expected, false)
 	p.armReplayTimer()
 }
 
@@ -400,6 +567,14 @@ func (p *Port) armReplayTimer() {
 	p.cancelReplayTimer()
 	p.replayTimer = p.k.Schedule(p.cfg.ReplayTimeout, func() {
 		p.replayTimer = nil
+		p.rxStalls++
+		if p.rxStalls > p.cfg.MaxReplayAttempts {
+			// Replay requests are going unanswered: the reverse path (or the
+			// peer) is dead. Fence the link instead of re-requesting forever.
+			p.stats.ReplayExhausted++
+			p.escalateDown()
+			return
+		}
 		p.replayAsked = false
 		p.requestReplay()
 	})
@@ -412,25 +587,19 @@ func (p *Port) cancelReplayTimer() {
 	}
 }
 
-func (p *Port) takeCredits() uint32 {
-	c := p.pendingCred
-	p.pendingCred = 0
-	return c
-}
-
-// scheduleCreditReturn batches credit returns accumulated within one event
-// cascade into a single control frame.
+// scheduleCreditReturn batches the credit/ack updates accumulated within one
+// event cascade into a single control frame carrying the full cumulative
+// state.
 func (p *Port) scheduleCreditReturn() {
-	if p.credQueued {
+	if p.credQueued || p.down {
 		return
 	}
 	p.credQueued = true
 	p.k.Schedule(0, func() {
 		p.credQueued = false
-		if p.pendingCred == 0 && !p.replayAsked {
-			p.sendControl(false, 0, 0, p.expected)
+		if p.down {
 			return
 		}
-		p.sendControl(false, 0, p.takeCredits(), p.expected)
+		p.sendControl(false, 0, false)
 	})
 }

@@ -12,6 +12,7 @@ package phy
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"thymesisflow/internal/sim"
 	"thymesisflow/internal/trace"
@@ -52,6 +53,38 @@ type FaultConfig struct {
 	Seed int64
 }
 
+// Window activates a fault regime during [From, To) of virtual time. Outside
+// every window the schedule's base configuration applies. Windows model
+// transient events — CRC bursts from a marginal transceiver, link flaps
+// (DropProb 1 for the flap duration), or stepped loss sweeps.
+type Window struct {
+	From, To    sim.Time
+	CorruptProb float64
+	DropProb    float64
+}
+
+// FaultSchedule lays time-windowed fault regimes over a base configuration.
+// The schedule is evaluated at each frame's transmit instant, so campaigns
+// can script "clean -> burst -> clean -> flap" timelines on a live channel
+// without touching it mid-run. The channel's PRNG is seeded once from
+// Base.Seed; window boundaries change probabilities, never the random
+// stream, which keeps a scheduled run reproducible from its seed alone.
+type FaultSchedule struct {
+	Base    FaultConfig
+	Windows []Window
+}
+
+// At returns the fault regime in force at virtual time t. Overlapping
+// windows resolve to the first match in slice order.
+func (s FaultSchedule) At(t sim.Time) FaultConfig {
+	for _, w := range s.Windows {
+		if t >= w.From && t < w.To {
+			return FaultConfig{CorruptProb: w.CorruptProb, DropProb: w.DropProb, Seed: s.Base.Seed}
+		}
+	}
+	return s.Base
+}
+
 // Delivery describes one frame arriving at the far end of a channel.
 type Delivery struct {
 	Payload   any
@@ -64,18 +97,22 @@ type Delivery struct {
 // serialization plus crossing latency. Lost frames are simply never
 // delivered (the receiver detects the sequence gap).
 type Channel struct {
-	k       *sim.Kernel
-	name    string
-	pipe    *sim.Pipe
-	lanes   int
-	oneWay  sim.Time
-	faults  FaultConfig
-	rng     *rand.Rand
-	deliver func(Delivery)
+	k        *sim.Kernel
+	name     string
+	pipe     *sim.Pipe
+	lanes    int
+	oneWay   sim.Time
+	faults   FaultConfig
+	schedule *FaultSchedule
+	rng      *rand.Rand
+	deliver  func(Delivery)
 
-	sent      int64
-	dropped   int64
-	corrupted int64
+	// Counters are atomic: the simulation mutates them from the kernel
+	// goroutine while traced/parallel runs may snapshot Stats concurrently
+	// from a collector goroutine.
+	sent      atomic.Int64
+	dropped   atomic.Int64
+	corrupted atomic.Int64
 }
 
 // NewChannel creates a channel with the given number of bonded lanes. The
@@ -119,19 +156,23 @@ func (c *Channel) Transmit(payload any, n int) {
 	if c.deliver == nil {
 		panic(fmt.Sprintf("phy: channel %s has no receiver", c.name))
 	}
-	c.sent++
+	c.sent.Add(1)
+	faults := c.faults
+	if c.schedule != nil {
+		faults = c.schedule.At(c.k.Now())
+	}
 	_, done := c.pipe.Reserve(int64(n))
 	tr := c.k.Tracer()
-	if c.faults.DropProb > 0 && c.rng.Float64() < c.faults.DropProb {
-		c.dropped++
+	if faults.DropProb > 0 && c.rng.Float64() < faults.DropProb {
+		c.dropped.Add(1)
 		if tr != nil {
 			tr.Instant(trace.LayerPhy, "drop", c.k.NowPS())
 		}
 		return
 	}
-	corrupt := c.faults.CorruptProb > 0 && c.rng.Float64() < c.faults.CorruptProb
+	corrupt := faults.CorruptProb > 0 && c.rng.Float64() < faults.CorruptProb
 	if corrupt {
-		c.corrupted++
+		c.corrupted.Add(1)
 		if tr != nil {
 			tr.Instant(trace.LayerPhy, "corrupt", c.k.NowPS())
 		}
@@ -145,16 +186,28 @@ func (c *Channel) Transmit(payload any, n int) {
 	c.k.ScheduleAt(done+c.oneWay, func() { c.deliver(d) })
 }
 
-// Stats reports frames sent, dropped, and corrupted since creation.
+// Stats reports frames sent, dropped, and corrupted since creation. The
+// counters are read atomically, so a metrics collector may snapshot a
+// channel while its simulation goroutine is still transmitting.
 func (c *Channel) Stats() (sent, dropped, corrupted int64) {
-	return c.sent, c.dropped, c.corrupted
+	return c.sent.Load(), c.dropped.Load(), c.corrupted.Load()
 }
 
 // SetFaults replaces the fault configuration (used by ablation benches to
-// sweep loss rates mid-run).
+// sweep loss rates mid-run). It clears any installed schedule.
 func (c *Channel) SetFaults(f FaultConfig) {
 	c.faults = f
+	c.schedule = nil
 	c.rng = rand.New(rand.NewSource(f.Seed))
+}
+
+// SetSchedule installs a time-windowed fault schedule, replacing the static
+// configuration. The PRNG is reseeded from the schedule's base seed so a
+// campaign is reproducible regardless of traffic sent before installation.
+func (c *Channel) SetSchedule(s FaultSchedule) {
+	c.schedule = &s
+	c.faults = s.Base
+	c.rng = rand.New(rand.NewSource(s.Base.Seed))
 }
 
 // Link is a bidirectional point-to-point connection: one channel per

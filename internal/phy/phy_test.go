@@ -78,6 +78,87 @@ func TestChannelDropAndCorrupt(t *testing.T) {
 	}
 }
 
+// TestFaultScheduleWindows injects losses only inside a scripted window:
+// traffic before and after the window must pass untouched.
+func TestFaultScheduleWindows(t *testing.T) {
+	k := sim.NewKernel()
+	c := NewChannel(k, "c", LanesPerChannel, 0, FaultConfig{})
+	c.SetSchedule(FaultSchedule{
+		Base: FaultConfig{Seed: 9},
+		Windows: []Window{
+			{From: 10 * sim.Microsecond, To: 20 * sim.Microsecond, DropProb: 1},
+		},
+	})
+	delivered := 0
+	c.OnDeliver(func(d Delivery) { delivered++ })
+	// One frame per microsecond for 30 us; serialization of 64B is negligible.
+	for i := 0; i < 30; i++ {
+		k.Schedule(sim.Time(i)*sim.Microsecond, func() { c.Transmit("f", 64) })
+	}
+	k.Run()
+	sent, dropped, _ := c.Stats()
+	if sent != 30 {
+		t.Fatalf("sent = %d", sent)
+	}
+	if dropped != 10 {
+		t.Fatalf("dropped = %d, want exactly the 10 in-window frames", dropped)
+	}
+	if delivered != 20 {
+		t.Fatalf("delivered = %d, want 20", delivered)
+	}
+}
+
+// TestFaultScheduleDeterministic replays the same schedule twice and
+// requires identical per-frame outcomes.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	run := func() []bool {
+		k := sim.NewKernel()
+		c := NewChannel(k, "c", LanesPerChannel, 0, FaultConfig{})
+		c.SetSchedule(FaultSchedule{
+			Base: FaultConfig{DropProb: 0.1, CorruptProb: 0.1, Seed: 42},
+			Windows: []Window{
+				{From: 5 * sim.Microsecond, To: 15 * sim.Microsecond, DropProb: 0.5, CorruptProb: 0.3},
+			},
+		})
+		var outcomes []bool
+		c.OnDeliver(func(d Delivery) { outcomes = append(outcomes, d.Corrupted) })
+		for i := 0; i < 200; i++ {
+			k.Schedule(sim.Time(i)*100*sim.Nanosecond, func() { c.Transmit("f", 64) })
+		}
+		k.Run()
+		return outcomes
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d differs between identical runs", i)
+		}
+	}
+}
+
+// TestScheduleAtPicksFirstMatch documents overlapping-window resolution.
+func TestScheduleAtPicksFirstMatch(t *testing.T) {
+	s := FaultSchedule{
+		Base: FaultConfig{DropProb: 0.01},
+		Windows: []Window{
+			{From: 0, To: 10, DropProb: 0.5},
+			{From: 5, To: 20, DropProb: 0.9},
+		},
+	}
+	if got := s.At(7).DropProb; got != 0.5 {
+		t.Fatalf("At(7).DropProb = %v, want first window's 0.5", got)
+	}
+	if got := s.At(15).DropProb; got != 0.9 {
+		t.Fatalf("At(15).DropProb = %v", got)
+	}
+	if got := s.At(25).DropProb; got != 0.01 {
+		t.Fatalf("At(25).DropProb = %v, want base", got)
+	}
+}
+
 func TestTransmitWithoutReceiverPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,110 @@
+package rmmu
+
+import (
+	"math/rand"
+	"testing"
+
+	"thymesisflow/internal/capi"
+)
+
+// TestTranslatePropertyRandomLayouts is a property test over random section
+// layouts: for each trial it builds an RMMU with a random geometry, maps a
+// random subset of sections to random remote bases, and checks
+//
+//   - every address inside a mapped section translates, the translation
+//     round-trips back to the original device address, and the routing
+//     stamps (NetworkID, Bonded) match the entry;
+//   - every address inside an unmapped section faults — and only those:
+//     the fault boundary lies exactly on the section edges;
+//   - transactions crossing a section boundary fault even when both
+//     neighbouring sections are mapped;
+//   - addresses beyond the device address space fault.
+func TestTranslatePropertyRandomLayouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	for trial := 0; trial < 200; trial++ {
+		sections := 1 + rng.Intn(24)
+		// Random power-of-two section size, cacheline..1 MiB.
+		sectionSize := int64(capi.Cacheline) << rng.Intn(14)
+		m, err := New(sections, sectionSize)
+		if err != nil {
+			t.Fatalf("trial %d: New(%d, %d): %v", trial, sections, sectionSize, err)
+		}
+
+		type mapping struct {
+			base   uint64
+			netID  uint16
+			bonded bool
+		}
+		mapped := map[int]mapping{}
+		for sec := 0; sec < sections; sec++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			mp := mapping{
+				// Section-aligned remote base, as the control plane hands out.
+				base:   uint64(rng.Intn(64)) * uint64(sectionSize),
+				netID:  uint16(rng.Intn(1 << 16)),
+				bonded: rng.Intn(2) == 0,
+			}
+			if err := m.Map(sec, mp.base, mp.netID, mp.bonded); err != nil {
+				t.Fatalf("trial %d: Map(%d): %v", trial, sec, err)
+			}
+			mapped[sec] = mp
+		}
+
+		// Probe every section at its first line, its last line, and a few
+		// random interior lines, so the mapped/unmapped boundary is checked
+		// exactly at the section edges.
+		linesPerSection := uint64(sectionSize) / capi.Cacheline
+		for sec := 0; sec < sections; sec++ {
+			offsets := []uint64{0, (linesPerSection - 1) * capi.Cacheline}
+			for i := 0; i < 3; i++ {
+				offsets = append(offsets, uint64(rng.Int63n(int64(linesPerSection)))*capi.Cacheline)
+			}
+			for _, off := range offsets {
+				deviceAddr := uint64(sec)*uint64(sectionSize) + off
+				tx := capi.Transaction{Op: capi.OpReadReq, Addr: deviceAddr, Size: capi.Cacheline}
+				err := m.Translate(&tx)
+				mp, isMapped := mapped[sec]
+				if !isMapped {
+					if err == nil {
+						t.Fatalf("trial %d: unmapped section %d addr %#x translated", trial, sec, deviceAddr)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("trial %d: mapped section %d addr %#x faulted: %v", trial, sec, deviceAddr, err)
+				}
+				if want := mp.base + off; tx.Addr != want {
+					t.Fatalf("trial %d: addr %#x -> %#x, want %#x", trial, deviceAddr, tx.Addr, want)
+				}
+				if tx.NetworkID != mp.netID || tx.Bonded != mp.bonded {
+					t.Fatalf("trial %d: routing stamp (%d,%v), want (%d,%v)",
+						trial, tx.NetworkID, tx.Bonded, mp.netID, mp.bonded)
+				}
+				// Round trip: invert the translation and recover the original
+				// device address.
+				back := tx.Addr - mp.base + uint64(sec)*uint64(sectionSize)
+				if back != deviceAddr {
+					t.Fatalf("trial %d: round trip %#x -> %#x -> %#x", trial, deviceAddr, tx.Addr, back)
+				}
+			}
+		}
+
+		// A transaction straddling any internal section edge must fault, even
+		// between two mapped sections.
+		for sec := 1; sec < sections; sec++ {
+			edge := uint64(sec) * uint64(sectionSize)
+			tx := capi.Transaction{Op: capi.OpReadReq, Addr: edge - capi.Cacheline/2, Size: capi.Cacheline}
+			if err := m.Translate(&tx); err == nil {
+				t.Fatalf("trial %d: boundary-crossing transaction at %#x translated", trial, edge)
+			}
+		}
+
+		// Just past the end of the device address space must fault.
+		tx := capi.Transaction{Op: capi.OpReadReq, Addr: uint64(m.Capacity()), Size: capi.Cacheline}
+		if err := m.Translate(&tx); err == nil {
+			t.Fatalf("trial %d: address beyond capacity translated", trial)
+		}
+	}
+}
