@@ -6,15 +6,24 @@
 
 GO ?= go
 
-.PHONY: check ci test build vet lint chaos fuzz-smoke bench-quick bench trace-demo
+.PHONY: check ci test build vet lint race chaos fuzz-smoke bench-quick bench trace-demo
 
 check: lint vet build
 	$(GO) test -race ./...
 
-# Full CI gate: everything `check` runs, plus the chaos conformance
-# campaign through the tfbench binary and a short fuzz smoke of the frame
-# decoder. This is the target a pipeline should invoke.
-ci: check chaos fuzz-smoke
+# Full CI gate: everything `check` runs, plus an uncached race pass over the
+# concurrency-bearing packages, the chaos conformance campaign through the
+# tfbench binary, and a short fuzz smoke of the frame decoder. This is the
+# target a pipeline should invoke.
+ci: check race chaos fuzz-smoke
+
+# Uncached (-count=1) race-detector pass over the packages with real
+# concurrency: the LLC protocol under the parallel experiment engine, the
+# cluster, and the telemetry surfaces (metrics registry, trace ring,
+# control-plane handlers) that are read while the simulation runs.
+race:
+	$(GO) test -race -count=1 ./internal/llc/ ./internal/core/ \
+		./internal/metrics/ ./internal/trace/ ./internal/controlplane/
 
 # Run the fault-injection conformance campaign (docs/RELIABILITY.md).
 # Fails if any scenario violates its losslessness/replay/credit invariants.

@@ -16,6 +16,12 @@
 // owns its simulation kernel and the merged tables are printed in cell
 // order, so the output does not depend on N.
 //
+// Latency-attribution mode decomposes the ~950 ns flit RTT stage by stage
+// (see docs/OBSERVABILITY.md):
+//
+//	tfbench -latency-attr
+//	tfbench -latency-attr -latency-out breakdown.json
+//
 // Chaos mode runs the fault-injection conformance campaign instead of the
 // figures:
 //
@@ -50,6 +56,8 @@ func main() {
 	chaosSeed := flag.Int64("seed", 1, "campaign seed for -chaos; the same seed reproduces the report byte for byte")
 	chaosScenario := flag.String("chaos-scenario", "", "run a single catalogue scenario by name (default: all)")
 	chaosOut := flag.String("chaos-out", "", "write the campaign report JSON to a file instead of stdout")
+	latencyAttr := flag.Bool("latency-attr", false, "run the per-stage latency-attribution experiment instead of the figures")
+	latencyOut := flag.String("latency-out", "", "with -latency-attr, also write the breakdown JSON to this file")
 	flag.Parse()
 
 	scale := bench.Quick
@@ -61,6 +69,13 @@ func main() {
 
 	if *chaosMode {
 		os.Exit(runChaos(r, *chaosSeed, *chaosScenario, *chaosOut))
+	}
+	if *latencyAttr {
+		if err := bench.LatencyAttr(w, *latencyOut); err != nil {
+			fmt.Fprintf(os.Stderr, "tfbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var ring *trace.Ring

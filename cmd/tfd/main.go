@@ -32,6 +32,7 @@ func main() {
 	adminToken := flag.String("admin-token", "tf-admin", "bearer token with write access")
 	readerToken := flag.String("reader-token", "tf-reader", "bearer token with read-only access")
 	traceEvents := flag.Int("trace-events", 1<<16, "trace ring capacity in events (0 disables tracing)")
+	latencyAttr := flag.Bool("latency", false, "enable per-stage latency attribution, served under /v1/latency")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (admin token required)")
 	flag.Parse()
 
@@ -89,6 +90,10 @@ func main() {
 		cluster.K.SetTracer(ring)
 	}
 	svc.SetTelemetry(reg, ring)
+	if *latencyAttr {
+		cluster.EnableLatency()
+		svc.SetLatency(cluster)
+	}
 	if *enablePprof {
 		api.EnablePprof()
 	}

@@ -1,0 +1,120 @@
+// Command tftrace analyses Chrome trace-event exports recorded by the
+// simulator (tfbench -trace, tfd -trace-events + /v1/trace/snapshot),
+// turning the trace recorder into an offline analysis tool.
+//
+// Usage:
+//
+//	tftrace trace.json                  # per-layer span summaries
+//	tftrace -top 5 trace.json           # + critical paths of the 5 slowest transactions
+//	tftrace -stalls trace.json          # credit-stall / replay attribution
+//	tftrace -layer llc trace.json       # restrict summaries to one layer
+//	tftrace -json trace.json            # machine-readable output
+//
+// A "transaction" is a capi *_req span: the compute-side round trip as the
+// host bus sees it. Critical-path extraction lists every event overlapping
+// the round trip's window, with a per-layer rollup of overlapped span time.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"thymesisflow/internal/trace"
+)
+
+func main() {
+	top := flag.Int("top", 0, "extract critical paths for the N slowest transactions")
+	stalls := flag.Bool("stalls", false, "attribute credit-stall and replay time against round trips")
+	layer := flag.String("layer", "", "restrict span summaries to one layer (sim|phy|llc|capi|rmmu)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tftrace [-top N] [-stalls] [-layer L] [-json] <trace.json>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tftrace: %v\n", err)
+		os.Exit(1)
+	}
+	events, err := trace.ParseChromeTrace(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tftrace: %v\n", err)
+		os.Exit(1)
+	}
+
+	summaries := trace.Summarize(events)
+	if *layer != "" {
+		filtered := summaries[:0]
+		for _, s := range summaries {
+			if s.Layer == *layer {
+				filtered = append(filtered, s)
+			}
+		}
+		summaries = filtered
+	}
+	var paths []trace.CriticalPath
+	if *top > 0 {
+		paths = trace.CriticalPaths(events, *top)
+	}
+	var att *trace.StallAttribution
+	if *stalls {
+		a := trace.AttributeStalls(events)
+		att = &a
+	}
+
+	if *jsonOut {
+		out := struct {
+			Events    int                     `json:"events"`
+			Summaries []trace.SpanSummary     `json:"summaries"`
+			Paths     []trace.CriticalPath    `json:"critical_paths,omitempty"`
+			Stalls    *trace.StallAttribution `json:"stalls,omitempty"`
+		}{len(events), summaries, paths, att}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "tftrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("%d events\n\n", len(events))
+	fmt.Printf("%-6s %-16s %-8s %8s %12s %10s %10s %10s\n",
+		"layer", "name", "kind", "count", "total(ns)", "mean(ns)", "p99(ns)", "max(ns)")
+	for _, s := range summaries {
+		fmt.Printf("%-6s %-16s %-8s %8d %12.1f %10.1f %10.1f %10.1f\n",
+			s.Layer, s.Name, s.Kind, s.Count, s.TotalNS, s.MeanNS, s.P99NS, s.MaxNS)
+	}
+	for i, cp := range paths {
+		fmt.Printf("\ncritical path #%d: %s/%s %.1f ns @ %.1f ns\n",
+			i+1, cp.Root.Layer, cp.Root.Name, cp.RootNS, float64(cp.Root.TS)/1e3)
+		for _, e := range cp.Events {
+			switch e.Ph {
+			case "X":
+				fmt.Printf("  %12.1f ns  %-6s %-16s %.1f ns\n",
+					float64(e.TS)/1e3, e.Layer, e.Name, float64(e.Dur)/1e3)
+			case "i":
+				fmt.Printf("  %12.1f ns  %-6s %-16s (instant)\n",
+					float64(e.TS)/1e3, e.Layer, e.Name)
+			}
+		}
+		fmt.Printf("  by layer:")
+		for _, l := range []string{"phy", "llc", "capi", "rmmu", "sim"} {
+			if ns, ok := cp.ByLayer[l]; ok {
+				fmt.Printf(" %s=%.1fns", l, ns)
+			}
+		}
+		fmt.Println()
+	}
+	if att != nil {
+		fmt.Printf("\nstall attribution over %d round trips (%.1f ns total)\n",
+			att.RoundTrips, att.RoundTripNS)
+		fmt.Printf("  credit stalls: %10.1f ns (%5.2f%%)\n", att.CreditStallNS, att.CreditPct)
+		fmt.Printf("  replay windows:%10.1f ns (%5.2f%%)\n", att.ReplayNS, att.ReplayPct)
+	}
+}

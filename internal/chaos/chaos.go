@@ -18,6 +18,7 @@ import (
 
 	"thymesisflow/internal/capi"
 	"thymesisflow/internal/core"
+	"thymesisflow/internal/latency"
 	"thymesisflow/internal/llc"
 	"thymesisflow/internal/phy"
 	"thymesisflow/internal/sim"
@@ -133,6 +134,7 @@ func Run(s Scenario, campaignSeed int64) ScenarioReport {
 	}
 
 	c := core.NewCluster()
+	sink := c.EnableLatency()
 	for _, name := range []string{"compute", "donor"} {
 		hc := core.DefaultHostConfig(name)
 		hc.DRAMPerSocket = 4 << 30
@@ -297,6 +299,20 @@ func Run(s Scenario, campaignSeed int64) ScenarioReport {
 		}
 	}
 	rep.FinalState = att.State().String()
+
+	// End-to-end latency snapshot from the attribution pipeline. Virtual
+	// time only, so the numbers reproduce from the seed.
+	e2e := sink.EndToEndSummary()
+	stall := sink.StageSummaryFor(latency.StageCreditStall)
+	rep.Latency = LatencyStats{
+		Count:             e2e.Count,
+		MeanNS:            e2e.Mean,
+		P50NS:             e2e.P50,
+		P99NS:             e2e.P99,
+		P999NS:            e2e.P999,
+		MaxNS:             e2e.Max,
+		CreditStallMeanNS: stall.Mean,
+	}
 
 	// Invariant 3 — replay accounting: injected losses must be repaired by
 	// the replay machinery, and every CRC-corrupted delivery must have been

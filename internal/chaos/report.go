@@ -38,12 +38,31 @@ type ScenarioReport struct {
 	MaxLatencyNS   int64   `json:"max_latency_ns"`
 	ThroughputMiBs float64 `json:"throughput_mib_s"`
 
+	// Latency is the end-to-end percentile snapshot from the per-stage
+	// attribution pipeline. Like everything else here it derives from
+	// virtual time, so it is byte-identical for a given seed.
+	Latency LatencyStats `json:"latency"`
+
 	// Protocol and wire counters aggregated over both link directions.
 	LLC LLCStats `json:"llc"`
 	Phy PhyStats `json:"phy"`
 
 	// FinalState is the attachment's lifecycle state at scenario end.
 	FinalState string `json:"final_state"`
+}
+
+// LatencyStats is the scenario's end-to-end latency distribution as seen by
+// the attribution pipeline (internal/latency), plus the mean per-transaction
+// time charged to the credit_stall stage — the pipeline's view of
+// backpressure under faults.
+type LatencyStats struct {
+	Count             int64   `json:"count"`
+	MeanNS            float64 `json:"mean_ns"`
+	P50NS             float64 `json:"p50_ns"`
+	P99NS             float64 `json:"p99_ns"`
+	P999NS            float64 `json:"p999_ns"`
+	MaxNS             float64 `json:"max_ns"`
+	CreditStallMeanNS float64 `json:"credit_stall_mean_ns"`
 }
 
 // LLCStats aggregates the protocol counters of both ports of a link.

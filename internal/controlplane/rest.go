@@ -54,6 +54,7 @@ func NewAPI(svc *Service, auth AuthConfig) *API {
 	a.mux.HandleFunc("/v1/attachments/", a.handleAttachment)
 	a.mux.HandleFunc("/v1/topology", a.handleTopology)
 	a.mux.HandleFunc("/v1/metrics", a.handleMetrics)
+	a.mux.HandleFunc("/v1/latency", a.handleLatency)
 	a.mux.HandleFunc("/v1/trace/snapshot", a.handleTraceSnapshot)
 	return a
 }

@@ -137,6 +137,7 @@ type Service struct {
 	// SetTelemetry is called.
 	metrics *metrics.Registry
 	ring    *trace.Ring
+	latRep  LatencyReporter
 }
 
 // NewService builds a control plane over the given model and executor. The

@@ -4,9 +4,16 @@ import (
 	"net/http"
 	"net/http/pprof"
 
+	"thymesisflow/internal/core"
 	"thymesisflow/internal/metrics"
 	"thymesisflow/internal/trace"
 )
+
+// LatencyReporter supplies cluster latency-attribution breakdowns;
+// *core.Cluster implements it.
+type LatencyReporter interface {
+	LatencyReport() core.LatencyReport
+}
 
 // SetTelemetry attaches the live metrics registry and trace ring the REST
 // layer serves under GET /v1/metrics and GET /v1/trace/snapshot. Either may
@@ -16,6 +23,26 @@ func (s *Service) SetTelemetry(reg *metrics.Registry, ring *trace.Ring) {
 	defer s.mu.Unlock()
 	s.metrics = reg
 	s.ring = ring
+}
+
+// SetLatency attaches the latency-attribution source served under
+// GET /v1/latency. A nil reporter leaves the endpoint answering 404.
+func (s *Service) SetLatency(rep LatencyReporter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.latRep = rep
+}
+
+// LatencyReport captures the attribution report under the service lock, so
+// the attachment walk is serialized against concurrent Attach/Detach. ok is
+// false when no reporter is configured.
+func (s *Service) LatencyReport() (core.LatencyReport, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.latRep == nil {
+		return core.LatencyReport{}, false
+	}
+	return s.latRep.LatencyReport(), true
 }
 
 // MetricsSnapshot captures the registry under the service lock, so the
@@ -52,7 +79,34 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "telemetry not configured")
 		return
 	}
-	writeJSON(w, http.StatusOK, snap)
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, snap)
+	case "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		snap.WritePrometheus(w) //nolint:errcheck
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown format "+format)
+	}
+}
+
+// handleLatency serves the per-attachment latency-attribution breakdowns.
+// Reader-visible, like the aggregate metrics the stages roll up into.
+func (a *API) handleLatency(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	if !a.authorize(w, r, RoleReader) {
+		return
+	}
+	rep, ok := a.svc.LatencyReport()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "latency attribution not configured")
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 // handleTraceSnapshot streams the retained trace as Chrome trace-event JSON.

@@ -3,6 +3,7 @@ package controlplane
 import (
 	"encoding/json"
 	"net/http"
+	"strings"
 	"testing"
 
 	"thymesisflow/internal/metrics"
@@ -71,6 +72,86 @@ func TestTraceSnapshotEndpointAuth(t *testing.T) {
 	// 2 recorded events + per-layer thread_name metadata.
 	if len(doc.TraceEvents) < 2 {
 		t.Fatalf("traceEvents = %d, want >= 2", len(doc.TraceEvents))
+	}
+}
+
+func TestMetricsPrometheusFormat(t *testing.T) {
+	api, reg, _ := restAPIWithTelemetry(t)
+	reg.Counter("attach_total").Add(3)
+	reg.Histogram("rtt_ns").Observe(950)
+
+	w := doReq(t, api, http.MethodGet, "/v1/metrics?format=prometheus", "reader-tok", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET ?format=prometheus = %d body=%s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		"# TYPE attach_total counter\nattach_total 3\n",
+		"# TYPE rtt_ns summary\n",
+		"rtt_ns_count 1\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	// Explicit json format still serves the snapshot document.
+	w = doReq(t, api, http.MethodGet, "/v1/metrics?format=json", "reader-tok", nil)
+	var snap metrics.Snapshot
+	if w.Code != http.StatusOK || json.Unmarshal(w.Body.Bytes(), &snap) != nil {
+		t.Fatalf("GET ?format=json = %d body=%s", w.Code, w.Body.String())
+	}
+	// Unknown formats are a client error, and the format switch does not
+	// bypass auth.
+	if w := doReq(t, api, http.MethodGet, "/v1/metrics?format=xml", "reader-tok", nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("GET ?format=xml = %d", w.Code)
+	}
+	if w := doReq(t, api, http.MethodGet, "/v1/metrics?format=prometheus", "", nil); w.Code != http.StatusUnauthorized {
+		t.Fatalf("anonymous prometheus scrape = %d", w.Code)
+	}
+}
+
+func TestLatencyEndpointAuth(t *testing.T) {
+	svc, c := testService(t)
+	api := NewAPI(svc, AuthConfig{
+		AdminTokens:  []string{"admin-tok"},
+		ReaderTokens: []string{"reader-tok"},
+	})
+
+	// Not configured: 404 (auth still checked first).
+	if w := doReq(t, api, http.MethodGet, "/v1/latency", "reader-tok", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("unconfigured GET /v1/latency = %d", w.Code)
+	}
+
+	c.EnableLatency()
+	svc.SetLatency(c)
+
+	if w := doReq(t, api, http.MethodGet, "/v1/latency", "", nil); w.Code != http.StatusUnauthorized {
+		t.Fatalf("anonymous GET /v1/latency = %d", w.Code)
+	}
+	if w := doReq(t, api, http.MethodPost, "/v1/latency", "admin-tok", nil); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/latency = %d", w.Code)
+	}
+
+	// Reader-visible, like the aggregate metrics.
+	w := doReq(t, api, http.MethodGet, "/v1/latency", "reader-tok", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("reader GET /v1/latency = %d body=%s", w.Code, w.Body.String())
+	}
+	var rep struct {
+		Enabled bool `json:"enabled"`
+		Overall struct {
+			Count int64 `json:"count"`
+		} `json:"overall"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Enabled || rep.Overall.Count != 0 {
+		t.Fatalf("report = %+v (idle cluster, attribution enabled)", rep)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"thymesisflow/internal/endpoint"
+	"thymesisflow/internal/latency"
 	"thymesisflow/internal/llc"
 	"thymesisflow/internal/mem"
 	"thymesisflow/internal/numa"
@@ -26,6 +27,9 @@ type Cluster struct {
 
 	// Faults configures error injection on newly created links.
 	Faults phy.FaultConfig
+
+	// lat is the cluster-wide latency-attribution sink (nil = disabled).
+	lat *latency.Sink
 }
 
 // NewCluster returns an empty cluster on a fresh kernel.
@@ -47,9 +51,70 @@ func (c *Cluster) AddHost(cfg HostConfig) (*Host, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.lat != nil {
+		h.Compute.SetLatencySink(c.lat)
+	}
 	c.hosts[cfg.Name] = h
 	c.hostOrder = append(c.hostOrder, cfg.Name)
 	return h, nil
+}
+
+// EnableLatency switches on per-stage latency attribution for every compute
+// endpoint in the cluster (current and future hosts) and returns the shared
+// sink. Subsequent calls return the same sink. Attribution costs one record
+// allocation per transaction while enabled; a cluster that never calls this
+// stays on the zero-overhead path.
+func (c *Cluster) EnableLatency() *latency.Sink {
+	if c.lat == nil {
+		c.lat = latency.NewSink()
+		for _, h := range c.hosts {
+			h.Compute.SetLatencySink(c.lat)
+		}
+	}
+	return c.lat
+}
+
+// LatencySink returns the cluster's attribution sink (nil when disabled).
+func (c *Cluster) LatencySink() *latency.Sink { return c.lat }
+
+// AttachmentBreakdown pairs one attachment with its latency breakdown.
+type AttachmentBreakdown struct {
+	Attachment string            `json:"attachment"`
+	Compute    string            `json:"compute_host"`
+	Donor      string            `json:"donor_host"`
+	Breakdown  latency.Breakdown `json:"breakdown"`
+}
+
+// LatencyReport is the cluster-wide attribution snapshot the control plane
+// serves on /v1/latency.
+type LatencyReport struct {
+	Enabled     bool                  `json:"enabled"`
+	Overall     latency.Breakdown     `json:"overall"`
+	Attachments []AttachmentBreakdown `json:"attachments,omitempty"`
+}
+
+// LatencyReport joins the sink's per-flow breakdowns with the attachments
+// owning those flows (sorted by attachment ID). With attribution disabled it
+// returns Enabled=false and empty breakdowns.
+func (c *Cluster) LatencyReport() LatencyReport {
+	if c.lat == nil {
+		return LatencyReport{}
+	}
+	rep := LatencyReport{Enabled: true, Overall: c.lat.Snapshot()}
+	for _, id := range c.attachmentIDs() {
+		att := c.attachments[id]
+		b, ok := c.lat.FlowSnapshot(att.NetworkID)
+		if !ok {
+			continue
+		}
+		rep.Attachments = append(rep.Attachments, AttachmentBreakdown{
+			Attachment: att.ID,
+			Compute:    att.ComputeHost,
+			Donor:      att.DonorHost,
+			Breakdown:  b,
+		})
+	}
+	return rep
 }
 
 // Host returns a registered host.

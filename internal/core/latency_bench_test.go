@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"thymesisflow/internal/capi"
+	"thymesisflow/internal/sim"
+)
+
+// benchClusterLoads drives b.N synchronous cacheline loads through the full
+// datapath (capi -> rmmu -> llc -> phy -> donor and back) inside one kernel
+// process. With attrOn the latency-attribution sink is enabled, so the
+// Off/On pair measures exactly what attribution costs per transaction — and
+// documents that the disabled path stays on the pre-attribution allocation
+// count (the nil-check discipline shared with internal/trace).
+func benchClusterLoads(b *testing.B, attrOn bool) {
+	tb, err := NewTestbed(ConfigSingleDisaggregated, 64<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if attrOn {
+		tb.Cluster.EnableLatency()
+	}
+	c, att := tb.Cluster, tb.Att
+
+	var loadErr error
+	b.ReportAllocs()
+	b.ResetTimer()
+	c.K.Go("bench-loads", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			off := int64(i%256) * capi.Cacheline
+			if _, err := c.Load(p, att, off, capi.Cacheline); err != nil {
+				loadErr = err
+				return
+			}
+		}
+	})
+	c.K.Run()
+	b.StopTimer()
+	if loadErr != nil {
+		b.Fatal(loadErr)
+	}
+	if attrOn {
+		if sink := c.LatencySink(); sink.Count() != int64(b.N) {
+			b.Fatalf("sink observed %d round trips, want %d", sink.Count(), b.N)
+		}
+	}
+}
+
+func BenchmarkClusterLoadAttrOff(b *testing.B) { benchClusterLoads(b, false) }
+func BenchmarkClusterLoadAttrOn(b *testing.B)  { benchClusterLoads(b, true) }

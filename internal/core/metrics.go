@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"thymesisflow/internal/latency"
 	"thymesisflow/internal/llc"
 	"thymesisflow/internal/metrics"
 )
@@ -19,6 +20,26 @@ func (c *Cluster) RegisterMetrics(reg *metrics.Registry, prefix string) {
 	reg.GaugeFunc(prefix+"sim.queue_depth", func() float64 { return float64(c.K.Pending()) })
 	reg.GaugeFunc(prefix+"sim.now_seconds", func() float64 { return c.K.Now().Seconds() })
 	reg.GaugeFunc(prefix+"attachments", func() float64 { return float64(len(c.attachments)) })
+
+	// Latency-attribution distributions surface as snapshot-time histogram
+	// functions so the registry (and the Prometheus exposition built on it)
+	// always reflects the sink, whether attribution was enabled before or
+	// after registration. Disabled clusters report empty summaries.
+	reg.HistogramFunc(prefix+"latency.rtt_ns", func() metrics.HistogramSummary {
+		if c.lat == nil {
+			return metrics.HistogramSummary{}
+		}
+		return c.lat.EndToEndSummary()
+	})
+	for _, st := range latency.Stages() {
+		st := st
+		reg.HistogramFunc(prefix+"latency.stage."+st.String()+"_ns", func() metrics.HistogramSummary {
+			if c.lat == nil {
+				return metrics.HistogramSummary{}
+			}
+			return c.lat.StageSummaryFor(st)
+		})
+	}
 
 	prevPort := make(map[string]llc.Stats)
 	prevBytes := make(map[string]int64)

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"thymesisflow/internal/capi"
+	"thymesisflow/internal/latency"
 	"thymesisflow/internal/llc"
 	"thymesisflow/internal/phy"
 	"thymesisflow/internal/rmmu"
@@ -46,6 +47,10 @@ type ComputeEndpoint struct {
 
 	// linkDown fences the issue path after LLC escalation or forced detach.
 	linkDown bool
+
+	// lat, when set, enables per-stage latency attribution: every issued
+	// transaction carries a latency.Record that the layers below stamp.
+	lat *latency.Sink
 
 	loads   int64
 	stores  int64
@@ -89,6 +94,11 @@ func (ce *ComputeEndpoint) RMMU() *rmmu.RMMU { return ce.rmmu }
 
 // Router exposes the routing layer for flow configuration.
 func (ce *ComputeEndpoint) Router() *route.Router { return ce.router }
+
+// SetLatencySink enables per-stage latency attribution: subsequent issues
+// carry a record through every layer and fold into the sink on completion.
+// A nil sink disables attribution (the zero-overhead default).
+func (ce *ComputeEndpoint) SetLatencySink(s *latency.Sink) { ce.lat = s }
 
 // AttachPort registers an LLC port whose inbound traffic carries responses
 // for this endpoint.
@@ -151,8 +161,18 @@ func (ce *ComputeEndpoint) issue(p *sim.Proc, t *capi.Transaction) (*capi.Transa
 	if ce.linkDown {
 		return nil, ErrLinkDown
 	}
+	if ce.lat != nil {
+		// Attribution records are allocated per transaction on purpose: a
+		// faulted issue can return while a late response still references
+		// the record, so recycling would corrupt a live one. Only the
+		// disabled path must be allocation-free.
+		t.Lat = ce.lat.Start(ce.k.NowPS())
+	}
 	if err := ce.rmmu.Translate(t); err != nil {
 		return nil, err
+	}
+	if t.Lat != nil {
+		t.Lat.Flow = t.NetworkID
 	}
 	// The capi span covers the transaction's full round trip as the host
 	// bus sees it: attachment ingress to response delivery.
@@ -167,6 +187,9 @@ func (ce *ComputeEndpoint) issue(p *sim.Proc, t *capi.Transaction) (*capi.Transa
 	ce.waiting[t.Tag] = w
 	// Ingress through the compute-side attachment hardware.
 	p.Sleep(SideLatency)
+	if t.Lat != nil {
+		t.Lat.MarkTo(latency.StageCapiCross, ce.k.NowPS())
+	}
 	if err := ce.router.ForwardFrom(p, t); err != nil {
 		delete(ce.waiting, t.Tag)
 		if tr != nil {
@@ -180,6 +203,13 @@ func (ce *ComputeEndpoint) issue(p *sim.Proc, t *capi.Transaction) (*capi.Transa
 	}
 	if w.err != nil {
 		return nil, w.err
+	}
+	// The response record is the one issued above when the round trip
+	// stayed on a paired link; topologies that cannot carry the record
+	// end-to-end deliver a bare response, which is simply not attributed.
+	if ce.lat != nil && w.resp.Lat != nil {
+		ce.lat.Done(w.resp.Lat, ce.k.NowPS())
+		w.resp.Lat = nil
 	}
 	return w.resp, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"thymesisflow/internal/capi"
+	"thymesisflow/internal/latency"
 	"thymesisflow/internal/llc"
 	"thymesisflow/internal/sim"
 	"thymesisflow/internal/trace"
@@ -140,6 +141,12 @@ func (me *MemoryEndpoint) handleRequest(port *llc.Port, t *capi.Transaction) {
 	// bandwidth ceiling, and donor DRAM.
 	_, c1done := me.c1.Reserve(int64(t.Size))
 	delay := SideLatency + (c1done - me.k.Now()) + me.dramLat
+	if t.Lat != nil {
+		// The whole donor-side delay is scheduled as one composite event, so
+		// attribute its components by known duration rather than by stamp.
+		t.Lat.Add(latency.StageC1Ingress, int64(SideLatency))
+		t.Lat.Add(latency.StageC1Service, int64((c1done-me.k.Now())+me.dramLat))
+	}
 	me.k.Schedule(delay, func() {
 		var data []byte
 		if t.Op == capi.OpReadReq && reg.Data != nil {
@@ -157,6 +164,9 @@ func (me *MemoryEndpoint) handleRequest(port *llc.Port, t *capi.Transaction) {
 		me.k.Schedule(SideLatency, func() {
 			if tr != nil {
 				tr.End(tok, me.k.NowPS())
+			}
+			if resp.Lat != nil {
+				resp.Lat.Add(latency.StageC1Egress, int64(SideLatency))
 			}
 			port.Send(resp)
 		})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"thymesisflow/internal/capi"
+	"thymesisflow/internal/latency"
 	"thymesisflow/internal/phy"
 	"thymesisflow/internal/sim"
 	"thymesisflow/internal/trace"
@@ -66,13 +67,22 @@ type Port struct {
 	OnLinkDown func()
 
 	// Tx state.
-	credits       int
-	freedSeen     uint64 // highest cumulative slots-freed total seen from the peer
-	pending       []*capi.Transaction
-	flushQueued   bool
-	nextSeq       uint64
-	replayBuf     map[uint64][]byte // seq -> encoded wire frame
-	oldestKept    uint64
+	credits     int
+	freedSeen   uint64 // highest cumulative slots-freed total seen from the peer
+	pending     []*capi.Transaction
+	flushQueued bool
+	nextSeq     uint64
+	replayBuf   map[uint64][]byte // seq -> encoded wire frame
+	oldestKept  uint64
+	// latBySeq carries latency-attribution records across the wire
+	// encode/decode boundary: frames serialize to bytes, so the receiver's
+	// decoded transactions cannot carry the Lat pointer in-band. The
+	// transmitter keeps the records here, aligned with the frame's
+	// transaction order, and the paired receiver re-attaches them on the
+	// frame's single in-order delivery (replays retransmit bytes; the
+	// records survive here until that delivery happens). nil until a frame
+	// actually carries a record, so disabled runs never allocate it.
+	latBySeq      map[uint64][]*latency.Record
 	probeTimer    *sim.Event
 	probeAttempts int
 
@@ -249,6 +259,9 @@ func (p *Port) SendFrom(proc *sim.Proc, t *capi.Transaction) {
 		if tr := p.k.Tracer(); tr != nil {
 			tr.End(tok, p.k.NowPS())
 		}
+		if t.Lat != nil {
+			t.Lat.MarkTo(latency.StageCreditStall, p.k.NowPS())
+		}
 	}
 	p.Send(t)
 }
@@ -292,6 +305,15 @@ func (p *Port) flush() {
 			flitsLeft -= fl
 			p.credits--
 			p.stats.TxTransactions++
+			if t.Lat != nil {
+				// Queue wait ends when the transaction is packed into a
+				// frame; from here until delivery is wire time.
+				if t.IsResponse() {
+					t.Lat.MarkTo(latency.StageRetQueue, p.k.NowPS())
+				} else {
+					t.Lat.MarkTo(latency.StageLLCQueue, p.k.NowPS())
+				}
+			}
 		}
 		if len(f.Txns) == 0 {
 			break // head transaction blocked on credits
@@ -310,12 +332,49 @@ func (p *Port) transmitFrame(f *Frame) {
 	wire := f.Encode()
 	p.nextSeq++
 	p.replayBuf[f.Seq] = wire
+	p.stashLatRecords(f)
 	p.stats.TxFrames++
 	if tr := p.k.Tracer(); tr != nil {
 		tr.Instant(trace.LayerLLC, "tx_frame", p.k.NowPS())
 	}
 	p.out.Transmit(wire, len(wire))
 	p.armTxTimer(f.Seq, 0)
+}
+
+// stashLatRecords retains the frame's latency-attribution records (aligned
+// with f.Txns) for the receiver to re-attach after decode. Only called for
+// frames that carry at least one record; no-op otherwise.
+func (p *Port) stashLatRecords(f *Frame) {
+	var recs []*latency.Record
+	for i, t := range f.Txns {
+		if t.Lat == nil {
+			continue
+		}
+		if recs == nil {
+			recs = make([]*latency.Record, len(f.Txns))
+		}
+		recs[i] = t.Lat
+	}
+	if recs == nil {
+		return
+	}
+	if p.latBySeq == nil {
+		p.latBySeq = make(map[uint64][]*latency.Record)
+	}
+	p.latBySeq[f.Seq] = recs
+}
+
+// takeLatRecords consumes the records stashed for seq (nil if none).
+func (p *Port) takeLatRecords(seq uint64) []*latency.Record {
+	if p.latBySeq == nil {
+		return nil
+	}
+	recs, ok := p.latBySeq[seq]
+	if !ok {
+		return nil
+	}
+	delete(p.latBySeq, seq)
+	return recs
 }
 
 // armTxTimer covers tail loss: if a frame is still unacknowledged after the
@@ -413,6 +472,7 @@ func (p *Port) escalateDown() {
 	}
 	p.stats.TxAbandoned += int64(len(p.pending))
 	p.pending = nil
+	p.latBySeq = nil // abandoned records are never observed
 	p.creditWaiter.Broadcast()
 	if p.OnLinkDown != nil {
 		cb := p.OnLinkDown
@@ -478,9 +538,14 @@ func (p *Port) handleControl(f *Frame) {
 		// cumulative state immediately (idempotent, so always safe).
 		p.scheduleCreditReturn()
 	}
-	// Prune the replay buffer up to the peer's cumulative ack.
+	// Prune the replay buffer up to the peer's cumulative ack. Stashed
+	// attribution records are normally consumed by the receiver's in-order
+	// delivery; pruning covers receivers that never take them.
 	for del := p.oldestKept; del < f.CumAck; del++ {
 		delete(p.replayBuf, del)
+		if p.latBySeq != nil {
+			delete(p.latBySeq, del)
+		}
 	}
 	if f.CumAck > p.oldestKept {
 		p.oldestKept = f.CumAck
@@ -509,6 +574,25 @@ func (p *Port) handleData(f *Frame) {
 	p.stats.RxFrames++
 	switch {
 	case f.Seq == p.expected:
+		if p.peer != nil {
+			if recs := p.peer.takeLatRecords(f.Seq); recs != nil {
+				now := p.k.NowPS()
+				flight := p.peer.out.CrossingPS()
+				for i, t := range f.Txns {
+					if i < len(recs) && recs[i] != nil {
+						t.Lat = recs[i]
+						// Split the time since the transmit-side stamp into
+						// serialization/queueing/replay versus the flight
+						// crossing the receiver knows.
+						if t.IsResponse() {
+							t.Lat.Wire(latency.StageRetTx, latency.StageRetFlight, now, flight)
+						} else {
+							t.Lat.Wire(latency.StageFrameTx, latency.StagePhyFlight, now, flight)
+						}
+					}
+				}
+			}
+		}
 		p.expected++
 		p.rxStalls = 0
 		p.cancelReplayTimer()

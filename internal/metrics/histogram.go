@@ -66,6 +66,9 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count }
 
+// Sum returns the exact sum of all observations (0 if empty).
+func (h *Histogram) Sum() float64 { return h.sum }
+
 // Mean returns the arithmetic mean of observations (0 if empty).
 func (h *Histogram) Mean() float64 {
 	if h.count == 0 {

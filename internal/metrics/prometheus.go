@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Counters become `# TYPE <name> counter` series,
+// gauges become gauges, and histogram summaries become Prometheus summaries:
+// quantile-labelled series (0.5, 0.9, 0.99, 0.999) plus `_sum` and `_count`.
+// Metric names are sanitized to the Prometheus charset (dots and dashes
+// become underscores), and series are emitted in sorted order so scrapes of
+// an idle registry are byte-stable.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	type series struct{ name, body string }
+	var out []series
+
+	for name, v := range s.Counters {
+		n := promName(name)
+		out = append(out, series{n, fmt.Sprintf("# TYPE %s counter\n%s %d\n", n, n, v)})
+	}
+	for name, v := range s.Gauges {
+		n := promName(name)
+		out = append(out, series{n, fmt.Sprintf("# TYPE %s gauge\n%s %s\n", n, n, promFloat(v))})
+	}
+	for name, h := range s.Histograms {
+		n := promName(name)
+		var b strings.Builder
+		fmt.Fprintf(&b, "# TYPE %s summary\n", n)
+		fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %s\n", n, promFloat(h.P50))
+		fmt.Fprintf(&b, "%s{quantile=\"0.9\"} %s\n", n, promFloat(h.P90))
+		fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %s\n", n, promFloat(h.P99))
+		fmt.Fprintf(&b, "%s{quantile=\"0.999\"} %s\n", n, promFloat(h.P999))
+		// The summary keeps the mean, not the sum; reconstruct the sum so
+		// rate(_sum)/rate(_count) works as usual.
+		fmt.Fprintf(&b, "%s_sum %s\n", n, promFloat(h.Mean*float64(h.Count)))
+		fmt.Fprintf(&b, "%s_count %d\n", n, h.Count)
+		out = append(out, series{n, b.String()})
+	}
+
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	for _, s := range out {
+		if _, err := io.WriteString(w, s.body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a registry name onto the Prometheus metric-name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects (no exponent for
+// integral values of reasonable size, %g otherwise).
+func promFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -37,6 +37,7 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	gaugeFns   map[string]func() float64
 	hists      map[string]*Histogram
+	histFns    map[string]func() HistogramSummary
 	collectors []func(*Registry)
 }
 
@@ -47,6 +48,7 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		gaugeFns: make(map[string]func() float64),
 		hists:    make(map[string]*Histogram),
+		histFns:  make(map[string]func() HistogramSummary),
 	}
 }
 
@@ -97,6 +99,17 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// HistogramFunc registers a histogram whose summary is computed at snapshot
+// time — the adapter for components that keep their own synchronized
+// distributions (e.g. a latency.Sink) rather than observing into a registry
+// histogram. Like collectors, the function runs outside the registry lock.
+// Re-registering a name replaces the function.
+func (r *Registry) HistogramFunc(name string, fn func() HistogramSummary) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.histFns[name] = fn
+}
+
 // AddCollector registers a pull hook run at the start of every Snapshot.
 // Collectors convert component-internal stats into registry instruments;
 // they run outside the registry lock and may freely call Counter/Gauge/etc.
@@ -113,6 +126,7 @@ type HistogramSummary struct {
 	P50   float64 `json:"p50"`
 	P90   float64 `json:"p90"`
 	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
 	Max   float64 `json:"max"`
 }
 
@@ -127,9 +141,20 @@ type Snapshot struct {
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	cols := append([]func(*Registry){}, r.collectors...)
+	hfns := make(map[string]func() HistogramSummary, len(r.histFns))
+	for name, fn := range r.histFns {
+		hfns[name] = fn
+	}
 	r.mu.Unlock()
 	for _, fn := range cols {
 		fn(r)
+	}
+	// Histogram functions also run outside the lock: they may synchronize on
+	// component-internal state (a latency.Sink mutex) that must not nest
+	// inside r.mu.
+	hsums := make(map[string]HistogramSummary, len(hfns))
+	for name, fn := range hfns {
+		hsums[name] = fn()
 	}
 
 	r.mu.Lock()
@@ -137,7 +162,7 @@ func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters:   make(map[string]int64, len(r.counters)),
 		Gauges:     make(map[string]float64, len(r.gauges)+len(r.gaugeFns)),
-		Histograms: make(map[string]HistogramSummary, len(r.hists)),
+		Histograms: make(map[string]HistogramSummary, len(r.hists)+len(hsums)),
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
@@ -152,8 +177,11 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms[name] = HistogramSummary{
 			Count: h.Count(), Mean: h.Mean(),
 			P50: h.Quantile(0.5), P90: h.Quantile(0.9), P99: h.Quantile(0.99),
-			Max: h.Max(),
+			P999: h.Quantile(0.999), Max: h.Max(),
 		}
+	}
+	for name, sum := range hsums {
+		s.Histograms[name] = sum
 	}
 	return s
 }

@@ -84,6 +84,71 @@ func TestRegistryWriteJSON(t *testing.T) {
 	}
 }
 
+// TestRegistrySnapshotUnderParallelWriters exercises the control-plane
+// pattern: writers mutate counters, gauges, and function-backed instruments
+// while another goroutine takes Snapshot and Delta continuously. Run under
+// -race this is the regression test for snapshot-vs-write synchronization;
+// the monotonicity check catches torn counter reads.
+func TestRegistrySnapshotUnderParallelWriters(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("fn.gauge", func() float64 { return 1 })
+	r.HistogramFunc("fn.hist", func() HistogramSummary {
+		return HistogramSummary{Count: 1, Mean: 2}
+	})
+
+	const writers = 4
+	const iters = 2000
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	for i := 0; i < writers; i++ {
+		i := i
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < iters; j++ {
+				r.Counter("ops").Inc()
+				r.Gauge("depth").Set(float64(j))
+				// Instrument creation races with snapshotting too.
+				r.Counter("w" + string(rune('a'+i))).Inc()
+			}
+		}()
+	}
+
+	snaps := make(chan struct{})
+	go func() {
+		defer close(snaps)
+		prev := r.Snapshot()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Snapshot()
+			d := s.Delta(prev)
+			if d.Counters["ops"] < 0 {
+				t.Errorf("counter went backwards: delta %d", d.Counters["ops"])
+				return
+			}
+			if s.Histograms["fn.hist"].Count != 1 || s.Gauges["fn.gauge"] != 1 {
+				t.Errorf("function-backed instruments missing from snapshot: %+v", s)
+				return
+			}
+			prev = s
+		}
+	}()
+
+	for i := 0; i < writers; i++ {
+		<-done
+	}
+	close(stop)
+	<-snaps
+
+	s := r.Snapshot()
+	if s.Counters["ops"] != writers*iters {
+		t.Fatalf("ops = %d, want %d", s.Counters["ops"], writers*iters)
+	}
+}
+
 func TestRegistryConcurrentUse(t *testing.T) {
 	r := NewRegistry()
 	done := make(chan struct{})

@@ -147,6 +147,11 @@ func (c *Channel) Pipe() *sim.Pipe { return c.pipe }
 // OneWayLatency returns the configured crossing latency.
 func (c *Channel) OneWayLatency() sim.Time { return c.oneWay }
 
+// CrossingPS returns the crossing latency in picoseconds — the flight
+// portion the latency-attribution layer splits out of a frame's wire time
+// (the remainder is serialization and queueing).
+func (c *Channel) CrossingPS() int64 { return int64(c.oneWay) }
+
 // OnDeliver installs the receive handler (the far end's LLC Rx).
 func (c *Channel) OnDeliver(fn func(Delivery)) { c.deliver = fn }
 

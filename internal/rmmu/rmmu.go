@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"thymesisflow/internal/capi"
+	"thymesisflow/internal/latency"
 	"thymesisflow/internal/trace"
 )
 
@@ -155,6 +156,12 @@ func (m *RMMU) Translate(t *capi.Transaction) error {
 	if m.src != nil {
 		if tr := m.src.Tracer(); tr != nil {
 			tr.Instant(trace.LayerRMMU, "translate", m.src.NowPS())
+		}
+		if t.Lat != nil {
+			// The section lookup is combinational in the prototype FPGA — it
+			// adds no virtual time — but the stamp closes the translate stage
+			// so any future pipelined-RMMU model is attributed automatically.
+			t.Lat.MarkTo(latency.StageTranslate, m.src.NowPS())
 		}
 	}
 	return nil

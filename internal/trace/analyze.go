@@ -1,0 +1,246 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Chrome-trace analysis: the post-processing engine behind cmd/tftrace. It
+// re-ingests the Chrome trace-event JSON this package exports (or any trace
+// in that shape), turning the recorder from a viewer artifact into an
+// analysis tool: per-layer span statistics, critical-path extraction for the
+// slowest transactions, and stall attribution.
+
+// ParsedEvent is one event re-ingested from a Chrome trace-event export.
+// Times are virtual picoseconds (the export's fractional microseconds,
+// converted back).
+type ParsedEvent struct {
+	Layer string
+	Name  string
+	Ph    string // "X" span, "i" instant, "C" counter
+	TS    int64  // picoseconds
+	Dur   int64  // picoseconds, spans only
+}
+
+// End returns the event's end time (TS for non-spans).
+func (e ParsedEvent) End() int64 { return e.TS + e.Dur }
+
+// chromeDoc mirrors the exported JSON object shape.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		TS   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+	} `json:"traceEvents"`
+}
+
+// ParseChromeTrace re-ingests a Chrome trace-event JSON document. Metadata
+// records (thread names) are dropped; span, instant, and counter events are
+// returned in timestamp order.
+func ParseChromeTrace(r io.Reader) ([]ParsedEvent, error) {
+	var doc chromeDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("trace: parse chrome trace: %w", err)
+	}
+	out := make([]ParsedEvent, 0, len(doc.TraceEvents))
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X", "i", "C":
+		default:
+			continue // metadata and unknown phases
+		}
+		out = append(out, ParsedEvent{
+			Layer: e.Cat,
+			Name:  e.Name,
+			Ph:    e.Ph,
+			TS:    int64(e.TS * 1e6), // µs -> ps
+			Dur:   int64(e.Dur * 1e6),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out, nil
+}
+
+// SpanSummary aggregates the spans (or instants) sharing one (layer, name).
+type SpanSummary struct {
+	Layer   string  `json:"layer"`
+	Name    string  `json:"name"`
+	Kind    string  `json:"kind"` // "span" or "instant"
+	Count   int     `json:"count"`
+	TotalNS float64 `json:"total_ns"`
+	MeanNS  float64 `json:"mean_ns"`
+	P99NS   float64 `json:"p99_ns"`
+	MaxNS   float64 `json:"max_ns"`
+}
+
+// Summarize groups span and instant events by (layer, name) and returns the
+// groups sorted by descending total time (instants, which have no duration,
+// sort by count among themselves at the tail).
+func Summarize(events []ParsedEvent) []SpanSummary {
+	type key struct{ layer, name, kind string }
+	durs := make(map[key][]int64)
+	for _, e := range events {
+		switch e.Ph {
+		case "X":
+			durs[key{e.Layer, e.Name, "span"}] = append(durs[key{e.Layer, e.Name, "span"}], e.Dur)
+		case "i":
+			durs[key{e.Layer, e.Name, "instant"}] = append(durs[key{e.Layer, e.Name, "instant"}], 0)
+		}
+	}
+	out := make([]SpanSummary, 0, len(durs))
+	for k, ds := range durs {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		var total int64
+		for _, d := range ds {
+			total += d
+		}
+		idx := (len(ds)*99 + 99) / 100
+		if idx >= len(ds) {
+			idx = len(ds) - 1
+		}
+		s := SpanSummary{
+			Layer: k.layer, Name: k.name, Kind: k.kind, Count: len(ds),
+			TotalNS: float64(total) / 1e3,
+			MeanNS:  float64(total) / float64(len(ds)) / 1e3,
+			P99NS:   float64(ds[idx]) / 1e3,
+			MaxNS:   float64(ds[len(ds)-1]) / 1e3,
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.TotalNS != b.TotalNS {
+			return a.TotalNS > b.TotalNS
+		}
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		if a.Layer != b.Layer {
+			return a.Layer < b.Layer
+		}
+		return a.Name < b.Name
+	})
+	return out
+}
+
+// CriticalPath is the reconstruction of one slow transaction: the capi
+// round-trip span plus every event overlapping it, chronologically, with a
+// per-layer time rollup.
+type CriticalPath struct {
+	Root   ParsedEvent   `json:"root"`
+	RootNS float64       `json:"root_ns"`
+	Events []ParsedEvent `json:"events"`
+	// ByLayer maps layer -> nanoseconds of span time overlapping the window.
+	ByLayer map[string]float64 `json:"by_layer"`
+}
+
+// isRoundTrip reports whether the span is a compute-side capi round trip —
+// the root event critical-path extraction ranks.
+func isRoundTrip(e ParsedEvent) bool {
+	return e.Ph == "X" && e.Layer == LayerCAPI && strings.HasSuffix(e.Name, "_req")
+}
+
+// CriticalPaths extracts the slowest-k capi round trips and, for each, the
+// chronological set of events overlapping the round trip's window — the
+// activity a latency investigation walks through. The per-layer rollup sums
+// overlapped span time (clipped to the window), attributing the window
+// across the layers below the transaction.
+func CriticalPaths(events []ParsedEvent, k int) []CriticalPath {
+	var roots []ParsedEvent
+	for _, e := range events {
+		if isRoundTrip(e) {
+			roots = append(roots, e)
+		}
+	}
+	sort.SliceStable(roots, func(i, j int) bool { return roots[i].Dur > roots[j].Dur })
+	if k > 0 && len(roots) > k {
+		roots = roots[:k]
+	}
+	out := make([]CriticalPath, 0, len(roots))
+	for _, root := range roots {
+		cp := CriticalPath{Root: root, RootNS: float64(root.Dur) / 1e3, ByLayer: map[string]float64{}}
+		for _, e := range events {
+			if e == root || e.End() <= root.TS || e.TS >= root.End() {
+				continue
+			}
+			cp.Events = append(cp.Events, e)
+			if e.Ph == "X" {
+				lo, hi := e.TS, e.End()
+				if lo < root.TS {
+					lo = root.TS
+				}
+				if hi > root.End() {
+					hi = root.End()
+				}
+				cp.ByLayer[e.Layer] += float64(hi-lo) / 1e3
+			}
+		}
+		out = append(out, cp)
+	}
+	return out
+}
+
+// StallAttribution quantifies how much of the total capi round-trip time was
+// spent inside LLC stall machinery: credit stalls and replay windows.
+type StallAttribution struct {
+	RoundTrips    int     `json:"round_trips"`
+	RoundTripNS   float64 `json:"round_trip_total_ns"`
+	CreditStallNS float64 `json:"credit_stall_ns"`
+	CreditPct     float64 `json:"credit_stall_pct"`
+	ReplayNS      float64 `json:"replay_ns"`
+	ReplayPct     float64 `json:"replay_pct"`
+}
+
+// AttributeStalls sums capi round-trip time against the LLC credit_stall and
+// replay span time overlapping those round trips, expressing each as a
+// fraction of the total. This is the trace-side counterpart of the
+// credit_stall stage in the attribution pipeline: it works on any recorded
+// trace, with no instrumentation beyond PR 2's spans.
+func AttributeStalls(events []ParsedEvent) StallAttribution {
+	var att StallAttribution
+	var windows []ParsedEvent
+	for _, e := range events {
+		if isRoundTrip(e) {
+			windows = append(windows, e)
+			att.RoundTrips++
+			att.RoundTripNS += float64(e.Dur) / 1e3
+		}
+	}
+	overlap := func(e ParsedEvent) float64 {
+		var total int64
+		for _, w := range windows {
+			lo, hi := e.TS, e.End()
+			if lo < w.TS {
+				lo = w.TS
+			}
+			if hi > w.End() {
+				hi = w.End()
+			}
+			if hi > lo {
+				total += hi - lo
+			}
+		}
+		return float64(total) / 1e3
+	}
+	for _, e := range events {
+		if e.Ph != "X" || e.Layer != LayerLLC {
+			continue
+		}
+		switch e.Name {
+		case "credit_stall":
+			att.CreditStallNS += overlap(e)
+		case "replay":
+			att.ReplayNS += overlap(e)
+		}
+	}
+	if att.RoundTripNS > 0 {
+		att.CreditPct = 100 * att.CreditStallNS / att.RoundTripNS
+		att.ReplayPct = 100 * att.ReplayNS / att.RoundTripNS
+	}
+	return att
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// buildTrace records a synthetic two-transaction trace and round-trips it
+// through the Chrome export, so the analysis path is tested against the real
+// wire format.
+func buildTrace(t *testing.T) []ParsedEvent {
+	t.Helper()
+	r := NewRing(256)
+	// Transaction 1: 1000 ns round trip with a 300 ns credit stall inside.
+	r.Span(LayerCAPI, "read_req", 0, 1_000_000)
+	r.Span(LayerLLC, "credit_stall", 100_000, 400_000)
+	r.Span(LayerPhy, "xmit", 450_000, 500_000)
+	r.Instant(LayerRMMU, "translate", 50_000)
+	// Transaction 2: 400 ns round trip, no stalls.
+	r.Span(LayerCAPI, "write_req", 2_000_000, 2_400_000)
+	r.Span(LayerPhy, "xmit", 2_050_000, 2_100_000)
+	// Replay window straddling neither round trip.
+	r.Span(LayerLLC, "replay", 5_000_000, 5_200_000)
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ParseChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func TestParseChromeTraceRoundTrip(t *testing.T) {
+	events := buildTrace(t)
+	if len(events) != 7 {
+		t.Fatalf("parsed %d events, want 7 (metadata dropped)", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].TS < events[i-1].TS {
+			t.Fatalf("events not sorted by timestamp")
+		}
+	}
+	first := events[0]
+	if first.Layer != LayerCAPI || first.Name != "read_req" || first.Dur != 1_000_000 {
+		t.Fatalf("first event mangled: %+v", first)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sums := Summarize(buildTrace(t))
+	byKey := map[string]SpanSummary{}
+	for _, s := range sums {
+		byKey[s.Layer+"/"+s.Name] = s
+	}
+	rt := byKey[LayerCAPI+"/read_req"]
+	if rt.Count != 1 || rt.MeanNS != 1000 {
+		t.Fatalf("read_req summary = %+v", rt)
+	}
+	xmit := byKey[LayerPhy+"/xmit"]
+	if xmit.Count != 2 || xmit.TotalNS != 100 || xmit.MaxNS != 50 {
+		t.Fatalf("xmit summary = %+v", xmit)
+	}
+	if tr := byKey[LayerRMMU+"/translate"]; tr.Kind != "instant" || tr.Count != 1 {
+		t.Fatalf("translate summary = %+v", tr)
+	}
+	// Sorted by descending total time: the 1000 ns round trip leads.
+	if sums[0].Name != "read_req" {
+		t.Fatalf("summaries not sorted by total time: first is %s", sums[0].Name)
+	}
+}
+
+func TestCriticalPaths(t *testing.T) {
+	events := buildTrace(t)
+	paths := CriticalPaths(events, 1)
+	if len(paths) != 1 {
+		t.Fatalf("got %d paths, want 1", len(paths))
+	}
+	cp := paths[0]
+	if cp.Root.Name != "read_req" || cp.RootNS != 1000 {
+		t.Fatalf("slowest root = %+v", cp.Root)
+	}
+	// The window overlaps the credit stall, the first xmit, and the
+	// translate instant — not transaction 2's events or the late replay.
+	if len(cp.Events) != 3 {
+		t.Fatalf("path has %d overlapping events, want 3: %+v", len(cp.Events), cp.Events)
+	}
+	if cp.ByLayer[LayerLLC] != 300 || cp.ByLayer[LayerPhy] != 50 {
+		t.Fatalf("per-layer rollup = %+v", cp.ByLayer)
+	}
+
+	if got := CriticalPaths(events, 10); len(got) != 2 {
+		t.Fatalf("k beyond population returned %d paths, want 2", len(got))
+	}
+}
+
+func TestAttributeStalls(t *testing.T) {
+	att := AttributeStalls(buildTrace(t))
+	if att.RoundTrips != 2 || att.RoundTripNS != 1400 {
+		t.Fatalf("round trips = %+v", att)
+	}
+	if att.CreditStallNS != 300 {
+		t.Fatalf("credit stall overlap = %v ns, want 300", att.CreditStallNS)
+	}
+	// The replay window lies outside both round trips: no attribution.
+	if att.ReplayNS != 0 {
+		t.Fatalf("replay overlap = %v ns, want 0", att.ReplayNS)
+	}
+	wantPct := 100 * 300.0 / 1400.0
+	if diff := att.CreditPct - wantPct; diff < -0.01 || diff > 0.01 {
+		t.Fatalf("credit pct = %v, want %v", att.CreditPct, wantPct)
+	}
+}
+
+func TestParseChromeTraceRejectsGarbage(t *testing.T) {
+	if _, err := ParseChromeTrace(bytes.NewBufferString("not json")); err == nil {
+		t.Fatal("garbage input parsed without error")
+	}
+}

@@ -4,6 +4,9 @@
 #     cores (-parallel 0)
 #   * sim kernel schedule/run micro-benchmark (ns/op, allocs/op)
 #   * dcsim placement micro-benchmark (ns/op)
+#   * full-datapath cacheline load with latency attribution off vs on
+#     (ns/op, allocs/op) — the on/off delta is the attribution overhead,
+#     and the off row documents the disabled path's allocation count
 # The parallel and sequential suites print byte-identical output (asserted
 # by internal/bench tests); only wall-clock may differ.
 set -eu
@@ -27,19 +30,27 @@ t0=$(now_s)
 t1=$(now_s)
 par_s=$(elapsed "$t0" "$t1")
 
-kern=$(go test -run xxx -bench BenchmarkKernelScheduleRun -benchmem \
-	-benchtime 5x ./internal/sim/ | awk '/BenchmarkKernelScheduleRun/ {print $3, $7}')
+kern=$(go test -run xxx -bench 'BenchmarkKernelScheduleRun$' -benchmem \
+	-benchtime 5x ./internal/sim/ | \
+	awk '$1 ~ /^BenchmarkKernelScheduleRun(-[0-9]+)?$/ {print $3, $7}')
 kern_ns=$(echo "$kern" | awk '{print $1}')
 kern_allocs=$(echo "$kern" | awk '{print $2}')
 
 place=$(go test -run xxx -bench 'BenchmarkDcsimPlace/fixed' -benchtime 3x \
 	./internal/dcsim/ | awk '/BenchmarkDcsimPlace\/fixed/ {print $3}')
 
+attr=$(go test -run xxx -bench 'BenchmarkClusterLoadAttr' -benchmem \
+	-benchtime 2000x ./internal/core/)
+attr_off_ns=$(echo "$attr" | awk '/BenchmarkClusterLoadAttrOff/ {print $3}')
+attr_off_allocs=$(echo "$attr" | awk '/BenchmarkClusterLoadAttrOff/ {print $7}')
+attr_on_ns=$(echo "$attr" | awk '/BenchmarkClusterLoadAttrOn/ {print $3}')
+attr_on_allocs=$(echo "$attr" | awk '/BenchmarkClusterLoadAttrOn/ {print $7}')
+
 cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 1)
 
 cat > "$out" <<EOF
 {
-  "snapshot": "PR1 parallel engine + allocation-lean kernel + indexed placement",
+  "snapshot": "quick-suite wall clock + kernel/placement/attribution micro-benchmarks",
   "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
   "host_cores": $cores,
   "quick_suite_wall_seconds": {
@@ -50,7 +61,11 @@ cat > "$out" <<EOF
     "ns_per_op": $kern_ns,
     "allocs_per_op": $kern_allocs
   },
-  "dcsim_place_fixed_ns_per_op": $place
+  "dcsim_place_fixed_ns_per_op": $place,
+  "cluster_load_latency_attr": {
+    "off": { "ns_per_op": $attr_off_ns, "allocs_per_op": $attr_off_allocs },
+    "on": { "ns_per_op": $attr_on_ns, "allocs_per_op": $attr_on_allocs }
+  }
 }
 EOF
 echo "wrote $out (sequential ${seq_s}s, parallel ${par_s}s)"
