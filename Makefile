@@ -19,14 +19,17 @@ ci: check race chaos fuzz-smoke
 
 # Uncached (-count=1) race-detector pass over the packages with real
 # concurrency: the LLC protocol under the parallel experiment engine, the
-# cluster, and the telemetry surfaces (metrics registry, trace ring,
-# control-plane handlers) that are read while the simulation runs.
+# cluster, the telemetry surfaces (metrics registry, trace ring,
+# control-plane handlers) that are read while the simulation runs, and the
+# saga/journal/reconciler machinery plus the node agents it drives.
 race:
 	$(GO) test -race -count=1 ./internal/llc/ ./internal/core/ \
-		./internal/metrics/ ./internal/trace/ ./internal/controlplane/
+		./internal/metrics/ ./internal/trace/ ./internal/controlplane/ \
+		./internal/agent/
 
-# Run the fault-injection conformance campaign (docs/RELIABILITY.md).
-# Fails if any scenario violates its losslessness/replay/credit invariants.
+# Run the fault-injection conformance campaigns (docs/RELIABILITY.md):
+# the datapath catalogue and the control-plane saga/recovery/reconciliation
+# catalogue. Fails if any scenario violates its invariants.
 chaos:
 	$(GO) run ./cmd/tfbench -chaos -seed 1 -parallel 0 -chaos-out chaos_report.json
 

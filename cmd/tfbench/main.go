@@ -28,6 +28,12 @@
 //	tfbench -chaos                          # full catalogue, default seed
 //	tfbench -chaos -seed 42 -chaos-out r.json
 //	tfbench -chaos -chaos-scenario crc-burst -seed 42
+//	tfbench -chaos -chaos-scenario cp-agent-flap -seed 42
+//
+// The campaign covers both the datapath (frame loss, CRC bursts, credit
+// starvation, link-down escalation) and the control plane (agent flaps,
+// orchestrator crashes mid-saga, duplicate-command storms against the
+// saga/journal/reconciliation machinery).
 //
 // The campaign seed is printed in the report; re-running any scenario with
 // that seed reproduces its report byte for byte (see docs/RELIABILITY.md).
@@ -148,22 +154,37 @@ func main() {
 	}
 }
 
-// runChaos executes the fault-injection campaign and returns the process
-// exit code: 0 when every scenario passed, 1 otherwise.
+// runChaos executes the fault-injection campaigns — the datapath catalogue
+// and the control-plane (saga/recovery/reconciliation) catalogue — and
+// returns the process exit code: 0 when every scenario passed, 1 otherwise.
 func runChaos(r *bench.Runner, seed int64, scenario, out string) int {
 	cat := chaos.Catalogue()
+	cpCat := chaos.CPCatalogue()
 	if scenario != "" {
-		s, ok := chaos.Find(scenario)
-		if !ok {
+		if s, ok := chaos.Find(scenario); ok {
+			cat = []chaos.Scenario{s}
+			cpCat = nil
+		} else if cs, ok := chaos.FindCP(scenario); ok {
+			cat = nil
+			cpCat = []chaos.CPScenario{cs}
+		} else {
 			fmt.Fprintf(os.Stderr, "tfbench: unknown chaos scenario %q; catalogue:\n", scenario)
 			for _, c := range cat {
-				fmt.Fprintf(os.Stderr, "  %-24s %s\n", c.Name, c.Description)
+				fmt.Fprintf(os.Stderr, "  %-28s %s\n", c.Name, c.Description)
+			}
+			for _, c := range cpCat {
+				fmt.Fprintf(os.Stderr, "  %-28s %s\n", c.Name, c.Description)
 			}
 			return 2
 		}
-		cat = []chaos.Scenario{s}
 	}
 	rep := r.Chaos(cat, seed)
+	rep.ControlPlane = chaos.RunCPCampaign(cpCat, seed)
+	for _, sr := range rep.ControlPlane {
+		if !sr.Passed {
+			rep.Passed = false
+		}
+	}
 	data, err := rep.JSON()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tfbench: %v\n", err)
@@ -183,8 +204,17 @@ func runChaos(r *bench.Runner, seed int64, scenario, out string) int {
 		if !sr.Passed {
 			status = "FAIL"
 		}
-		fmt.Fprintf(os.Stderr, "%s %-24s seed=%d ops=%d/%d replayed=%d state=%s\n",
+		fmt.Fprintf(os.Stderr, "%s %-28s seed=%d ops=%d/%d replayed=%d state=%s\n",
 			status, sr.Name, sr.Seed, sr.OpsOK, sr.Ops, sr.LLC.TxReplayed, sr.FinalState)
+	}
+	for _, sr := range rep.ControlPlane {
+		status := "PASS"
+		if !sr.Passed {
+			status = "FAIL"
+		}
+		fmt.Fprintf(os.Stderr, "%s %-28s seed=%d attach=%d detach=%d crashes=%d retries=%d repairs=%d\n",
+			status, sr.Name, sr.Seed, sr.Attaches, sr.Detaches, sr.Crashes,
+			sr.Counters.SagaRetries, sr.Counters.ReconcileRepairs)
 	}
 	if !rep.Passed {
 		fmt.Fprintf(os.Stderr, "tfbench: campaign FAILED (reproduce with -chaos -seed %d)\n", seed)

@@ -10,6 +10,7 @@
 //	detach  -id ATTACHMENT
 //	list
 //	get     -id ATTACHMENT
+//	sagas
 //	topology
 package main
 
@@ -50,6 +51,8 @@ func main() {
 			usage()
 		}
 		err = doGET(*server+"/v1/attachments/"+*id, *token)
+	case "sagas":
+		err = doGET(*server+"/v1/sagas", *token)
 	case "topology":
 		err = doGET(*server+"/v1/topology", *token)
 	default:
@@ -62,7 +65,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tfctl [-server URL] [-token TOKEN] attach|detach|list|get|topology [flags]")
+	fmt.Fprintln(os.Stderr, "usage: tfctl [-server URL] [-token TOKEN] attach|detach|list|get|sagas|topology [flags]")
 	os.Exit(2)
 }
 

@@ -6,6 +6,15 @@
 //
 //	tfd -listen :8440 -hosts node0,node1,node2 -admin-token secret
 //
+// With -journal PATH, every attach/detach saga is write-ahead journaled to
+// the file; on boot the daemon replays the journal, finishing or
+// compensating sagas a previous crash left in flight. With
+// -reconcile-interval D, a background loop periodically diffs control-plane
+// records against executor/agent ground truth and repairs divergence. Note
+// that tfd's rack is simulated in-process: its datapath state dies with the
+// process, so after a restart the reconciler will (correctly) tear down
+// recovered records whose datapath no longer exists.
+//
 // Then drive it with tfctl (or curl):
 //
 //	tfctl -server http://localhost:8440 -token secret \
@@ -34,6 +43,8 @@ func main() {
 	traceEvents := flag.Int("trace-events", 1<<16, "trace ring capacity in events (0 disables tracing)")
 	latencyAttr := flag.Bool("latency", false, "enable per-stage latency attribution, served under /v1/latency")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (admin token required)")
+	journalPath := flag.String("journal", "", "write-ahead saga journal file; replayed on boot for crash recovery (empty = in-memory)")
+	reconcileEvery := flag.Duration("reconcile-interval", 0, "run the reconciliation loop at this interval (0 disables)")
 	flag.Parse()
 
 	names := strings.Split(*hosts, ",")
@@ -73,6 +84,26 @@ func main() {
 	svc := controlplane.NewService(model, controlplane.ClusterExecutor{Cluster: cluster}, cpToken)
 	for _, n := range names {
 		svc.RegisterAgent(agent.New(strings.TrimSpace(n), cpToken))
+	}
+	if *journalPath != "" {
+		j, err := controlplane.OpenFileJournal(*journalPath)
+		if err != nil {
+			log.Fatalf("tfd: %v", err)
+		}
+		svc.SetJournal(j)
+		rep, err := svc.Recover()
+		if err != nil {
+			log.Fatalf("tfd: journal recovery: %v", err)
+		}
+		if rep.SagasSeen > 0 {
+			log.Printf("tfd: recovered journal: %d sagas seen, %d attachments restored, %d rolled forward, %d compensated, %d re-parked",
+				rep.SagasSeen, rep.Restored, rep.RolledForward, rep.Compensated, rep.Reparked)
+		}
+	}
+	if *reconcileEvery > 0 {
+		stop := svc.StartReconciler(*reconcileEvery)
+		defer stop()
+		log.Printf("tfd: reconciliation loop every %s", *reconcileEvery)
 	}
 	api := controlplane.NewAPI(svc, controlplane.AuthConfig{
 		AdminTokens:  []string{*adminToken},

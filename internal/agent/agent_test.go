@@ -19,14 +19,19 @@ func TestTrustBoundary(t *testing.T) {
 	if err := a.Apply("secret", Command{Kind: CmdAttachCompute, Bytes: 0}); err == nil {
 		t.Fatal("zero-size attach accepted")
 	}
+	// Detach of an attachment this agent never configured is acknowledged
+	// idempotently without landing in the effective log.
 	if err := a.Apply("secret", Command{Kind: CmdDetach, AttachmentID: "att-0"}); err != nil {
 		t.Fatal(err)
 	}
-	if got := len(a.Applied()); got != 2 {
-		t.Fatalf("applied = %d, want 2", got)
+	if got := len(a.Applied()); got != 1 {
+		t.Fatalf("applied = %d, want 1", got)
 	}
 	if got := a.Rejected(); got != 3 {
 		t.Fatalf("rejected = %d, want 3", got)
+	}
+	if got := a.Deduped(); got != 1 {
+		t.Fatalf("deduped = %d, want 1", got)
 	}
 }
 
@@ -37,5 +42,105 @@ func TestAppliedIsACopy(t *testing.T) {
 	log[0].Bytes = 999
 	if a.Applied()[0].Bytes != 5 {
 		t.Fatal("Applied aliases internal state")
+	}
+}
+
+// TestReplayDeduplication: an exact replay (same AttachmentID, Kind, Epoch)
+// is acknowledged but applied exactly once, so a command retried after an
+// ambiguous transport failure does not double-apply.
+func TestReplayDeduplication(t *testing.T) {
+	a := New("donor", "tok")
+	cmd := Command{Kind: CmdStealMemory, AttachmentID: "saga-1", Epoch: 7, Bytes: 1 << 20, NetworkID: 3}
+	for i := 0; i < 3; i++ {
+		if err := a.Apply("tok", cmd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(a.Applied()); got != 1 {
+		t.Fatalf("applied %d times, want 1", got)
+	}
+	if got := a.Deduped(); got != 2 {
+		t.Fatalf("deduped = %d, want 2", got)
+	}
+	st, ok := a.Holds("saga-1")
+	if !ok || st.StolenBytes != 1<<20 || st.NetworkID != 3 {
+		t.Fatalf("state = %+v ok=%v", st, ok)
+	}
+	// A fresh-epoch re-steal of the same attachment is a state-level no-op.
+	cmd.Epoch = 8
+	if err := a.Apply("tok", cmd); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(a.Applied()); got != 1 {
+		t.Fatalf("re-steal re-applied: log = %d entries", got)
+	}
+}
+
+// TestDetachIdempotent: detach applies once; replays and post-detach
+// detaches are no-ops, leaving a balanced log.
+func TestDetachIdempotent(t *testing.T) {
+	a := New("donor", "tok")
+	if err := a.Apply("tok", Command{Kind: CmdStealMemory, AttachmentID: "s1", Epoch: 1, Bytes: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	det := Command{Kind: CmdDetach, AttachmentID: "s1", Epoch: 2}
+	for i := 0; i < 3; i++ {
+		if err := a.Apply("tok", det); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Apply("tok", Command{Kind: CmdDetach, AttachmentID: "s1", Epoch: 3}); err != nil {
+		t.Fatal(err)
+	}
+	log := a.Applied()
+	if len(log) != 2 || log[0].Kind != CmdStealMemory || log[1].Kind != CmdDetach {
+		t.Fatalf("log = %+v, want balanced steal/detach pair", log)
+	}
+	if _, ok := a.Holds("s1"); ok {
+		t.Fatal("state survived detach")
+	}
+}
+
+// TestRestartLosesVolatileState: a crash-restart clears configuration and
+// bumps the incarnation so the control plane can detect the resurrection.
+func TestRestartLosesVolatileState(t *testing.T) {
+	a := New("n0", "tok")
+	if err := a.Apply("tok", Command{Kind: CmdAttachCompute, AttachmentID: "s1", Epoch: 1, Bytes: 4096, Channels: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Incarnation() != 0 {
+		t.Fatalf("incarnation = %d", a.Incarnation())
+	}
+	a.Restart()
+	if a.Incarnation() != 1 {
+		t.Fatalf("incarnation after restart = %d", a.Incarnation())
+	}
+	if len(a.Applied()) != 0 {
+		t.Fatal("applied log survived restart")
+	}
+	if _, ok := a.Holds("s1"); ok {
+		t.Fatal("attachment state survived restart")
+	}
+	// The dedupe table is gone too: a re-push with an old epoch applies.
+	if err := a.Apply("tok", Command{Kind: CmdAttachCompute, AttachmentID: "s1", Epoch: 1, Bytes: 4096, Channels: 2}); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := a.Holds("s1")
+	if !ok || !st.ComputeAttached {
+		t.Fatalf("re-push after restart did not apply: %+v ok=%v", st, ok)
+	}
+}
+
+// TestStatusReport: Status reports materialized state sorted by ID.
+func TestStatusReport(t *testing.T) {
+	a := New("n0", "tok")
+	a.Apply("tok", Command{Kind: CmdStealMemory, AttachmentID: "s2", Epoch: 1, Bytes: 100}) //nolint:errcheck
+	a.Apply("tok", Command{Kind: CmdStealMemory, AttachmentID: "s1", Epoch: 2, Bytes: 200}) //nolint:errcheck
+	st := a.Status()
+	if st.Host != "n0" || len(st.Attachments) != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.Attachments[0].ID != "s1" || st.Attachments[1].ID != "s2" {
+		t.Fatalf("attachments not sorted: %+v", st.Attachments)
 	}
 }

@@ -1,0 +1,465 @@
+// Control-plane chaos: fault campaigns against the orchestration layer
+// rather than the datapath. Scenarios drive a real controlplane.Service —
+// saga engine, write-ahead journal, lossy agent transport, reconciliation
+// loop — through agent crash-restarts, orchestrator crashes mid-saga, and
+// duplicate-command storms, then assert the orchestration invariants: no
+// leaked fabric reservations, no orphaned donor memory, no half-configured
+// agents, no parked sagas after heal + reconcile.
+//
+// Like the datapath scenarios, every control-plane scenario derives its
+// seed from (campaign seed, scenario name), uses zero-backoff retries and
+// counter-only measurements, and therefore produces byte-identical reports
+// per seed.
+
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"thymesisflow/internal/agent"
+	"thymesisflow/internal/controlplane"
+	"thymesisflow/internal/core"
+)
+
+const cpToken = "chaos-cp-token"
+
+// CPScenario scripts one control-plane fault campaign.
+type CPScenario struct {
+	Name        string
+	Description string
+	run         func(seed int64, rep *CPScenarioReport)
+}
+
+// CPScenarioReport is one control-plane scenario's outcome. Every field is
+// a deterministic counter, so reports are byte-identical per seed.
+type CPScenarioReport struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description"`
+	Seed        int64    `json:"seed"`
+	Passed      bool     `json:"passed"`
+	Failures    []string `json:"failures,omitempty"`
+
+	Attaches     int `json:"attaches"`
+	Detaches     int `json:"detaches"`
+	AttachErrors int `json:"attach_errors"`
+	DetachErrors int `json:"detach_errors"`
+	// Crashes counts orchestrator (control-plane) crash-restarts.
+	Crashes int `json:"crashes"`
+	// RecoveredSagas counts sagas journal replay had to resolve (restored,
+	// rolled forward, or compensated) across all restarts.
+	RecoveredSagas int `json:"recovered_sagas"`
+	// FinalAttachments is the number of attachments live at scenario end.
+	FinalAttachments int `json:"final_attachments"`
+
+	Counters  controlplane.SagaCounters   `json:"counters"`
+	Transport controlplane.TransportStats `json:"transport"`
+}
+
+func (r *CPScenarioReport) fail(format string, args ...any) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+// cpWorld is the durable world a control plane crashes and restarts over:
+// cluster, topology model, agents, transports, and journal all outlive any
+// single Service.
+type cpWorld struct {
+	cluster *core.Cluster
+	model   *controlplane.Model
+	inner   *controlplane.DirectTransport
+	faulty  *controlplane.FaultyTransport
+	journal *controlplane.CrashableJournal
+	hosts   []string
+}
+
+func newCPWorld(rep *CPScenarioReport, faults controlplane.TransportFaults) *cpWorld {
+	c := core.NewCluster()
+	hosts := []string{"node0", "node1", "node2"}
+	m := controlplane.NewModel()
+	for _, n := range hosts {
+		cfg := core.DefaultHostConfig(n)
+		cfg.SectionSize = 1 << 20
+		cfg.RMMUSections = 64
+		if _, err := c.AddHost(cfg); err != nil {
+			rep.fail("add host: %v", err)
+			return nil
+		}
+		if err := m.AddHost(n, 4); err != nil {
+			rep.fail("model host: %v", err)
+			return nil
+		}
+	}
+	for _, a := range hosts {
+		for _, b := range hosts {
+			if a == b {
+				continue
+			}
+			ca := m.Transceivers(a, controlplane.LabelComputeEP)
+			mb := m.Transceivers(b, controlplane.LabelMemoryEP)
+			for i := range ca {
+				if i < len(mb) {
+					if err := m.Cable(ca[i], mb[i]); err != nil {
+						rep.fail("cable: %v", err)
+						return nil
+					}
+				}
+			}
+		}
+	}
+	inner := controlplane.NewDirectTransport()
+	for _, n := range hosts {
+		inner.Register(agent.New(n, cpToken))
+	}
+	return &cpWorld{
+		cluster: c,
+		model:   m,
+		inner:   inner,
+		faulty:  controlplane.NewFaultyTransport(inner, faults),
+		journal: controlplane.NewCrashableJournal(controlplane.NewMemJournal()),
+		hosts:   hosts,
+	}
+}
+
+// boot starts a control-plane "process" over the world with zero-backoff
+// retries (campaigns measure in counters, not wall time).
+func (w *cpWorld) boot(tr controlplane.Transport) *controlplane.Service {
+	svc := controlplane.NewService(w.model, controlplane.ClusterExecutor{Cluster: w.cluster}, cpToken)
+	svc.SetJournal(w.journal)
+	svc.SetTransport(tr)
+	svc.SetRetryPolicy(controlplane.RetryPolicy{MaxAttempts: 6})
+	return svc
+}
+
+// addCounters folds one Service's fault-handling counters into the report;
+// counters are per-process, so every crash-restart must bank them before
+// the old Service is dropped.
+func addCounters(rep *CPScenarioReport, c controlplane.SagaCounters) {
+	rep.Counters.SagaRetries += c.SagaRetries
+	rep.Counters.SagaCompensations += c.SagaCompensations
+	rep.Counters.RecoveryReplays += c.RecoveryReplays
+	rep.Counters.ReconcileRepairs += c.ReconcileRepairs
+	rep.Counters.DetachAgentFailures += c.DetachAgentFailures
+	rep.Counters.SagasParked += c.SagasParked
+}
+
+// heal banks the old process's counters, disarms the journal, restarts the
+// control plane over the reliable transport, replays the journal, and
+// reconciles to quiescence.
+func (w *cpWorld) heal(rep *CPScenarioReport, old *controlplane.Service) *controlplane.Service {
+	if old != nil {
+		addCounters(rep, old.Counters())
+	}
+	w.journal.FailAfter(-1)
+	svc := w.boot(w.inner)
+	rr, err := svc.Recover()
+	if err != nil {
+		rep.fail("recover: %v", err)
+		return svc
+	}
+	rep.RecoveredSagas += rr.RolledForward + rr.Compensated + rr.Reparked
+	for i := 0; i < 5; i++ {
+		if r := svc.Reconcile(); r.Repairs() == 0 && r.Unrepaired == 0 {
+			break
+		}
+	}
+	addCounters(rep, svc.Counters())
+	return svc
+}
+
+// verify asserts the orchestration invariants against ground truth.
+func (w *cpWorld) verify(rep *CPScenarioReport, svc *controlplane.Service) {
+	recs := svc.Attachments()
+	rep.FinalAttachments = len(recs)
+
+	// Executor diff: control-plane records == live datapath attachments.
+	recIDs := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		recIDs[r.ID] = true
+	}
+	clusterAtts := w.cluster.Attachments()
+	if len(clusterAtts) != len(recs) {
+		rep.fail("executor holds %d attachments, records say %d", len(clusterAtts), len(recs))
+	}
+	for _, a := range clusterAtts {
+		if !recIDs[a.ID] {
+			rep.fail("orphaned datapath attachment %s", a.ID)
+		}
+	}
+
+	// Reservation diff: planned paths are vertex-disjoint, so the reserved
+	// set must be exactly the sum of record path lengths.
+	wantReserved := 0
+	for _, r := range recs {
+		for _, n := range r.PathLen {
+			wantReserved += n
+		}
+	}
+	if got := len(w.model.ReservedIDs()); got != wantReserved {
+		rep.fail("fabric holds %d reservations, records imply %d", got, wantReserved)
+	}
+
+	// Agent diff: every agent holds exactly the state the records imply.
+	type side struct{ compute, donor bool }
+	desired := make(map[string]map[string]side)
+	for _, r := range recs {
+		if desired[r.ComputeHost] == nil {
+			desired[r.ComputeHost] = make(map[string]side)
+		}
+		s := desired[r.ComputeHost][r.SagaID]
+		s.compute = true
+		desired[r.ComputeHost][r.SagaID] = s
+		if desired[r.DonorHost] == nil {
+			desired[r.DonorHost] = make(map[string]side)
+		}
+		s = desired[r.DonorHost][r.SagaID]
+		s.donor = true
+		desired[r.DonorHost][r.SagaID] = s
+	}
+	for _, h := range w.hosts {
+		st, err := w.inner.Query(h)
+		if err != nil {
+			rep.fail("query %s: %v", h, err)
+			continue
+		}
+		for _, att := range st.Attachments {
+			d, ok := desired[h][att.ID]
+			if !ok {
+				rep.fail("agent %s holds orphaned attachment %s", h, att.ID)
+				continue
+			}
+			if d.compute && !att.ComputeAttached || d.donor && att.StolenBytes == 0 {
+				rep.fail("agent %s half-configured for %s", h, att.ID)
+			}
+		}
+		for id := range desired[h] {
+			held := false
+			for _, att := range st.Attachments {
+				if att.ID == id {
+					held = true
+				}
+			}
+			if !held {
+				rep.fail("agent %s missing desired attachment %s", h, id)
+			}
+		}
+	}
+
+	if parked := svc.ParkedSagas(); len(parked) != 0 {
+		rep.fail("parked sagas after heal+reconcile: %v", parked)
+	}
+	rep.Transport = w.faulty.Stats()
+}
+
+// hostPair rotates attach endpoints deterministically.
+func (w *cpWorld) hostPair(i int) (compute, donor string) {
+	n := len(w.hosts)
+	return w.hosts[i%n], w.hosts[(i+1)%n]
+}
+
+// CPCatalogue returns the control-plane scenario set.
+func CPCatalogue() []CPScenario {
+	return []CPScenario{
+		{
+			Name: "cp-agent-flap",
+			Description: "agents crash-restart under a lossy transport, losing volatile state; " +
+				"the reconciliation loop must re-push configuration from the records",
+			run: runAgentFlap,
+		},
+		{
+			Name: "cp-orchestrator-crash-midsaga",
+			Description: "the control plane crashes after random journal appends mid-saga; " +
+				"each restart replays the journal and must converge with no leaked state",
+			run: runOrchestratorCrash,
+		},
+		{
+			Name: "cp-duplicate-command-storm",
+			Description: "nearly every command is delivered twice and acks are frequently lost; " +
+				"idempotent (AttachmentID, Epoch) application must keep agents exact",
+			run: runDuplicateStorm,
+		},
+	}
+}
+
+func runAgentFlap(seed int64, rep *CPScenarioReport) {
+	w := newCPWorld(rep, controlplane.TransportFaults{
+		DropProb: 0.05, DupProb: 0.10, AmbiguousProb: 0.10, Seed: seed,
+	})
+	if w == nil {
+		return
+	}
+	svc := w.boot(w.faulty)
+	rng := rand.New(rand.NewSource(seed))
+	var ids []string
+	for i := 0; i < 6; i++ {
+		compute, donor := w.hostPair(i)
+		rec, err := svc.Attach(controlplane.AttachRequest{
+			ComputeHost: compute, DonorHost: donor, Bytes: 1 << 20, Channels: 1,
+		})
+		if err != nil {
+			rep.AttachErrors++
+		} else {
+			rep.Attaches++
+			ids = append(ids, rec.ID)
+		}
+		// Flap a random agent and let the reconciler repair it.
+		if i%2 == 1 {
+			host := w.hosts[rng.Intn(len(w.hosts))]
+			w.faulty.CrashAgent(host) //nolint:errcheck // hosts are registered
+			svc.Reconcile()
+		}
+	}
+	for i, id := range ids {
+		if i%2 != 0 {
+			continue
+		}
+		if err := svc.Detach(id); err != nil {
+			rep.DetachErrors++
+		} else {
+			rep.Detaches++
+		}
+	}
+	svc = w.heal(rep, svc)
+	w.verify(rep, svc)
+	if rep.Transport.Crashes == 0 {
+		rep.fail("no agent crash-restart was injected")
+	}
+	if rep.Counters.ReconcileRepairs == 0 {
+		rep.fail("reconciler repaired nothing despite agent flaps")
+	}
+}
+
+func runOrchestratorCrash(seed int64, rep *CPScenarioReport) {
+	w := newCPWorld(rep, controlplane.TransportFaults{
+		DropProb: 0.05, DupProb: 0.10, AmbiguousProb: 0.10, Seed: seed,
+	})
+	if w == nil {
+		return
+	}
+	svc := w.boot(w.faulty)
+	rng := rand.New(rand.NewSource(seed))
+	for op := 0; op < 8; op++ {
+		// Even ops arm a crash a few journal appends into the saga (op 0
+		// always crashes mid-attach; later even ops draw the crash point,
+		// sometimes past the saga). Odd ops run with the journal healthy so
+		// the workload also makes real progress.
+		if op%2 == 0 {
+			crashPoint := 3
+			if op > 0 {
+				crashPoint = rng.Intn(12)
+			}
+			w.journal.FailAfter(crashPoint)
+		} else {
+			w.journal.FailAfter(-1)
+		}
+
+		var err error
+		live := svc.Attachments()
+		if len(live) > 0 && op%3 == 2 {
+			err = svc.Detach(live[0].ID)
+			if err == nil {
+				rep.Detaches++
+			}
+		} else {
+			compute, donor := w.hostPair(op)
+			_, err = svc.Attach(controlplane.AttachRequest{
+				ComputeHost: compute, DonorHost: donor, Bytes: 1 << 20, Channels: 1,
+			})
+			if err == nil {
+				rep.Attaches++
+			}
+		}
+		if err != nil && controlplane.IsCrash(err) {
+			// The process died mid-saga: restart from the journal.
+			rep.Crashes++
+			addCounters(rep, svc.Counters())
+			w.journal.FailAfter(-1)
+			svc = w.boot(w.faulty)
+			rr, rerr := svc.Recover()
+			if rerr != nil {
+				rep.fail("recover after crash %d: %v", rep.Crashes, rerr)
+				return
+			}
+			rep.RecoveredSagas += rr.RolledForward + rr.Compensated + rr.Reparked
+			svc.Reconcile()
+		} else if err != nil {
+			rep.AttachErrors++
+		}
+	}
+	svc = w.heal(rep, svc)
+	w.verify(rep, svc)
+	if rep.Crashes == 0 {
+		rep.fail("no orchestrator crash was exercised")
+	}
+	if rep.RecoveredSagas == 0 {
+		rep.fail("recovery never resolved an in-flight saga")
+	}
+}
+
+func runDuplicateStorm(seed int64, rep *CPScenarioReport) {
+	w := newCPWorld(rep, controlplane.TransportFaults{
+		DupProb: 0.90, AmbiguousProb: 0.40, Seed: seed,
+	})
+	if w == nil {
+		return
+	}
+	svc := w.boot(w.faulty)
+	var ids []string
+	for i := 0; i < 4; i++ {
+		compute, donor := w.hostPair(i)
+		rec, err := svc.Attach(controlplane.AttachRequest{
+			ComputeHost: compute, DonorHost: donor, Bytes: 1 << 20, Channels: 1,
+		})
+		if err != nil {
+			rep.AttachErrors++
+		} else {
+			rep.Attaches++
+			ids = append(ids, rec.ID)
+		}
+	}
+	for _, id := range ids {
+		if err := svc.Detach(id); err != nil {
+			rep.DetachErrors++
+		} else {
+			rep.Detaches++
+		}
+	}
+	svc = w.heal(rep, svc)
+	w.verify(rep, svc)
+	if rep.Transport.Dups == 0 {
+		rep.fail("no duplicate delivery was injected")
+	}
+	if rep.Counters.SagaRetries == 0 {
+		rep.fail("lost acks never forced a retry")
+	}
+	if rep.FinalAttachments != 0 {
+		rep.fail("%d attachments survived full teardown", rep.FinalAttachments)
+	}
+}
+
+// RunCP executes one control-plane scenario under the campaign seed.
+func RunCP(s CPScenario, campaignSeed int64) CPScenarioReport {
+	seed := deriveSeed(campaignSeed, s.Name)
+	rep := CPScenarioReport{Name: s.Name, Description: s.Description, Seed: seed}
+	s.run(seed, &rep)
+	rep.Passed = len(rep.Failures) == 0
+	return rep
+}
+
+// RunCPCampaign executes the control-plane catalogue serially.
+func RunCPCampaign(scenarios []CPScenario, seed int64) []CPScenarioReport {
+	out := make([]CPScenarioReport, 0, len(scenarios))
+	for _, s := range scenarios {
+		out = append(out, RunCP(s, seed))
+	}
+	return out
+}
+
+// FindCP returns the control-plane scenario with the given name.
+func FindCP(name string) (CPScenario, bool) {
+	for _, s := range CPCatalogue() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return CPScenario{}, false
+}

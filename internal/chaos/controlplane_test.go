@@ -1,0 +1,63 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestCPCampaignPasses runs the control-plane catalogue: every scenario
+// must satisfy the orchestration invariants (no leaked reservations, no
+// orphaned donor memory, no half-configured agents, no parked sagas).
+func TestCPCampaignPasses(t *testing.T) {
+	for _, rep := range RunCPCampaign(CPCatalogue(), testSeed) {
+		if !rep.Passed {
+			t.Errorf("scenario %s failed: %s", rep.Name, strings.Join(rep.Failures, "; "))
+		}
+		if rep.Attaches == 0 {
+			t.Errorf("scenario %s attached nothing", rep.Name)
+		}
+	}
+}
+
+// TestCPScenariosExerciseFaults spot-checks that each scenario drove the
+// machinery it claims to.
+func TestCPScenariosExerciseFaults(t *testing.T) {
+	byName := map[string]CPScenarioReport{}
+	for _, rep := range RunCPCampaign(CPCatalogue(), testSeed) {
+		byName[rep.Name] = rep
+	}
+	if rep := byName["cp-agent-flap"]; rep.Transport.Crashes == 0 || rep.Counters.ReconcileRepairs == 0 {
+		t.Errorf("cp-agent-flap: crashes=%d repairs=%d", rep.Transport.Crashes, rep.Counters.ReconcileRepairs)
+	}
+	if rep := byName["cp-orchestrator-crash-midsaga"]; rep.Crashes == 0 || rep.RecoveredSagas == 0 {
+		t.Errorf("cp-orchestrator-crash-midsaga: crashes=%d recovered=%d", rep.Crashes, rep.RecoveredSagas)
+	}
+	if rep := byName["cp-duplicate-command-storm"]; rep.Transport.Dups == 0 || rep.Counters.SagaRetries == 0 {
+		t.Errorf("cp-duplicate-command-storm: dups=%d retries=%d", rep.Transport.Dups, rep.Counters.SagaRetries)
+	}
+}
+
+// TestCPCampaignDeterministic requires byte-identical reports for the same
+// seed, across multiple seeds.
+func TestCPCampaignDeterministic(t *testing.T) {
+	for _, seed := range []int64{testSeed, testSeed + 1, testSeed + 2, 7} {
+		a, err := json.MarshalIndent(RunCPCampaign(CPCatalogue(), seed), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(RunCPCampaign(CPCatalogue(), seed), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("seed %d: report not byte-identical across runs", seed)
+		}
+	}
+	a, _ := json.Marshal(RunCPCampaign(CPCatalogue(), testSeed))
+	b, _ := json.Marshal(RunCPCampaign(CPCatalogue(), testSeed+1))
+	if bytes.Equal(a, b) {
+		t.Fatal("different seeds produced identical reports")
+	}
+}

@@ -10,6 +10,9 @@ type Report struct {
 	Seed      int64            `json:"seed"`
 	Passed    bool             `json:"passed"`
 	Scenarios []ScenarioReport `json:"scenarios"`
+	// ControlPlane holds the orchestration-layer campaign results (sagas,
+	// journal recovery, reconciliation), when that campaign ran.
+	ControlPlane []CPScenarioReport `json:"control_plane,omitempty"`
 }
 
 // ScenarioReport is one scenario's outcome.

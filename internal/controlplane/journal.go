@@ -1,0 +1,238 @@
+package controlplane
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal event names. A saga's lifetime in the journal is:
+//
+//	begin -> (intent -> done|failed)* -> committed | aborted | parked
+//
+// Intents are written *before* the step executes (write-ahead), so after a
+// crash an intent without a matching done marks a step whose side effects
+// are unknown — recovery resolves the ambiguity by querying the agents and
+// the executor for ground truth.
+const (
+	EvBegin       = "begin"
+	EvIntent      = "intent"
+	EvDone        = "done"
+	EvFailed      = "failed"
+	EvCompensated = "compensated"
+	EvCommitted   = "committed"
+	EvAborted     = "aborted"
+	EvParked      = "parked"
+)
+
+// Saga operations.
+const (
+	OpAttach = "attach"
+	OpDetach = "detach"
+)
+
+// Attach saga steps (in execution order).
+const (
+	StepPlanPaths     = "plan-paths"
+	StepStealMemory   = "steal-memory"
+	StepAttachCompute = "attach-compute"
+	StepExecAttach    = "exec-attach"
+)
+
+// Detach saga steps (in execution order).
+const (
+	StepExecDetach    = "exec-detach"
+	StepDetachCompute = "detach-compute"
+	StepDetachDonor   = "detach-donor"
+	StepReleasePaths  = "release-paths"
+)
+
+// JournalEntry is one append-only record of saga progress. Entries carry
+// enough payload for a restarted control plane to rebuild its records and
+// finish or compensate every in-flight saga without the crashed process's
+// memory.
+type JournalEntry struct {
+	Seq    uint64 `json:"seq"`
+	SagaID string `json:"saga_id"`
+	Op     string `json:"op"`              // attach | detach
+	Event  string `json:"event"`           // begin | intent | done | ...
+	Step   string `json:"step,omitempty"`  // step name for intent/done/failed/compensated
+	Epoch  uint64 `json:"epoch,omitempty"` // command epoch for agent steps
+
+	// Attach payload (begin), detach payload (begin: AttID+ExecID+hosts).
+	Compute  string `json:"compute,omitempty"`
+	Donor    string `json:"donor,omitempty"`
+	Bytes    int64  `json:"bytes,omitempty"`
+	Channels int    `json:"channels,omitempty"`
+
+	// Step payloads.
+	NetID  uint16    `json:"net_id,omitempty"`  // plan-paths done
+	Paths  [][]int64 `json:"paths,omitempty"`   // plan-paths done / detach begin
+	ExecID string    `json:"exec_id,omitempty"` // exec-attach done / detach begin
+	NUMA   int       `json:"numa,omitempty"`    // exec-attach done
+	AttID  string    `json:"att_id,omitempty"`  // detach begin: agent correlation ID
+	Err    string    `json:"err,omitempty"`     // failed/aborted/parked reason
+	Parked []string  `json:"pending,omitempty"` // parked: steps still owed
+}
+
+// Journal is the saga write-ahead log. Implementations must make Append
+// durable before returning (to the extent their backend can) and replay
+// entries in append order.
+type Journal interface {
+	Append(e JournalEntry) error
+	Entries() ([]JournalEntry, error)
+}
+
+// MemJournal is the in-memory journal backend: durable across a Service
+// restart within one process (the unit tests' crash model), lost with the
+// process.
+type MemJournal struct {
+	mu      sync.Mutex
+	entries []JournalEntry
+}
+
+// NewMemJournal returns an empty in-memory journal.
+func NewMemJournal() *MemJournal { return &MemJournal{} }
+
+// Append implements Journal.
+func (m *MemJournal) Append(e JournalEntry) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries = append(m.entries, e)
+	return nil
+}
+
+// Entries implements Journal.
+func (m *MemJournal) Entries() ([]JournalEntry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]JournalEntry(nil), m.entries...), nil
+}
+
+// FileJournal is the durable journal backend: JSON lines appended to a
+// file, synced per record, replayable across process restarts (tfd
+// -journal).
+type FileJournal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	w    *bufio.Writer
+}
+
+// OpenFileJournal opens (creating if needed) an append-only journal file.
+func OpenFileJournal(path string) (*FileJournal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("controlplane: open journal: %w", err)
+	}
+	return &FileJournal{path: path, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Append implements Journal: one JSON line per entry, synced to stable
+// storage before returning so a completed step is never forgotten.
+func (j *FileJournal) Append(e JournalEntry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := j.w.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Entries implements Journal by re-reading the file. A torn final line
+// (crash mid-write) is tolerated and dropped.
+func (j *FileJournal) Entries() ([]JournalEntry, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		return nil, err
+	}
+	var out []JournalEntry
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for {
+		var e JournalEntry
+		if err := dec.Decode(&e); err != nil {
+			break // EOF or torn tail
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Close closes the backing file.
+func (j *FileJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	return j.f.Close()
+}
+
+// ErrJournalCrash is the failure a CrashableJournal injects; the saga
+// engine treats any journal append failure as a control-plane crash and
+// halts mid-saga without compensating (the process is "dead" — recovery
+// happens on the next start).
+var ErrJournalCrash = errors.New("controlplane: injected crash (journal unavailable)")
+
+// CrashableJournal wraps a journal and fails every append once the scripted
+// crash point is reached — the fault-injection hook the crash-point
+// recovery tests and the orchestrator-crash chaos scenario use to kill the
+// control plane after an exact number of journal writes.
+type CrashableJournal struct {
+	mu        sync.Mutex
+	inner     Journal
+	appends   int
+	failAfter int // fail the (failAfter+1)-th and later appends; <0 = never
+}
+
+// NewCrashableJournal wraps inner with crash injection disabled.
+func NewCrashableJournal(inner Journal) *CrashableJournal {
+	return &CrashableJournal{inner: inner, failAfter: -1}
+}
+
+// FailAfter arms the crash: the first n appends succeed, every later one
+// fails with ErrJournalCrash. n = 0 fails the next append; n < 0 disarms.
+func (c *CrashableJournal) FailAfter(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.appends = 0
+	c.failAfter = n
+}
+
+// Appends returns how many appends have been accepted since the last arm.
+func (c *CrashableJournal) Appends() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.appends
+}
+
+// Append implements Journal with crash injection.
+func (c *CrashableJournal) Append(e JournalEntry) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failAfter >= 0 && c.appends >= c.failAfter {
+		return ErrJournalCrash
+	}
+	c.appends++
+	return c.inner.Append(e)
+}
+
+// Entries implements Journal (reads are served even while "crashed": the
+// restarted control plane replays from the same backend).
+func (c *CrashableJournal) Entries() ([]JournalEntry, error) { return c.inner.Entries() }

@@ -8,6 +8,7 @@ package controlplane
 
 import (
 	"fmt"
+	"sort"
 
 	"thymesisflow/internal/graphdb"
 )
@@ -200,6 +201,36 @@ func (m *Model) ReleasePaths(paths []Path) {
 		}
 	}
 	tx.Commit()
+}
+
+// ReservePaths re-asserts the reservations of paths (used by crash
+// recovery when rebuilding attachment records from the journal).
+func (m *Model) ReservePaths(paths []Path) {
+	tx := m.g.Begin()
+	for _, p := range paths {
+		for _, id := range p.Vertices {
+			tx.SetVertexProp(id, "reserved", true) //nolint:errcheck
+		}
+	}
+	tx.Commit()
+}
+
+// ReservedIDs returns the sorted vertex IDs currently marked reserved
+// (transceivers and switch ports); the reconciliation loop diffs this
+// against the union of all attachment records' paths to find orphaned or
+// missing reservations.
+func (m *Model) ReservedIDs() []graphdb.ID {
+	var out []graphdb.ID
+	for _, label := range []string{LabelTransceiver, LabelSwitchPort} {
+		for _, id := range m.g.VerticesByLabel(label) {
+			v, _ := m.g.Vertex(id)
+			if r, _ := v.Props["reserved"].(bool); r {
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // FreeTransceivers counts unreserved transceivers on a host endpoint role.

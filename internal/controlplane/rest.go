@@ -54,6 +54,7 @@ func NewAPI(svc *Service, auth AuthConfig) *API {
 	a.mux.HandleFunc("/v1/attachments/", a.handleAttachment)
 	a.mux.HandleFunc("/v1/topology", a.handleTopology)
 	a.mux.HandleFunc("/v1/metrics", a.handleMetrics)
+	a.mux.HandleFunc("/v1/sagas", a.handleSagas)
 	a.mux.HandleFunc("/v1/latency", a.handleLatency)
 	a.mux.HandleFunc("/v1/trace/snapshot", a.handleTraceSnapshot)
 	return a
@@ -177,6 +178,30 @@ func (a *API) handleAttachment(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeErr(w, http.StatusMethodNotAllowed, "method not allowed")
 	}
+}
+
+// sagasView is the JSON shape of GET /v1/sagas: saga progress plus the
+// fault-handling counters, so operators can watch retries, compensations,
+// and parked sagas without scraping metrics.
+type sagasView struct {
+	Sagas    []SagaStatus `json:"sagas"`
+	Parked   []string     `json:"parked,omitempty"`
+	Counters SagaCounters `json:"counters"`
+}
+
+func (a *API) handleSagas(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	if !a.authorize(w, r, RoleReader) {
+		return
+	}
+	writeJSON(w, http.StatusOK, sagasView{
+		Sagas:    a.svc.Sagas(),
+		Parked:   a.svc.ParkedSagas(),
+		Counters: a.svc.Counters(),
+	})
 }
 
 // topologyView is the JSON shape of GET /v1/topology.

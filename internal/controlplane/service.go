@@ -2,8 +2,11 @@ package controlplane
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"thymesisflow/internal/agent"
 	"thymesisflow/internal/core"
@@ -40,6 +43,38 @@ func (ce ClusterExecutor) Attach(computeHost, donorHost string, bytes int64, cha
 
 // Detach implements Executor.
 func (ce ClusterExecutor) Detach(id string) error { return ce.Cluster.Detach(id) }
+
+// ExecInspector is optionally implemented by executors that can report
+// whether an attachment is still live — the ground-truth query crash
+// recovery uses to decide between rolling a saga forward and compensating.
+type ExecInspector interface {
+	HasAttachment(id string) bool
+}
+
+// HasAttachment implements ExecInspector.
+func (ce ClusterExecutor) HasAttachment(id string) bool {
+	_, ok := ce.Cluster.Attachment(id)
+	return ok
+}
+
+// ExecLister is optionally implemented by executors that can enumerate
+// live attachments; the reconciliation loop diffs the list against the
+// control plane's records to find orphans (e.g. an attach that crashed
+// between the executor call and its journal record).
+type ExecLister interface {
+	AttachmentIDs() []string
+}
+
+// AttachmentIDs implements ExecLister, sorted for deterministic sweeps.
+func (ce ClusterExecutor) AttachmentIDs() []string {
+	atts := ce.Cluster.Attachments()
+	out := make([]string, 0, len(atts))
+	for _, a := range atts {
+		out = append(out, a.ID)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // TrafficReporter is optionally implemented by executors that can report
 // per-attachment datapath counters; the REST layer exposes them under
@@ -112,26 +147,87 @@ func (s *Service) Traffic(id string) (core.TrafficStats, bool) {
 // AttachmentRecord is the control plane's book-keeping for one attachment.
 type AttachmentRecord struct {
 	ID          string `json:"id"`
+	SagaID      string `json:"saga_id"` // agent-side correlation ID
 	ComputeHost string `json:"compute_host"`
 	DonorHost   string `json:"donor_host"`
 	Bytes       int64  `json:"bytes"`
 	Channels    int    `json:"channels"`
 	NUMANode    int    `json:"numa_node"`
+	NetID       uint16 `json:"network_id"`
 	PathLen     []int  `json:"path_len"`
 	paths       []Path
 }
 
-// Service is the control plane: topology model, agents, executor, and
-// attachment state.
+// RetryPolicy bounds the per-step retries of a saga. Transient transport
+// failures are retried with exponential backoff plus jitter; permanent
+// failures (agent rejections, executor errors) fail the step immediately.
+type RetryPolicy struct {
+	// MaxAttempts is the per-step attempt budget (the step deadline):
+	// attempts beyond it fail the step and trigger compensation or
+	// parking. Minimum 1.
+	MaxAttempts int
+	// BaseBackoff is the delay after the first failed attempt; it doubles
+	// per attempt up to MaxBackoff, with +/-50% jitter.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+// DefaultRetryPolicy is the production policy: four attempts per step,
+// 5ms..80ms backoff.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 80 * time.Millisecond}
+}
+
+// SagaCounters is a snapshot of the control plane's fault-handling
+// counters (also exported through the metrics registry under the same
+// names, and from there via GET /v1/metrics).
+type SagaCounters struct {
+	SagaRetries         int64 `json:"saga_retries"`
+	SagaCompensations   int64 `json:"saga_compensations"`
+	RecoveryReplays     int64 `json:"recovery_replays"`
+	ReconcileRepairs    int64 `json:"reconcile_repairs"`
+	DetachAgentFailures int64 `json:"detach_agent_failures"`
+	SagasParked         int64 `json:"sagas_parked"`
+}
+
+// SagaStatus is the externally visible progress of one saga, served under
+// GET /v1/sagas.
+type SagaStatus struct {
+	ID     string `json:"id"`
+	Op     string `json:"op"`
+	State  string `json:"state"` // running | committed | aborted | parked | crashed
+	ExecID string `json:"exec_id,omitempty"`
+	Err    string `json:"err,omitempty"`
+}
+
+// Service is the control plane: topology model, agent transport, executor,
+// write-ahead saga journal, and attachment state.
 type Service struct {
-	mu     sync.Mutex
-	model  *Model
-	exec   Executor
-	agents map[string]*agent.Agent
-	token  string // the control plane's trusted token
+	mu        sync.Mutex
+	model     *Model
+	exec      Executor
+	transport Transport
+	journal   Journal
+	policy    RetryPolicy
+	sleep     func(time.Duration)
+	jitter    *rand.Rand
+	token     string // the control plane's trusted token
 
 	attachments map[string]*AttachmentRecord
+	parked      map[string]*parkedSaga
+	sagas       map[string]*SagaStatus
+	sagaOrder   []string
 	nextNetID   uint16
+	sagaSeq     uint64
+	epoch       uint64
+	jseq        uint64
+
+	ctrRetries         atomic.Int64
+	ctrCompensations   atomic.Int64
+	ctrRecoveryReplays atomic.Int64
+	ctrReconcileFixes  atomic.Int64
+	ctrDetachFailures  atomic.Int64
+	ctrParked          atomic.Int64
 
 	// metrics and ring back the read-only telemetry endpoints; nil until
 	// SetTelemetry is called.
@@ -140,28 +236,114 @@ type Service struct {
 	latRep  LatencyReporter
 }
 
-// NewService builds a control plane over the given model and executor. The
-// token authenticates the control plane toward node agents.
+// parkedSaga is a saga whose datapath work is finished but whose agent
+// acknowledgements could not be confirmed; the reconciliation loop keeps
+// retrying the pending steps until the agents confirm.
+type parkedSaga struct {
+	sagaID  string
+	op      string
+	attID   string            // agent-side correlation ID
+	pending map[string]string // step -> host still owing a detach
+}
+
+// NewService builds a control plane over the given model and executor with
+// a reliable in-process transport and an in-memory journal. The token
+// authenticates the control plane toward node agents. Use SetTransport /
+// SetJournal / SetRetryPolicy before serving traffic to swap in a lossy
+// transport, a durable journal, or a different retry budget.
 func NewService(model *Model, exec Executor, token string) *Service {
 	return &Service{
 		model:       model,
 		exec:        exec,
-		agents:      make(map[string]*agent.Agent),
+		transport:   NewDirectTransport(),
+		journal:     NewMemJournal(),
+		policy:      DefaultRetryPolicy(),
+		sleep:       time.Sleep,
+		jitter:      rand.New(rand.NewSource(1)),
 		token:       token,
 		attachments: make(map[string]*AttachmentRecord),
+		parked:      make(map[string]*parkedSaga),
+		sagas:       make(map[string]*SagaStatus),
 		nextNetID:   1,
 	}
 }
 
-// RegisterAgent attaches a node agent for a host.
+// SetTransport replaces the agent transport (e.g. with a FaultyTransport
+// for chaos campaigns). Agents already registered on the old transport are
+// not migrated.
+func (s *Service) SetTransport(t Transport) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.transport = t
+}
+
+// SetJournal replaces the saga journal. Call before any saga runs (or
+// right before Recover when restarting over a durable journal).
+func (s *Service) SetJournal(j Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = j
+}
+
+// SetRetryPolicy replaces the per-step retry budget.
+func (s *Service) SetRetryPolicy(p RetryPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	s.policy = p
+}
+
+// RegisterAgent attaches a node agent for a host (delegating to the
+// transport's registry when it has one).
 func (s *Service) RegisterAgent(a *agent.Agent) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.agents[a.Host()] = a
+	if reg, ok := s.transport.(interface{ Register(*agent.Agent) }); ok {
+		reg.Register(a)
+	}
 }
 
 // Model returns the topology model.
 func (s *Service) Model() *Model { return s.model }
+
+// Counters snapshots the fault-handling counters.
+func (s *Service) Counters() SagaCounters {
+	return SagaCounters{
+		SagaRetries:         s.ctrRetries.Load(),
+		SagaCompensations:   s.ctrCompensations.Load(),
+		RecoveryReplays:     s.ctrRecoveryReplays.Load(),
+		ReconcileRepairs:    s.ctrReconcileFixes.Load(),
+		DetachAgentFailures: s.ctrDetachFailures.Load(),
+		SagasParked:         s.ctrParked.Load(),
+	}
+}
+
+// Sagas lists saga statuses in start order.
+func (s *Service) Sagas() []SagaStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SagaStatus, 0, len(s.sagaOrder))
+	for _, id := range s.sagaOrder {
+		if st, ok := s.sagas[id]; ok {
+			out = append(out, *st)
+		}
+	}
+	return out
+}
+
+// ParkedSagas returns the IDs of sagas awaiting reconciliation.
+func (s *Service) ParkedSagas() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.parked))
+	for id := range s.parked {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // AttachRequest is the external API request body.
 type AttachRequest struct {
@@ -171,7 +353,12 @@ type AttachRequest struct {
 	Channels    int    `json:"channels"`
 }
 
-// Attach plans, reserves, configures, and executes one attachment.
+// Attach plans, reserves, configures, and executes one attachment as an
+// idempotent saga: every step is journaled write-ahead, agent commands
+// carry (AttachmentID, Epoch) so retries deduplicate, transient transport
+// failures are retried with backoff, and a failed step triggers
+// *compensating* rollback — a failed compute-side push issues a donor-side
+// detach (not just a path release), so no donor memory leaks.
 func (s *Service) Attach(req AttachRequest) (*AttachmentRecord, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -181,64 +368,184 @@ func (s *Service) Attach(req AttachRequest) (*AttachmentRecord, error) {
 	if req.Bytes <= 0 {
 		return nil, fmt.Errorf("controlplane: attach of %d bytes", req.Bytes)
 	}
-	computeAgent, ok := s.agents[req.ComputeHost]
-	if !ok {
-		return nil, fmt.Errorf("controlplane: no agent registered for host %q", req.ComputeHost)
+	for _, h := range []string{req.ComputeHost, req.DonorHost} {
+		if _, err := s.transport.Query(h); err != nil {
+			return nil, fmt.Errorf("controlplane: no agent registered for host %q", h)
+		}
 	}
-	donorAgent, ok := s.agents[req.DonorHost]
-	if !ok {
-		return nil, fmt.Errorf("controlplane: no agent registered for host %q", req.DonorHost)
+
+	sg := s.newSaga(OpAttach)
+	if err := s.append(JournalEntry{
+		SagaID: sg.id, Op: OpAttach, Event: EvBegin,
+		Compute: req.ComputeHost, Donor: req.DonorHost,
+		Bytes: req.Bytes, Channels: req.Channels,
+	}); err != nil {
+		return nil, s.crash(sg, err)
 	}
 
 	// 1. Find and reserve fabric paths.
-	paths, err := s.model.PlanChannels(req.ComputeHost, req.DonorHost, req.Channels)
+	var paths []Path
+	var netID uint16
+	err := s.step(sg, StepPlanPaths, 0, func() error {
+		p, err := s.model.PlanChannels(req.ComputeHost, req.DonorHost, req.Channels)
+		if err != nil {
+			return err
+		}
+		paths = p
+		netID = s.nextNetID
+		s.nextNetID++
+		return nil
+	}, func(e *JournalEntry) {
+		e.NetID = netID
+		e.Paths = pathsToWire(paths)
+	})
 	if err != nil {
-		return nil, err
+		return nil, s.failAttach(sg, req, paths, netID, "", err)
 	}
-	netID := s.nextNetID
-	s.nextNetID++
-
-	rollback := func() { s.model.ReleasePaths(paths) }
 
 	// 2. Push configuration to the agents (donor first: memory must be
 	// pinned before the compute side can forward to it).
-	if err := donorAgent.Apply(s.token, agent.Command{
-		Kind: agent.CmdStealMemory, Bytes: req.Bytes, NetworkID: netID,
-	}); err != nil {
-		rollback()
-		return nil, err
+	stealEpoch := s.nextEpoch()
+	err = s.step(sg, StepStealMemory, stealEpoch, func() error {
+		return s.transport.Send(req.DonorHost, s.token, agent.Command{
+			Kind: agent.CmdStealMemory, AttachmentID: sg.id, Epoch: stealEpoch,
+			Bytes: req.Bytes, NetworkID: netID,
+		})
+	}, nil)
+	if err != nil {
+		return nil, s.failAttach(sg, req, paths, netID, "", err)
 	}
-	if err := computeAgent.Apply(s.token, agent.Command{
-		Kind: agent.CmdAttachCompute, Bytes: req.Bytes,
-		Channels: req.Channels, NetworkID: netID,
-	}); err != nil {
-		rollback()
-		return nil, err
+
+	attachEpoch := s.nextEpoch()
+	err = s.step(sg, StepAttachCompute, attachEpoch, func() error {
+		return s.transport.Send(req.ComputeHost, s.token, agent.Command{
+			Kind: agent.CmdAttachCompute, AttachmentID: sg.id, Epoch: attachEpoch,
+			Bytes: req.Bytes, Channels: req.Channels, NetworkID: netID,
+		})
+	}, nil)
+	if err != nil {
+		return nil, s.failAttach(sg, req, paths, netID, "", err)
 	}
 
 	// 3. Execute on the datapath.
-	id, node, err := s.exec.Attach(req.ComputeHost, req.DonorHost, req.Bytes, req.Channels)
+	var execID string
+	var node mem.NodeID
+	err = s.step(sg, StepExecAttach, 0, func() error {
+		id, n, err := s.exec.Attach(req.ComputeHost, req.DonorHost, req.Bytes, req.Channels)
+		if err != nil {
+			return err
+		}
+		execID, node = id, n
+		return nil
+	}, func(e *JournalEntry) {
+		e.ExecID = execID
+		e.NUMA = int(node)
+	})
 	if err != nil {
-		rollback()
-		return nil, err
+		return nil, s.failAttach(sg, req, paths, netID, execID, err)
 	}
+
+	// 4. Commit: the committed entry carries the whole record, so a
+	// restarted control plane rebuilds it from the journal alone.
 	rec := &AttachmentRecord{
-		ID:          id,
+		ID:          execID,
+		SagaID:      sg.id,
 		ComputeHost: req.ComputeHost,
 		DonorHost:   req.DonorHost,
 		Bytes:       req.Bytes,
 		Channels:    req.Channels,
 		NUMANode:    int(node),
+		NetID:       netID,
 		paths:       paths,
 	}
 	for _, p := range paths {
 		rec.PathLen = append(rec.PathLen, len(p.Vertices))
 	}
-	s.attachments[id] = rec
+	if err := s.append(JournalEntry{
+		SagaID: sg.id, Op: OpAttach, Event: EvCommitted,
+		Compute: req.ComputeHost, Donor: req.DonorHost,
+		Bytes: req.Bytes, Channels: req.Channels,
+		NetID: netID, Paths: pathsToWire(paths), ExecID: execID, NUMA: int(node),
+	}); err != nil {
+		// Crash after the datapath attach succeeded: the attachment is
+		// live but unrecorded. Recovery rolls this saga forward from the
+		// exec-attach done entry.
+		return nil, s.crash(sg, err)
+	}
+	s.attachments[execID] = rec
+	s.finishSaga(sg, "committed", execID, "")
 	return rec, nil
 }
 
-// Detach tears an attachment down and releases its fabric reservations.
+// failAttach compensates a failed attach saga in reverse step order:
+// datapath detach if the executor ran, compensating agent detaches for
+// every step whose command may have reached an agent (intent written), and
+// path release. Un-confirmable agent detaches park the saga for the
+// reconciliation loop.
+func (s *Service) failAttach(sg *saga, req AttachRequest, paths []Path, netID uint16, execID string, cause error) error {
+	if isCrash(cause) {
+		return s.crash(sg, cause)
+	}
+	s.ctrCompensations.Add(1)
+	pending := make(map[string]string)
+
+	if execID != "" {
+		if err := s.exec.Detach(execID); err == nil {
+			s.logCompensated(sg, StepExecAttach, "")
+		}
+	}
+	// Compensating detaches cover intents, not just completed steps: an
+	// ambiguous transport failure may have applied the command, and the
+	// agent-side detach is idempotent either way.
+	if sg.intents[StepAttachCompute] {
+		s.compensateAgent(sg, StepAttachCompute, req.ComputeHost, pending)
+	}
+	if sg.intents[StepStealMemory] {
+		s.compensateAgent(sg, StepStealMemory, req.DonorHost, pending)
+	}
+	if sg.dones[StepPlanPaths] {
+		s.model.ReleasePaths(paths)
+		s.logCompensated(sg, StepPlanPaths, "")
+	}
+
+	if len(pending) > 0 {
+		s.park(sg, sg.id, pending)
+	} else {
+		s.append(JournalEntry{SagaID: sg.id, Op: sg.op, Event: EvAborted, Err: cause.Error()}) //nolint:errcheck // best-effort terminal entry
+		s.finishSaga(sg, "aborted", execID, cause.Error())
+	}
+	return cause
+}
+
+// compensateAgent sends an idempotent detach for a (possibly) applied
+// command; exhausted retries land the step in pending for the reconciler.
+func (s *Service) compensateAgent(sg *saga, step, host string, pending map[string]string) {
+	err := s.retry(func() error {
+		return s.transport.Send(host, s.token, agent.Command{
+			Kind: agent.CmdDetach, AttachmentID: sg.id, Epoch: s.nextEpoch(),
+		})
+	})
+	if err != nil {
+		pending[compensationStep(step)] = host
+		return
+	}
+	s.logCompensated(sg, step, host)
+}
+
+// compensationStep maps an attach step to the detach step the reconciler
+// must finish.
+func compensationStep(step string) string {
+	if step == StepStealMemory {
+		return StepDetachDonor
+	}
+	return StepDetachCompute
+}
+
+// Detach tears an attachment down as a saga: datapath first, then
+// compensable agent detaches, then path release. Agent failures are no
+// longer swallowed: transient failures are retried, and un-confirmable
+// detaches are parked for the reconciliation loop (counted in
+// detach_agent_failures) instead of silently dropped.
 func (s *Service) Detach(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -246,17 +553,73 @@ func (s *Service) Detach(id string) error {
 	if !ok {
 		return fmt.Errorf("controlplane: unknown attachment %q", id)
 	}
-	if err := s.exec.Detach(id); err != nil {
+
+	sg := s.newSaga(OpDetach)
+	if err := s.append(JournalEntry{
+		SagaID: sg.id, Op: OpDetach, Event: EvBegin,
+		AttID: rec.SagaID, ExecID: rec.ID,
+		Compute: rec.ComputeHost, Donor: rec.DonorHost,
+		Paths: pathsToWire(rec.paths),
+	}); err != nil {
+		return s.crash(sg, err)
+	}
+
+	// 1. Tear down the datapath. A failure here aborts the saga with the
+	// attachment intact (nothing to compensate yet).
+	err := s.step(sg, StepExecDetach, 0, func() error {
+		return s.exec.Detach(id)
+	}, nil)
+	if err != nil {
+		if isCrash(err) {
+			return s.crash(sg, err)
+		}
+		s.append(JournalEntry{SagaID: sg.id, Op: sg.op, Event: EvAborted, Err: err.Error()}) //nolint:errcheck
+		s.finishSaga(sg, "aborted", id, err.Error())
 		return err
 	}
-	if a, ok := s.agents[rec.ComputeHost]; ok {
-		a.Apply(s.token, agent.Command{Kind: agent.CmdDetach, AttachmentID: id}) //nolint:errcheck
+
+	// 2+3. Agent-side detaches. The datapath is already gone, so these
+	// must eventually happen; failures park the saga for the reconciler
+	// rather than failing the API call.
+	pending := make(map[string]string)
+	for _, st := range []struct{ step, host string }{
+		{StepDetachCompute, rec.ComputeHost},
+		{StepDetachDonor, rec.DonorHost},
+	} {
+		st := st
+		epoch := s.nextEpoch()
+		err := s.step(sg, st.step, epoch, func() error {
+			return s.transport.Send(st.host, s.token, agent.Command{
+				Kind: agent.CmdDetach, AttachmentID: rec.SagaID, Epoch: epoch,
+			})
+		}, nil)
+		if err != nil {
+			if isCrash(err) {
+				return s.crash(sg, err)
+			}
+			s.ctrDetachFailures.Add(1)
+			pending[st.step] = st.host
+		}
 	}
-	if a, ok := s.agents[rec.DonorHost]; ok {
-		a.Apply(s.token, agent.Command{Kind: agent.CmdDetach, AttachmentID: id}) //nolint:errcheck
+
+	// 4. Release fabric reservations and drop the record.
+	err = s.step(sg, StepReleasePaths, 0, func() error {
+		s.model.ReleasePaths(rec.paths)
+		return nil
+	}, nil)
+	if err != nil {
+		return s.crash(sg, err)
 	}
-	s.model.ReleasePaths(rec.paths)
 	delete(s.attachments, id)
+
+	if len(pending) > 0 {
+		s.park(sg, rec.SagaID, pending)
+		return nil
+	}
+	if err := s.append(JournalEntry{SagaID: sg.id, Op: OpDetach, Event: EvCommitted, ExecID: id}); err != nil {
+		return s.crash(sg, err)
+	}
+	s.finishSaga(sg, "committed", id, "")
 	return nil
 }
 

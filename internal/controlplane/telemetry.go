@@ -23,6 +23,29 @@ func (s *Service) SetTelemetry(reg *metrics.Registry, ring *trace.Ring) {
 	defer s.mu.Unlock()
 	s.metrics = reg
 	s.ring = ring
+	if reg != nil {
+		reg.AddCollector(s.collectSagaCounters)
+	}
+}
+
+// collectSagaCounters pulls the fault-handling counters into the registry at
+// snapshot time, so saga_retries, saga_compensations, recovery_replays,
+// reconcile_repairs (and friends) appear under GET /v1/metrics alongside the
+// datapath instruments.
+func (s *Service) collectSagaCounters(reg *metrics.Registry) {
+	c := s.Counters()
+	for name, v := range map[string]int64{
+		"saga_retries":          c.SagaRetries,
+		"saga_compensations":    c.SagaCompensations,
+		"recovery_replays":      c.RecoveryReplays,
+		"reconcile_repairs":     c.ReconcileRepairs,
+		"detach_agent_failures": c.DetachAgentFailures,
+		"sagas_parked":          c.SagasParked,
+	} {
+		ctr := reg.Counter(name)
+		ctr.Reset()
+		ctr.Add(v)
+	}
 }
 
 // SetLatency attaches the latency-attribution source served under

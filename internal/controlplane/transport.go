@@ -1,0 +1,259 @@
+package controlplane
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"thymesisflow/internal/agent"
+)
+
+// Transport carries configuration commands and ground-truth queries from
+// the control plane to the per-host agents. Sends can fail transiently
+// (the wire between orchestrator and agent is lossy); the saga engine
+// retries transient failures with the same command epoch, so agents can
+// deduplicate the replays.
+type Transport interface {
+	// Send delivers one command to the named host's agent.
+	Send(host, token string, cmd agent.Command) error
+	// Query returns the agent's ground-truth status (incarnation and
+	// materialized configuration).
+	Query(host string) (agent.Status, error)
+	// Hosts lists the reachable agent hosts, sorted.
+	Hosts() []string
+}
+
+// ErrAgentUnknown is returned for sends/queries to hosts with no agent.
+var ErrAgentUnknown = errors.New("controlplane: no agent registered for host")
+
+// errTransient marks a transport failure as retryable: the command may or
+// may not have reached the agent, and re-sending it (same epoch) is safe.
+type errTransient struct{ err error }
+
+func (e errTransient) Error() string { return e.err.Error() }
+func (e errTransient) Unwrap() error { return e.err }
+
+// Transient wraps err as a retryable transport failure.
+func Transient(err error) error { return errTransient{err: err} }
+
+// IsTransient reports whether err is a retryable transport failure (as
+// opposed to a permanent rejection by the agent or executor).
+func IsTransient(err error) bool {
+	var t errTransient
+	return errors.As(err, &t)
+}
+
+// DirectTransport is the in-process, reliable transport: a registry of
+// agents reached by direct call. It is the default transport of a Service
+// and the inner transport a FaultyTransport wraps.
+type DirectTransport struct {
+	mu     sync.Mutex
+	agents map[string]*agent.Agent
+}
+
+// NewDirectTransport returns an empty agent registry.
+func NewDirectTransport() *DirectTransport {
+	return &DirectTransport{agents: make(map[string]*agent.Agent)}
+}
+
+// Register adds an agent to the registry.
+func (d *DirectTransport) Register(a *agent.Agent) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.agents[a.Host()] = a
+}
+
+// Agent returns the registered agent for a host.
+func (d *DirectTransport) Agent(host string) (*agent.Agent, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	a, ok := d.agents[host]
+	return a, ok
+}
+
+// Send implements Transport.
+func (d *DirectTransport) Send(host, token string, cmd agent.Command) error {
+	a, ok := d.Agent(host)
+	if !ok {
+		return fmt.Errorf("%w %q", ErrAgentUnknown, host)
+	}
+	return a.Apply(token, cmd)
+}
+
+// Query implements Transport.
+func (d *DirectTransport) Query(host string) (agent.Status, error) {
+	a, ok := d.Agent(host)
+	if !ok {
+		return agent.Status{}, fmt.Errorf("%w %q", ErrAgentUnknown, host)
+	}
+	return a.Status(), nil
+}
+
+// Hosts implements Transport.
+func (d *DirectTransport) Hosts() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.agents))
+	for h := range d.agents {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TransportFaults configures the seeded fault injection of a
+// FaultyTransport, in the style of phy.FaultConfig: per-send
+// probabilities, drawn from one private PRNG so a campaign reproduces
+// from its seed alone.
+type TransportFaults struct {
+	// DropProb loses the command entirely: the agent never sees it and
+	// the sender gets a transient timeout.
+	DropProb float64
+	// DupProb delivers the command twice (the duplicate models a network
+	// replay the agent must deduplicate).
+	DupProb float64
+	// AmbiguousProb delivers the command but reports a transient failure
+	// to the sender — the classic "did my write land?" ambiguity that
+	// forces idempotent retries.
+	AmbiguousProb float64
+	// CrashProb crash-restarts the destination agent *before* delivery,
+	// losing its volatile state (the command then applies to the fresh
+	// incarnation).
+	CrashProb float64
+	// Seed seeds the transport's private PRNG.
+	Seed int64
+}
+
+// TransportStats counts what a FaultyTransport actually did.
+type TransportStats struct {
+	Sends     int64 `json:"sends"`
+	Drops     int64 `json:"drops"`
+	Dups      int64 `json:"dups"`
+	Ambiguous int64 `json:"ambiguous"`
+	Crashes   int64 `json:"crashes"`
+}
+
+// FaultyTransport wraps a DirectTransport with seeded fault injection:
+// dropped, duplicated, and ambiguously-failed commands, plus agent
+// crash-restarts. It is the control-plane twin of phy.FaultSchedule —
+// deterministic from its seed, so chaos campaign reports are
+// byte-identical per seed. Queries are reliable (the reconciliation loop
+// needs ground truth; a lossy query channel would only add retries, not
+// change the invariants).
+type FaultyTransport struct {
+	inner  *DirectTransport
+	faults TransportFaults
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	// failNext scripts deterministic failures: the next n sends to a host
+	// are dropped regardless of probabilities (for targeted tests).
+	failNext map[string]int
+
+	sends     atomic.Int64
+	drops     atomic.Int64
+	dups      atomic.Int64
+	ambiguous atomic.Int64
+	crashes   atomic.Int64
+}
+
+// ErrTransportDrop is the transient failure a dropped or ambiguous send
+// surfaces to the saga engine.
+var ErrTransportDrop = errors.New("controlplane: transport timeout (command may not have been delivered)")
+
+// NewFaultyTransport wraps a direct transport with seeded fault injection.
+func NewFaultyTransport(inner *DirectTransport, faults TransportFaults) *FaultyTransport {
+	return &FaultyTransport{
+		inner:    inner,
+		faults:   faults,
+		rng:      rand.New(rand.NewSource(faults.Seed)),
+		failNext: make(map[string]int),
+	}
+}
+
+// Register delegates to the inner registry so Service.RegisterAgent works
+// transparently through a faulty transport.
+func (f *FaultyTransport) Register(a *agent.Agent) { f.inner.Register(a) }
+
+// FailNext scripts the next n sends to host to be dropped (transient
+// failure, command not delivered), ahead of any probabilistic faults.
+func (f *FaultyTransport) FailNext(host string, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failNext[host] = n
+}
+
+// CrashAgent crash-restarts the named agent immediately, losing its
+// volatile state.
+func (f *FaultyTransport) CrashAgent(host string) error {
+	a, ok := f.inner.Agent(host)
+	if !ok {
+		return fmt.Errorf("%w %q", ErrAgentUnknown, host)
+	}
+	a.Restart()
+	f.crashes.Add(1)
+	return nil
+}
+
+// Send implements Transport with fault injection.
+func (f *FaultyTransport) Send(host, token string, cmd agent.Command) error {
+	f.sends.Add(1)
+	f.mu.Lock()
+	if n := f.failNext[host]; n > 0 {
+		f.failNext[host] = n - 1
+		f.mu.Unlock()
+		f.drops.Add(1)
+		return Transient(fmt.Errorf("%w (scripted, host %s)", ErrTransportDrop, host))
+	}
+	drop := f.faults.DropProb > 0 && f.rng.Float64() < f.faults.DropProb
+	dup := f.faults.DupProb > 0 && f.rng.Float64() < f.faults.DupProb
+	ambig := f.faults.AmbiguousProb > 0 && f.rng.Float64() < f.faults.AmbiguousProb
+	crash := f.faults.CrashProb > 0 && f.rng.Float64() < f.faults.CrashProb
+	f.mu.Unlock()
+
+	if crash {
+		if a, ok := f.inner.Agent(host); ok {
+			a.Restart()
+			f.crashes.Add(1)
+		}
+	}
+	if drop {
+		f.drops.Add(1)
+		return Transient(fmt.Errorf("%w (host %s)", ErrTransportDrop, host))
+	}
+	err := f.inner.Send(host, token, cmd)
+	if err != nil {
+		return err // permanent agent rejection passes through unwrapped
+	}
+	if dup {
+		f.dups.Add(1)
+		f.inner.Send(host, token, cmd) //nolint:errcheck // duplicate delivery; agent dedupes
+	}
+	if ambig {
+		f.ambiguous.Add(1)
+		return Transient(fmt.Errorf("%w (delivered, ack lost, host %s)", ErrTransportDrop, host))
+	}
+	return nil
+}
+
+// Query implements Transport (reliable).
+func (f *FaultyTransport) Query(host string) (agent.Status, error) {
+	return f.inner.Query(host)
+}
+
+// Hosts implements Transport.
+func (f *FaultyTransport) Hosts() []string { return f.inner.Hosts() }
+
+// Stats returns the injection counters.
+func (f *FaultyTransport) Stats() TransportStats {
+	return TransportStats{
+		Sends:     f.sends.Load(),
+		Drops:     f.drops.Load(),
+		Dups:      f.dups.Load(),
+		Ambiguous: f.ambiguous.Load(),
+		Crashes:   f.crashes.Load(),
+	}
+}
