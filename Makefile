@@ -1,8 +1,8 @@
 # Developer entry points. `make check` is the tier-1 gate (lint + vet +
-# build + race-enabled tests — the parallel experiment engine is the repo's
-# first real concurrency, so the race detector is load-bearing). `make
-# bench-quick` snapshots wall-clock and allocation numbers into
-# BENCH_PR1.json.
+# build + race-enabled tests — the parallel experiment engine and the
+# sharded simulation runtime are real concurrency, so the race detector is
+# load-bearing). `make bench-quick` snapshots wall-clock and allocation
+# numbers into BENCH_PR6.json.
 
 GO ?= go
 
@@ -19,11 +19,13 @@ ci: check race chaos fuzz-smoke
 
 # Uncached (-count=1) race-detector pass over the packages with real
 # concurrency: the LLC protocol under the parallel experiment engine, the
-# cluster, the telemetry surfaces (metrics registry, trace ring,
+# cluster, the sharded simulation runtime (kernel stepping + conservative
+# window barriers), the telemetry surfaces (metrics registry, trace ring,
 # control-plane handlers) that are read while the simulation runs, and the
 # saga/journal/reconciler machinery plus the node agents it drives.
 race:
 	$(GO) test -race -count=1 ./internal/llc/ ./internal/core/ \
+		./internal/sim/ ./internal/sim/shard/ ./internal/chaos/ \
 		./internal/metrics/ ./internal/trace/ ./internal/controlplane/ \
 		./internal/agent/
 
@@ -50,15 +52,19 @@ build:
 test:
 	$(GO) test ./...
 
-# Micro-benchmarks for the sim kernel and dcsim placement index.
+# Micro-benchmarks for the sim kernel (including the run-to-horizon
+# windowed stepping), the shard group barrier, and the dcsim placement
+# index.
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkKernel|BenchmarkDcsim' -benchmem \
-		-benchtime 5x ./internal/sim/ ./internal/dcsim/
+	$(GO) test -run xxx -bench 'BenchmarkKernel|BenchmarkGroup|BenchmarkDcsim' \
+		-benchmem -benchtime 5x ./internal/sim/ ./internal/sim/shard/ \
+		./internal/dcsim/
 
-# Wall-clock / allocation snapshot: sequential vs parallel quick suite plus
-# kernel and placement micro-benchmarks, written to BENCH_PR1.json.
+# Wall-clock / allocation snapshot: sequential vs parallel quick suite,
+# kernel/placement micro-benchmarks, and the sharded rack-scaling sweep
+# (tfbench -experiment rack at 1/2/4/8 shards), written to BENCH_PR6.json.
 bench-quick:
-	sh scripts/benchsnap.sh BENCH_PR1.json
+	sh scripts/benchsnap.sh BENCH_PR6.json
 
 # Produce a sample cross-layer trace (and metrics snapshot) from the quick
 # Figure 5 run: open trace_fig5.json in Perfetto (https://ui.perfetto.dev)

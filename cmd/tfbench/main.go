@@ -9,12 +9,21 @@
 //
 // Experiments: fig1, rtt, fig5 (stream), fig6 (voltdb-profile),
 // fig7 (voltdb-throughput), fig8 (memcached), fig9 (search),
-// ablation-replay, ablation-bonding, ablation-migration, all.
+// ablation-replay, ablation-bonding, ablation-migration, rack, all.
 //
 // -parallel N runs each experiment's independent cells on N workers
 // (N=0 means one per core, N=1 — the default — is sequential). Every cell
 // owns its simulation kernel and the merged tables are printed in cell
 // order, so the output does not depend on N.
+//
+// -shards N partitions each cluster-building experiment (rack, -chaos,
+// -latency-attr) into N simulation kernels advanced in conservative
+// lookahead windows (one kernel per host placement, docs/PARALLEL_SIM.md);
+// N=0 means one per core. Seeded output is byte-identical at every shard
+// count — -shards trades nothing but wall-clock:
+//
+//	tfbench -experiment rack -shards 8     # rack-scale scenario, 8 kernels
+//	tfbench -chaos -seed 42 -shards 2      # same report as -shards 1
 //
 // Latency-attribution mode decomposes the ~950 ns flit RTT stage by stage
 // (see docs/OBSERVABILITY.md):
@@ -44,7 +53,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"thymesisflow/internal/bench"
 	"thymesisflow/internal/chaos"
@@ -53,7 +64,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run (fig1|rtt|fig5|fig6|fig7|fig8|fig9|ablation-replay|ablation-bonding|ablation-migration|ablation-hbm|projection-integration|projection-multistack|all)")
+	experiment := flag.String("experiment", "all", "experiment to run (fig1|rtt|fig5|fig6|fig7|fig8|fig9|ablation-replay|ablation-bonding|ablation-migration|ablation-hbm|projection-integration|projection-multistack|rack|all)")
 	full := flag.Bool("full", false, "run at calibrated (paper) scale instead of quick scale")
 	parallel := flag.Int("parallel", 1, "experiment-cell workers: 1 = sequential, 0 = one per core, N = N workers")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto / chrome://tracing)")
@@ -64,7 +75,11 @@ func main() {
 	chaosOut := flag.String("chaos-out", "", "write the campaign report JSON to a file instead of stdout")
 	latencyAttr := flag.Bool("latency-attr", false, "run the per-stage latency-attribution experiment instead of the figures")
 	latencyOut := flag.String("latency-out", "", "with -latency-attr, also write the breakdown JSON to this file")
+	shards := flag.Int("shards", 1, "simulation shards per cluster: 1 = one sequential kernel, 0 = one per core, N = N kernels in conservative lookahead windows; seeded output is byte-identical at any value")
 	flag.Parse()
+	if *shards <= 0 {
+		*shards = runtime.NumCPU()
+	}
 
 	scale := bench.Quick
 	if *full {
@@ -74,10 +89,10 @@ func main() {
 	r := bench.NewRunner(*parallel)
 
 	if *chaosMode {
-		os.Exit(runChaos(r, *chaosSeed, *chaosScenario, *chaosOut))
+		os.Exit(runChaos(r, *chaosSeed, *chaosScenario, *chaosOut, *shards))
 	}
 	if *latencyAttr {
-		if err := bench.LatencyAttr(w, *latencyOut); err != nil {
+		if err := bench.LatencyAttrShards(w, *latencyOut, *shards); err != nil {
 			fmt.Fprintf(os.Stderr, "tfbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -114,6 +129,7 @@ func main() {
 		{[]string{"projection-integration"}, func() { bench.ProjectionIntegration(w) }},
 		{[]string{"projection-multistack"}, func() { r.ProjectionMultiStack(w, scale) }},
 		{[]string{"projection-switching"}, func() { bench.ProjectionSwitching(w) }},
+		{[]string{"rack"}, func() { runRack(w, scale, *shards, *chaosSeed) }},
 	}
 
 	want := strings.ToLower(*experiment)
@@ -154,10 +170,35 @@ func main() {
 	}
 }
 
+// runRack runs the rack-scale sharded-simulation scenario. The summary on
+// stdout is deterministic (virtual time only); wall-clock goes to stderr so
+// scaling runs can be compared without disturbing the seeded output.
+func runRack(w *os.File, scale bench.Scale, shards int, seed int64) {
+	cfg := bench.RackConfig{Shards: shards, Seed: seed}
+	if scale == bench.Full {
+		// Full scale: 1280 concurrent flows keep every shard's window
+		// dense, so the conservative barriers amortize and the sweep in
+		// BENCH_PR6.json shows the multi-core scaling.
+		cfg.Hosts = 32
+		cfg.Attachments = 160
+		cfg.WorkersPerAttachment = 8
+		cfg.OpsPerWorker = 432
+	}
+	start := time.Now()
+	rep, err := bench.Rack(w, cfg)
+	wall := time.Since(start)
+	fmt.Fprintf(os.Stderr, "tfbench: rack %d hosts / %d shards: %.3fs wall, %d events\n",
+		rep.Hosts, rep.Shards, wall.Seconds(), rep.Events)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tfbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
 // runChaos executes the fault-injection campaigns — the datapath catalogue
 // and the control-plane (saga/recovery/reconciliation) catalogue — and
 // returns the process exit code: 0 when every scenario passed, 1 otherwise.
-func runChaos(r *bench.Runner, seed int64, scenario, out string) int {
+func runChaos(r *bench.Runner, seed int64, scenario, out string, shards int) int {
 	cat := chaos.Catalogue()
 	cpCat := chaos.CPCatalogue()
 	if scenario != "" {
@@ -178,7 +219,7 @@ func runChaos(r *bench.Runner, seed int64, scenario, out string) int {
 			return 2
 		}
 	}
-	rep := r.Chaos(cat, seed)
+	rep := r.ChaosShards(cat, seed, shards)
 	rep.ControlPlane = chaos.RunCPCampaign(cpCat, seed)
 	for _, sr := range rep.ControlPlane {
 		if !sr.Passed {

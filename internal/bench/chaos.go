@@ -8,10 +8,17 @@ import "thymesisflow/internal/chaos"
 // report is byte-identical to a sequential run regardless of worker count
 // or completion order — the same guarantee the figure runners give.
 func (r *Runner) Chaos(scenarios []chaos.Scenario, seed int64) chaos.Report {
+	return r.ChaosShards(scenarios, seed, 1)
+}
+
+// ChaosShards is Chaos with each scenario's cluster partitioned into the
+// given number of simulation shards (stacking intra-scenario parallelism on
+// top of the scenario-level worker pool).
+func (r *Runner) ChaosShards(scenarios []chaos.Scenario, seed int64, shards int) chaos.Report {
 	rep := chaos.Report{Seed: seed, Passed: true}
 	rep.Scenarios = make([]chaos.ScenarioReport, len(scenarios))
 	r.run(len(scenarios), func(i int) {
-		rep.Scenarios[i] = chaos.Run(scenarios[i], seed)
+		rep.Scenarios[i] = chaos.RunSharded(scenarios[i], seed, shards)
 	})
 	for _, sr := range rep.Scenarios {
 		if !sr.Passed {

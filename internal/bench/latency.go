@@ -25,7 +25,15 @@ const latencyAttrProbes = 200
 // writes the breakdown as JSON. The returned error is non-nil when a
 // reconciliation check fails.
 func LatencyAttr(w io.Writer, jsonOut string) error {
-	b, err := MeasureLatencyAttr()
+	return LatencyAttrShards(w, jsonOut, 1)
+}
+
+// LatencyAttrShards is LatencyAttr on a cluster partitioned into the given
+// number of simulation shards. Attribution records complete on the compute
+// host's kernel in virtual-time order, so the breakdown is byte-identical at
+// every shard count.
+func LatencyAttrShards(w io.Writer, jsonOut string, shards int) error {
+	b, err := MeasureLatencyAttrShards(shards)
 	if err != nil {
 		return err
 	}
@@ -46,7 +54,15 @@ func LatencyAttr(w io.Writer, jsonOut string) error {
 // MeasureLatencyAttr runs the attribution experiment and returns the raw
 // breakdown (shared by the CLI path and the tests).
 func MeasureLatencyAttr() (latency.Breakdown, error) {
-	tb, err := core.NewTestbed(core.ConfigSingleDisaggregated, 64<<20)
+	return MeasureLatencyAttrShards(1)
+}
+
+// MeasureLatencyAttrShards is MeasureLatencyAttr with the testbed cluster
+// partitioned into the given number of simulation shards.
+func MeasureLatencyAttrShards(shards int) (latency.Breakdown, error) {
+	tb, err := core.NewTestbedSpec(core.TestbedSpec{
+		Config: core.ConfigSingleDisaggregated, RemoteBytes: 64 << 20, Shards: shards,
+	})
 	if err != nil {
 		return latency.Breakdown{}, err
 	}
@@ -65,7 +81,7 @@ func MeasureLatencyAttr() (latency.Breakdown, error) {
 			}
 		}
 	})
-	k.Run()
+	tb.Cluster.Run()
 	return sink.Snapshot(), nil
 }
 

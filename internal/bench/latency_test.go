@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -35,5 +36,21 @@ func TestLatencyAttrOutput(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("breakdown table missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestLatencyAttrShardedMatchesSequential: the attribution breakdown must be
+// byte-identical whether the testbed runs on one kernel or one per host.
+func TestLatencyAttrShardedMatchesSequential(t *testing.T) {
+	seq, err := MeasureLatencyAttrShards(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := MeasureLatencyAttrShards(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, sharded) {
+		t.Fatalf("sharded breakdown diverges from sequential:\nseq:     %+v\nsharded: %+v", seq, sharded)
 	}
 }

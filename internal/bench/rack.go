@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+
+	"thymesisflow/internal/core"
+	"thymesisflow/internal/sim"
+)
+
+// RackConfig sizes the rack-scale scenario: a full rack of hosts,
+// disaggregation attachments spread across every host pair, and seeded
+// load/store flows on every attachment. This is the workload the sharded
+// runtime exists for — far past what one kernel advances at tolerable
+// wall-clock.
+type RackConfig struct {
+	Hosts                int   // rack size (default 24)
+	Attachments          int   // attachments spread across host pairs (default 120)
+	WorkersPerAttachment int   // concurrent flows per attachment (default 2)
+	OpsPerWorker         int   // synchronous load/store round trips per flow (default 24)
+	Shards               int   // simulation shards; 0 = min(NumCPU, Hosts), 1 = sequential
+	Seed                 int64 // topology and flow-schedule seed
+}
+
+func (cfg *RackConfig) defaults() {
+	if cfg.Hosts <= 0 {
+		cfg.Hosts = 24
+	}
+	if cfg.Attachments <= 0 {
+		cfg.Attachments = 120
+	}
+	if cfg.WorkersPerAttachment <= 0 {
+		cfg.WorkersPerAttachment = 2
+	}
+	if cfg.OpsPerWorker <= 0 {
+		cfg.OpsPerWorker = 24
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.NumCPU()
+	}
+	if cfg.Shards > cfg.Hosts {
+		cfg.Shards = cfg.Hosts
+	}
+}
+
+// RackReport carries the deterministic results of one rack run. Every field
+// derives from virtual time and seeded counters — no wall-clock — so a
+// seeded report is byte-identical at any shard count.
+type RackReport struct {
+	Hosts       int    `json:"hosts"`
+	Attachments int    `json:"attachments"`
+	Flows       int    `json:"flows"`
+	Shards      int    `json:"shards"`
+	OpsOK       int    `json:"ops_ok"`
+	OpsFailed   int    `json:"ops_failed"`
+	TxFrames    int64  `json:"tx_frames"`
+	TxTxns      int64  `json:"tx_transactions"`
+	RxTxns      int64  `json:"rx_transactions"`
+	EndNS       int64  `json:"end_ns"`
+	Seed        int64  `json:"seed"`
+	Events      uint64 `json:"events"`
+}
+
+// Rack builds and runs the rack-scale scenario, writing a deterministic
+// summary table to w.
+func Rack(w io.Writer, cfg RackConfig) (RackReport, error) {
+	cfg.defaults()
+	rep := RackReport{
+		Hosts:       cfg.Hosts,
+		Attachments: cfg.Attachments,
+		Shards:      cfg.Shards,
+		Seed:        cfg.Seed,
+	}
+
+	c := core.NewClusterShards(cfg.Shards)
+	hosts := make([]*core.Host, cfg.Hosts)
+	for i := range hosts {
+		hc := core.DefaultHostConfig(fmt.Sprintf("rack%02d", i))
+		hc.Sockets = 1
+		hc.CoresPerSocket = 4
+		hc.DRAMPerSocket = 1 << 30
+		hc.SectionSize = 1 << 20
+		hc.RMMUSections = 256
+		h, err := c.AddHost(hc)
+		if err != nil {
+			return rep, err
+		}
+		hosts[i] = h
+	}
+
+	// The topology and every flow's op schedule come from one seeded PRNG
+	// at setup, so the virtual run is a pure function of the seed.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type flow struct {
+		att    *core.Attachment
+		host   *core.Host
+		sleeps []sim.Time
+		isLoad []bool
+		offs   []int64
+	}
+	var flows []flow
+	atts := make([]*core.Attachment, 0, cfg.Attachments)
+	for a := 0; a < cfg.Attachments; a++ {
+		ci := rng.Intn(cfg.Hosts)
+		di := (ci + 1 + rng.Intn(cfg.Hosts-1)) % cfg.Hosts
+		att, err := c.Attach(core.AttachSpec{
+			ComputeHost: hosts[ci].Name,
+			DonorHost:   hosts[di].Name,
+			Bytes:       1 << 20,
+			Channels:    1,
+		})
+		if err != nil {
+			return rep, err
+		}
+		atts = append(atts, att)
+		for wi := 0; wi < cfg.WorkersPerAttachment; wi++ {
+			f := flow{att: att, host: hosts[ci]}
+			for o := 0; o < cfg.OpsPerWorker; o++ {
+				f.sleeps = append(f.sleeps, sim.Time(rng.Intn(4000))*sim.Nanosecond)
+				f.isLoad = append(f.isLoad, rng.Intn(2) == 0)
+				f.offs = append(f.offs, int64(rng.Intn(1<<12))*128)
+			}
+			flows = append(flows, f)
+		}
+	}
+	rep.Flows = len(flows)
+
+	// Per-flow result slots: each worker writes only its own index, so
+	// flows on different shard kernels never share a word.
+	ok := make([]int, len(flows))
+	failed := make([]int, len(flows))
+	for i, f := range flows {
+		i, f := i, f
+		f.host.K.Go(fmt.Sprintf("rack-f%d", i), func(p *sim.Proc) {
+			buf := []byte{byte(i), byte(i >> 8), 1, 2, 3, 4, 5, 6}
+			for o := range f.sleeps {
+				p.Sleep(f.sleeps[o])
+				var err error
+				if f.isLoad[o] {
+					_, err = c.Load(p, f.att, f.offs[o], 64)
+				} else {
+					err = c.Store(p, f.att, f.offs[o], buf)
+				}
+				if err != nil {
+					failed[i]++
+					return
+				}
+				ok[i]++
+			}
+		})
+	}
+
+	end := c.Run()
+	rep.EndNS = int64(end / sim.Nanosecond)
+	for i := range flows {
+		rep.OpsOK += ok[i]
+		rep.OpsFailed += failed[i]
+	}
+	for _, att := range atts {
+		for _, p := range att.Ports() {
+			st := p.Stats()
+			rep.TxFrames += st.TxFrames
+			rep.TxTxns += st.TxTransactions
+			rep.RxTxns += st.RxTransactions
+			if peer := p.Peer(); peer != nil {
+				pst := peer.Stats()
+				rep.TxFrames += pst.TxFrames
+				rep.TxTxns += pst.TxTransactions
+				rep.RxTxns += pst.RxTransactions
+			}
+		}
+	}
+	for _, k := range c.Kernels() {
+		rep.Events += k.Scheduled()
+	}
+
+	// The shard count is runtime configuration, not simulation output: keep
+	// it off stdout so the table is byte-identical at every -shards value
+	// (tfbench reports shards + wall clock on stderr).
+	fmt.Fprintf(w, "Rack-scale scenario — %d hosts, %d attachments, %d flows\n",
+		rep.Hosts, rep.Attachments, rep.Flows)
+	fmt.Fprintf(w, "  %-18s %12d\n", "ops ok", rep.OpsOK)
+	fmt.Fprintf(w, "  %-18s %12d\n", "ops failed", rep.OpsFailed)
+	fmt.Fprintf(w, "  %-18s %12d\n", "tx frames", rep.TxFrames)
+	fmt.Fprintf(w, "  %-18s %12d\n", "tx transactions", rep.TxTxns)
+	fmt.Fprintf(w, "  %-18s %12d\n", "rx transactions", rep.RxTxns)
+	fmt.Fprintf(w, "  %-18s %12d\n", "events scheduled", rep.Events)
+	fmt.Fprintf(w, "  %-18s %12d\n", "virtual end (ns)", rep.EndNS)
+	if rep.OpsFailed > 0 {
+		return rep, fmt.Errorf("bench: rack scenario failed %d ops", rep.OpsFailed)
+	}
+	if rep.TxTxns != rep.RxTxns {
+		return rep, fmt.Errorf("bench: rack transaction conservation: %d sent vs %d delivered",
+			rep.TxTxns, rep.RxTxns)
+	}
+	return rep, nil
+}

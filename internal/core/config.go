@@ -91,12 +91,17 @@ type TestbedSpec struct {
 	RemoteBytes  int64
 	HostMutate   func(*HostConfig)
 	AttachMutate func(*AttachSpec)
+	// Shards partitions the cluster into one simulation kernel per host
+	// (conservative lookahead windows); 0 or 1 keeps the sequential kernel.
+	// The Ethernet links stay on the cluster's root kernel either way, so
+	// scale-out configurations should run sequentially.
+	Shards int
 }
 
 // NewTestbedSpec assembles the three-node setup from a full specification.
 func NewTestbedSpec(spec TestbedSpec) (*Testbed, error) {
 	cfg, remoteBytes, mutate := spec.Config, spec.RemoteBytes, spec.HostMutate
-	c := NewCluster()
+	c := NewClusterShards(spec.Shards)
 	mkHost := func(name string) (*Host, error) {
 		hc := DefaultHostConfig(name)
 		if mutate != nil {

@@ -127,3 +127,78 @@ func TestTraceShape(t *testing.T) {
 		}
 	}
 }
+
+// recountFixed re-derives FixedModel's snapshot aggregates by scanning, the
+// way snapshot() worked before the O(1) incremental form.
+func recountFixed(m *FixedModel) (on int, sCPU, sMem float64) {
+	for i := range m.cpuFree {
+		if m.tasks[i] == 0 {
+			continue
+		}
+		on++
+		sCPU += m.cpuFree[i]
+		sMem += m.memFree[i]
+	}
+	return
+}
+
+func recountDisagg(m *DisaggModel) (onC, onM int, sC, sM float64) {
+	for i := range m.cpuFree {
+		if m.cpuTasks[i] != 0 {
+			onC++
+			sC += m.cpuFree[i]
+		}
+	}
+	for i := range m.memFree {
+		if m.memTasks[i] != 0 {
+			onM++
+			sM += m.memFree[i]
+		}
+	}
+	return
+}
+
+func relClose(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := 1.0
+	if b > scale {
+		scale = b
+	}
+	return diff <= 1e-6*scale
+}
+
+// TestIncrementalAggregatesAgree drives both models through a seeded replay
+// and checks the O(1) running aggregates against a full O(n) recount at the
+// end: the powered-on counts must match exactly, the stranded-capacity sums
+// within 1e-6 relative (float accumulation order differs).
+func TestIncrementalAggregatesAgree(t *testing.T) {
+	cfg := dctrace.DefaultConfig()
+	cfg.Tasks = 8000
+	tasks := dctrace.Generate(cfg)
+
+	fm := NewFixedModel(600, 1)
+	run(tasks, fm)
+	on, sCPU, sMem := recountFixed(fm)
+	if fm.on != on {
+		t.Fatalf("fixed powered-on drifted: incremental %d, recount %d", fm.on, on)
+	}
+	if !relClose(fm.sCPU, sCPU) || !relClose(fm.sMem, sMem) {
+		t.Fatalf("fixed stranded sums drifted: incremental (%g, %g), recount (%g, %g)",
+			fm.sCPU, fm.sMem, sCPU, sMem)
+	}
+
+	dm := NewDisaggModel(600, 600, DefaultLinksPerModule, 2)
+	run(tasks, dm)
+	onC, onM, sC, sM := recountDisagg(dm)
+	if dm.onC != onC || dm.onM != onM {
+		t.Fatalf("disagg powered-on drifted: incremental (%d, %d), recount (%d, %d)",
+			dm.onC, dm.onM, onC, onM)
+	}
+	if !relClose(dm.sC, sC) || !relClose(dm.sM, sM) {
+		t.Fatalf("disagg stranded sums drifted: incremental (%g, %g), recount (%g, %g)",
+			dm.sC, dm.sM, sC, sM)
+	}
+}

@@ -1,6 +1,8 @@
 package dcsim
 
 import (
+	"sync"
+
 	"thymesisflow/internal/dctrace"
 )
 
@@ -16,6 +18,13 @@ type FixedModel struct {
 	tasks   []int // active tasks per server
 	where   map[int]int
 	idx     *capIndex // keyed on cpuFree+memFree
+
+	// Running snapshot aggregates, maintained incrementally on every
+	// place/release so the replay's per-event snapshot costs O(1) instead
+	// of a scan over all servers (the scan dominated the full-scale Fig1
+	// study: ~2 events per task, 12555 servers each).
+	on         int     // servers with at least one task
+	sCPU, sMem float64 // free capacity summed over powered-on servers
 }
 
 // NewFixedModel builds a fixed data-centre of n servers. The seed argument
@@ -48,6 +57,16 @@ func (m *FixedModel) place(t dctrace.Task) bool {
 	}
 	m.cpuFree[i] -= t.CPU
 	m.memFree[i] -= t.Mem
+	if m.tasks[i] == 0 {
+		// Server powers on: its remaining free capacity joins the
+		// stranded pool.
+		m.on++
+		m.sCPU += m.cpuFree[i]
+		m.sMem += m.memFree[i]
+	} else {
+		m.sCPU -= t.CPU
+		m.sMem -= t.Mem
+	}
 	m.tasks[i]++
 	m.where[t.ID] = i
 	m.idx.update(i, m.cpuFree[i]+m.memFree[i])
@@ -56,6 +75,17 @@ func (m *FixedModel) place(t dctrace.Task) bool {
 
 func (m *FixedModel) release(t dctrace.Task) {
 	i := m.where[t.ID]
+	if m.tasks[i] == 1 {
+		// Server powers off: the free capacity it contributed while on
+		// (pre-release, excluding the departing task's share) leaves the
+		// pool.
+		m.on--
+		m.sCPU -= m.cpuFree[i]
+		m.sMem -= m.memFree[i]
+	} else {
+		m.sCPU += t.CPU
+		m.sMem += t.Mem
+	}
 	m.cpuFree[i] += t.CPU
 	m.memFree[i] += t.Mem
 	m.tasks[i]--
@@ -63,19 +93,21 @@ func (m *FixedModel) release(t dctrace.Task) {
 	m.idx.update(i, m.cpuFree[i]+m.memFree[i])
 }
 
+// clampPos guards the incremental float aggregates: a fully-packed pool's
+// stranded sum is analytically zero but may come out as a tiny negative
+// after a long chain of additions and subtractions.
+func clampPos(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
 func (m *FixedModel) snapshot() (sCPU, onCPU, sMem, onMem float64, offC, offM, totC, totM int) {
 	totC, totM = len(m.cpuFree), len(m.memFree)
-	for i := range m.cpuFree {
-		if m.tasks[i] == 0 {
-			offC++
-			offM++
-			continue
-		}
-		onCPU++
-		onMem++
-		sCPU += m.cpuFree[i]
-		sMem += m.memFree[i]
-	}
+	onCPU, onMem = float64(m.on), float64(m.on)
+	sCPU, sMem = clampPos(m.sCPU), clampPos(m.sMem)
+	offC, offM = totC-m.on, totM-m.on
 	return
 }
 
@@ -100,6 +132,10 @@ type DisaggModel struct {
 	memIdx   *capIndex
 
 	where map[int][2]int
+
+	// Running snapshot aggregates per side (see FixedModel).
+	onC, onM int
+	sC, sM   float64
 }
 
 // NewDisaggModel builds nCompute compute and nMemory memory modules with
@@ -160,10 +196,22 @@ func (m *DisaggModel) place(t dctrace.Task) bool {
 		return false
 	}
 	m.cpuFree[ci] -= t.CPU
+	if m.cpuTasks[ci] == 0 {
+		m.onC++
+		m.sC += m.cpuFree[ci]
+	} else {
+		m.sC -= t.CPU
+	}
 	m.cpuTasks[ci]++
 	m.cpuLinks[ci]--
 	refile(m.cpuIdx, ci, m.cpuFree[ci], m.cpuLinks[ci])
 	m.memFree[mi] -= t.Mem
+	if m.memTasks[mi] == 0 {
+		m.onM++
+		m.sM += m.memFree[mi]
+	} else {
+		m.sM -= t.Mem
+	}
 	m.memTasks[mi]++
 	m.memLinks[mi]--
 	refile(m.memIdx, mi, m.memFree[mi], m.memLinks[mi])
@@ -174,10 +222,22 @@ func (m *DisaggModel) place(t dctrace.Task) bool {
 func (m *DisaggModel) release(t dctrace.Task) {
 	w := m.where[t.ID]
 	ci, mi := w[0], w[1]
+	if m.cpuTasks[ci] == 1 {
+		m.onC--
+		m.sC -= m.cpuFree[ci] // pre-release contribution (see FixedModel)
+	} else {
+		m.sC += t.CPU
+	}
 	m.cpuFree[ci] += t.CPU
 	m.cpuTasks[ci]--
 	m.cpuLinks[ci]++
 	refile(m.cpuIdx, ci, m.cpuFree[ci], m.cpuLinks[ci])
+	if m.memTasks[mi] == 1 {
+		m.onM--
+		m.sM -= m.memFree[mi]
+	} else {
+		m.sM += t.Mem
+	}
 	m.memFree[mi] += t.Mem
 	m.memTasks[mi]--
 	m.memLinks[mi]++
@@ -187,22 +247,9 @@ func (m *DisaggModel) release(t dctrace.Task) {
 
 func (m *DisaggModel) snapshot() (sCPU, onCPU, sMem, onMem float64, offC, offM, totC, totM int) {
 	totC, totM = len(m.cpuFree), len(m.memFree)
-	for i := range m.cpuFree {
-		if m.cpuTasks[i] == 0 {
-			offC++
-			continue
-		}
-		onCPU++
-		sCPU += m.cpuFree[i]
-	}
-	for i := range m.memFree {
-		if m.memTasks[i] == 0 {
-			offM++
-			continue
-		}
-		onMem++
-		sMem += m.memFree[i]
-	}
+	onCPU, onMem = float64(m.onC), float64(m.onM)
+	sCPU, sMem = clampPos(m.sC), clampPos(m.sM)
+	offC, offM = totC-m.onC, totM-m.onM
 	return
 }
 
@@ -215,11 +262,21 @@ type Study struct {
 }
 
 // RunStudy executes the motivation study with the given trace configuration
-// and infrastructure size.
+// and infrastructure size. The two model replays are independent (each owns
+// its event heap and placement state; the generated trace is shared
+// read-only), so they run concurrently — the results are deterministic
+// either way.
 func RunStudy(traceCfg dctrace.Config, servers, links int) Study {
 	tasks := dctrace.Generate(traceCfg)
-	fixed := run(tasks, NewFixedModel(servers, traceCfg.Seed+100))
-	disagg := run(tasks, NewDisaggModel(servers, servers, links, traceCfg.Seed+200))
+	var fixed, disagg Result
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fixed = run(tasks, NewFixedModel(servers, traceCfg.Seed+100))
+	}()
+	disagg = run(tasks, NewDisaggModel(servers, servers, links, traceCfg.Seed+200))
+	wg.Wait()
 	return Study{
 		Fixed:       fixed,
 		Disagg:      disagg,

@@ -57,6 +57,16 @@ type Port struct {
 	out  *phy.Channel
 	peer *Port
 
+	// split marks a pair whose two ends live on different simulation
+	// kernels (shard boundary). A split port never touches its peer's
+	// state at event time: latency-attribution records travel in-band as
+	// delivery aux data instead of being pulled from the peer's stash.
+	split bool
+	// inCrossing caches the inbound channel's crossing latency (the
+	// peer's out.CrossingPS()), captured at pair time so the receive path
+	// needs no cross-kernel read.
+	inCrossing int64
+
 	// OnReceive delivers in-order, CRC-clean transactions to the upper
 	// layer (the routing layer / endpoint attachment logic).
 	OnReceive func(*capi.Transaction)
@@ -175,9 +185,24 @@ func (s Stats) Sub(prev Stats) Stats {
 // (a, b): a transmits on link.AtoB and receives from link.BtoA; b is the
 // mirror image.
 func NewPair(k *sim.Kernel, name string, link *phy.Link, cfg Config) (*Port, *Port) {
-	a := newPort(k, name+".a", link.AtoB, cfg)
-	b := newPort(k, name+".b", link.BtoA, cfg)
+	return NewPairOn(k, k, name, link, cfg)
+}
+
+// NewPairOn wires a pair whose ends run on different kernels: a on ka, b on
+// kb (a shard boundary; the link must have been built with the matching
+// kernels, e.g. phy.NewLinkSplit(ka, kb, ...)). With ka == kb this is
+// NewPair. On a split pair the transmit side attaches latency-attribution
+// records to the delivery itself (Delivery.Aux) — replayed frames carry
+// them again, so a record still arrives exactly once, on the frame's single
+// in-order delivery.
+func NewPairOn(ka, kb *sim.Kernel, name string, link *phy.Link, cfg Config) (*Port, *Port) {
+	a := newPort(ka, name+".a", link.AtoB, cfg)
+	b := newPort(kb, name+".b", link.BtoA, cfg)
 	a.peer, b.peer = b, a
+	a.split = ka != kb
+	b.split = a.split
+	a.inCrossing = link.BtoA.CrossingPS()
+	b.inCrossing = link.AtoB.CrossingPS()
 	link.AtoB.OnDeliver(b.receive)
 	link.BtoA.OnDeliver(a.receive)
 	return a, b
@@ -337,8 +362,22 @@ func (p *Port) transmitFrame(f *Frame) {
 	if tr := p.k.Tracer(); tr != nil {
 		tr.Instant(trace.LayerLLC, "tx_frame", p.k.NowPS())
 	}
-	p.out.Transmit(wire, len(wire))
+	p.transmitWire(f.Seq, wire)
 	p.armTxTimer(f.Seq, 0)
+}
+
+// transmitWire puts an encoded data frame on the channel. On a split pair
+// the stashed attribution records ride along as delivery aux data; the
+// stash itself is still kept until the peer's CumAck prunes it, so a
+// replayed frame carries the records again if the first copy was lost.
+func (p *Port) transmitWire(seq uint64, wire []byte) {
+	if p.split {
+		if recs, ok := p.latBySeq[seq]; ok {
+			p.out.TransmitAux(wire, len(wire), recs)
+			return
+		}
+	}
+	p.out.Transmit(wire, len(wire))
 }
 
 // stashLatRecords retains the frame's latency-attribution records (aligned
@@ -397,7 +436,7 @@ func (p *Port) armTxTimer(seq uint64, attempt int) {
 		}
 		wire := p.replayBuf[seq]
 		p.stats.TxReplayed++
-		p.out.Transmit(wire, len(wire))
+		p.transmitWire(seq, wire)
 		p.armTxTimer(seq, attempt+1)
 	})
 }
@@ -514,7 +553,7 @@ func (p *Port) receive(d phy.Delivery) {
 	case kindControl:
 		p.handleControl(f)
 	case kindData:
-		p.handleData(f)
+		p.handleData(f, d.Aux)
 	}
 }
 
@@ -566,29 +605,36 @@ func (p *Port) replay(from uint64) {
 			continue // already acked by a newer CumAck
 		}
 		p.stats.TxReplayed++
-		p.out.Transmit(wire, len(wire))
+		p.transmitWire(seq, wire)
 	}
 }
 
-func (p *Port) handleData(f *Frame) {
+func (p *Port) handleData(f *Frame, aux any) {
 	p.stats.RxFrames++
 	switch {
 	case f.Seq == p.expected:
-		if p.peer != nil {
-			if recs := p.peer.takeLatRecords(f.Seq); recs != nil {
-				now := p.k.NowPS()
-				flight := p.peer.out.CrossingPS()
-				for i, t := range f.Txns {
-					if i < len(recs) && recs[i] != nil {
-						t.Lat = recs[i]
-						// Split the time since the transmit-side stamp into
-						// serialization/queueing/replay versus the flight
-						// crossing the receiver knows.
-						if t.IsResponse() {
-							t.Lat.Wire(latency.StageRetTx, latency.StageRetFlight, now, flight)
-						} else {
-							t.Lat.Wire(latency.StageFrameTx, latency.StagePhyFlight, now, flight)
-						}
+		var recs []*latency.Record
+		if p.split {
+			// Shard boundary: the records came in-band with this delivery
+			// (duplicates are filtered by the sequence check above, so a
+			// record is attached exactly once).
+			recs, _ = aux.([]*latency.Record)
+		} else if p.peer != nil {
+			recs = p.peer.takeLatRecords(f.Seq)
+		}
+		if recs != nil {
+			now := p.k.NowPS()
+			flight := p.inCrossing
+			for i, t := range f.Txns {
+				if i < len(recs) && recs[i] != nil {
+					t.Lat = recs[i]
+					// Split the time since the transmit-side stamp into
+					// serialization/queueing/replay versus the flight
+					// crossing the receiver knows.
+					if t.IsResponse() {
+						t.Lat.Wire(latency.StageRetTx, latency.StageRetFlight, now, flight)
+					} else {
+						t.Lat.Wire(latency.StageFrameTx, latency.StagePhyFlight, now, flight)
 					}
 				}
 			}

@@ -90,6 +90,18 @@ type Delivery struct {
 	Payload   any
 	Bytes     int
 	Corrupted bool
+	// Aux rides along with the frame for sender-side metadata the receiver
+	// needs when the two ends live on different simulation kernels (the LLC
+	// carries latency-attribution records here on split links). Nil on
+	// same-kernel channels.
+	Aux any
+}
+
+// Injector carries a delivery across a kernel boundary: the shard runtime's
+// Conduit implements it. Send stages fn to run at absolute virtual time
+// `at` on the receiving kernel, ordered as if both ends shared one kernel.
+type Injector interface {
+	Send(at sim.Time, fn func())
 }
 
 // Channel is a unidirectional, serialized transmission medium running at
@@ -106,6 +118,7 @@ type Channel struct {
 	schedule *FaultSchedule
 	rng      *rand.Rand
 	deliver  func(Delivery)
+	remote   Injector // non-nil when the receiver lives on another kernel
 
 	// Counters are atomic: the simulation mutates them from the kernel
 	// goroutine while traced/parallel runs may snapshot Stats concurrently
@@ -155,9 +168,20 @@ func (c *Channel) CrossingPS() int64 { return int64(c.oneWay) }
 // OnDeliver installs the receive handler (the far end's LLC Rx).
 func (c *Channel) OnDeliver(fn func(Delivery)) { c.deliver = fn }
 
+// SetRemote marks the channel as a shard boundary: deliveries are handed to
+// the injector (which must route to the receiver's kernel) instead of being
+// scheduled locally. The channel's own kernel must be the transmit side's.
+func (c *Channel) SetRemote(inj Injector) { c.remote = inj }
+
 // Transmit serializes a frame of n bytes onto the channel and schedules its
 // delivery. Error injection may corrupt or drop it.
 func (c *Channel) Transmit(payload any, n int) {
+	c.TransmitAux(payload, n, nil)
+}
+
+// TransmitAux is Transmit with sender-side metadata attached to the
+// delivery (see Delivery.Aux).
+func (c *Channel) TransmitAux(payload any, n int, aux any) {
 	if c.deliver == nil {
 		panic(fmt.Sprintf("phy: channel %s has no receiver", c.name))
 	}
@@ -187,7 +211,11 @@ func (c *Channel) Transmit(payload any, n int) {
 		// crossing latency, ending at the delivery instant.
 		tr.Span(trace.LayerPhy, "xmit", c.k.NowPS(), int64(done+c.oneWay))
 	}
-	d := Delivery{Payload: payload, Bytes: n, Corrupted: corrupt}
+	d := Delivery{Payload: payload, Bytes: n, Corrupted: corrupt, Aux: aux}
+	if c.remote != nil {
+		c.remote.Send(done+c.oneWay, func() { c.deliver(d) })
+		return
+	}
 	c.k.ScheduleAt(done+c.oneWay, func() { c.deliver(d) })
 }
 
@@ -224,10 +252,22 @@ type Link struct {
 
 // NewLink builds a bidirectional link from two symmetric channels.
 func NewLink(k *sim.Kernel, name string, lanes int, oneWay sim.Time, faults FaultConfig) *Link {
+	return NewLinkSplit(k, k, name, lanes, oneWay, faults)
+}
+
+// NewLinkSplit builds a link whose two ends live on different kernels: the
+// A-side transmit channel (AtoB) runs on kA, the B-side transmit channel
+// (BtoA) on kB. Each channel's clock, serialization pipe, fault PRNG, and
+// tracer belong to its transmit side, so seeded fault streams are drawn in
+// local transmit order exactly as on a shared kernel. Callers must install
+// an Injector (SetRemote) on both channels before traffic flows, or
+// deliveries would be scheduled on the transmitter's kernel. With kA == kB
+// this is NewLink.
+func NewLinkSplit(kA, kB *sim.Kernel, name string, lanes int, oneWay sim.Time, faults FaultConfig) *Link {
 	f2 := faults
 	f2.Seed = faults.Seed + 1
 	return &Link{
-		AtoB: NewChannel(k, name+".fwd", lanes, oneWay, faults),
-		BtoA: NewChannel(k, name+".rev", lanes, oneWay, f2),
+		AtoB: NewChannel(kA, name+".fwd", lanes, oneWay, faults),
+		BtoA: NewChannel(kB, name+".rev", lanes, oneWay, f2),
 	}
 }

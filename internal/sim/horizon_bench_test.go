@@ -1,0 +1,59 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernelRunBeforeWindows measures the run-to-horizon stepping the
+// shard runtime drives: the same self-rescheduling workload as
+// BenchmarkKernelScheduleRun, but advanced in lookahead-sized windows
+// (RunBefore + NextAt per window) instead of one Run. The delta against
+// BenchmarkKernelScheduleRun is the per-window coordination overhead a
+// single shard pays.
+func BenchmarkKernelRunBeforeWindows(b *testing.B) {
+	const events = 100_000
+	const window = 50 * Nanosecond // the fabric lookahead
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := NewKernel()
+		fired := 0
+		var step func()
+		step = func() {
+			fired++
+			if fired < events {
+				k.Schedule(Time(fired%7)*Nanosecond, step)
+			}
+		}
+		for j := 0; j < 64; j++ {
+			k.Schedule(Time(j)*Nanosecond, func() {})
+		}
+		k.Schedule(0, step)
+		windows := 0
+		for {
+			t, ok := k.NextAt()
+			if !ok {
+				break
+			}
+			k.RunBefore(t + window)
+			windows++
+		}
+		if fired != events {
+			b.Fatalf("fired %d events, want %d", fired, events)
+		}
+		b.ReportMetric(float64(events)/float64(windows), "events/window")
+	}
+}
+
+// BenchmarkKernelEmptyWindow measures the cost of a window that dispatches
+// nothing — the NextAt/RunBefore probe the group coordinator pays per shard
+// per window when a shard has no work inside the horizon.
+func BenchmarkKernelEmptyWindow(b *testing.B) {
+	k := NewKernel()
+	k.Schedule(Time(1)*Second, func() {}) // far-future standing event
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := k.NextAt(); !ok {
+			b.Fatal("queue unexpectedly empty")
+		}
+		k.RunBefore(Time(i%1000) * Nanosecond)
+	}
+}

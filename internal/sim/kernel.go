@@ -98,6 +98,23 @@ func (k *Kernel) Schedule(delay Time, fn func()) *Event {
 // ScheduleAt arranges for fn to run at absolute time t. Scheduling in the
 // past panics: it would silently corrupt causality.
 func (k *Kernel) ScheduleAt(t Time, fn func()) *Event {
+	return k.schedule(t, k.now, fn)
+}
+
+// InjectAt splices an externally originated event into the queue: fn runs at
+// absolute time t, but sorts among same-instant events by `from`, the virtual
+// time the originating kernel sent it. The shard runtime uses this to place a
+// cross-kernel delivery exactly where a shared-kernel run would have ordered
+// it (deliveries are scheduled at their transmit time in a sequential run).
+// `from` may be earlier than this kernel's clock; t may not.
+func (k *Kernel) InjectAt(t, from Time, fn func()) *Event {
+	if from > t {
+		panic(fmt.Sprintf("sim: InjectAt origin %v after delivery %v", from, t))
+	}
+	return k.schedule(t, from, fn)
+}
+
+func (k *Kernel) schedule(t, from Time, fn func()) *Event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: ScheduleAt(%v) is in the past (now=%v)", t, k.now))
 	}
@@ -111,14 +128,14 @@ func (k *Kernel) ScheduleAt(t Time, fn func()) *Event {
 		// bulk typed copy (with write barriers for the pointer fields) that
 		// measurably slows the scheduling hot path.
 		e.at = t
-		e.schedAt = k.now
+		e.schedAt = from
 		e.seq = k.seq
 		e.fn = fn
 		e.heapPos = 0
 		e.cancelled = false
 		e.k = k
 	} else {
-		e = &Event{at: t, schedAt: k.now, seq: k.seq, fn: fn, k: k}
+		e = &Event{at: t, schedAt: from, seq: k.seq, fn: fn, k: k}
 	}
 	k.heapPush(e)
 	return e
@@ -183,12 +200,86 @@ func (k *Kernel) recycle(e *Event) {
 // Cancelled events awaiting lazy removal from the queue are not counted.
 func (k *Kernel) Pending() int { return len(k.pq) - k.cancelledQueued }
 
-// The event queue: an inlined 4-ary min-heap on (at, seq). Children of
-// node i live at 4i+1..4i+4; the parent of node i is (i-1)/4.
+// Scheduled reports the total number of events ever scheduled on this
+// kernel (including cancelled ones). Summed across a shard group it equals
+// the sequential run's count, since a cross-kernel delivery costs one
+// scheduled event either way.
+func (k *Kernel) Scheduled() uint64 { return k.seq }
+
+// NextAt reports the timestamp of the earliest live event, discarding any
+// cancelled events sitting on top of the heap. ok is false when no live
+// event is queued. The shard coordinator uses it to pick the next window.
+func (k *Kernel) NextAt() (t Time, ok bool) {
+	for len(k.pq) > 0 {
+		top := k.pq[0]
+		if !top.cancelled {
+			return top.at, true
+		}
+		k.heapPop()
+		k.cancelledQueued--
+		k.recycle(top)
+	}
+	return 0, false
+}
+
+// RunBefore executes events with timestamps strictly below limit and leaves
+// the clock at the last executed event (it never advances the clock to
+// limit: events at or beyond the horizon belong to a later window, possibly
+// interleaved with injected deliveries that sort before them). It returns
+// the current virtual time.
+func (k *Kernel) RunBefore(limit Time) Time {
+	k.stopped = false
+	for !k.stopped && len(k.pq) > 0 {
+		if k.pq[0].at >= limit {
+			break
+		}
+		e := k.heapPop()
+		if e.cancelled {
+			k.cancelledQueued--
+			k.recycle(e)
+			continue
+		}
+		k.now = e.at
+		if tr := k.tracer; tr != nil {
+			tr.Span(trace.LayerSim, "dispatch", int64(e.schedAt), int64(e.at))
+			tr.Counter(trace.LayerSim, "queue_depth", int64(e.at), float64(len(k.pq)))
+		}
+		fn := e.fn
+		fn()
+		k.recycle(e)
+	}
+	return k.now
+}
+
+// AdvanceTo moves the clock forward to t without executing anything. It is
+// the shard runtime's end-of-run alignment (mirroring how RunUntil parks the
+// clock at its limit) and panics if events earlier than t are still queued.
+func (k *Kernel) AdvanceTo(t Time) {
+	if t <= k.now {
+		return
+	}
+	if at, ok := k.NextAt(); ok && at < t {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) would skip event at %v", t, at))
+	}
+	k.now = t
+}
+
+// The event queue: an inlined 4-ary min-heap on (at, schedAt, seq).
+// Children of node i live at 4i+1..4i+4; the parent of node i is (i-1)/4.
+//
+// schedAt participates in the order so that injected cross-kernel events
+// (whose schedAt is their remote transmit time) interleave with local
+// same-instant events exactly as a single shared kernel would have ordered
+// them. For locally scheduled events schedAt is non-decreasing in seq (the
+// clock never moves backwards), so on a single kernel this order is
+// identical to the historical (at, seq) order.
 
 func eventBefore(a, b *Event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.schedAt != b.schedAt {
+		return a.schedAt < b.schedAt
 	}
 	return a.seq < b.seq
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// regression guards skip under it (instrumentation changes alloc counts).
+const raceEnabled = true

@@ -1,0 +1,248 @@
+package shard
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"thymesisflow/internal/sim"
+)
+
+const hop = 50 * sim.Nanosecond
+
+// pingPongSequential runs the reference version of the cross-shard ping-pong
+// on one shared kernel: two actors exchange `rounds` messages with a fixed
+// hop delay, each logging (time, actor, payload) at delivery.
+func pingPongSequential(rounds int) []string {
+	k := sim.NewKernel()
+	var log []string
+	var send func(to int, round int)
+	recv := func(actor, round int) {
+		log = append(log, fmt.Sprintf("%v actor%d round%d", k.Now(), actor, round))
+		if round < rounds {
+			send(1-actor, round+1)
+		}
+	}
+	send = func(to, round int) {
+		k.ScheduleAt(k.Now()+hop, func() { recv(to, round) })
+	}
+	k.Schedule(0, func() { send(1, 1) })
+	k.Run()
+	return log
+}
+
+// pingPongSharded runs the same exchange with each actor on its own shard,
+// messages crossing on conduits.
+func pingPongSharded(rounds int) []string {
+	g := NewGroup(2, hop)
+	a, b := g.Shard(0), g.Shard(1)
+	ab := g.Connect(a, b, hop)
+	ba := g.Connect(b, a, hop)
+	ks := []*sim.Kernel{a.Kernel(), b.Kernel()}
+	outbound := []*Conduit{ab, ba}
+	var log []string
+	var send func(to, round int)
+	recv := func(actor, round int) {
+		log = append(log, fmt.Sprintf("%v actor%d round%d", ks[actor].Now(), actor, round))
+		if round < rounds {
+			send(1-actor, round+1)
+		}
+	}
+	send = func(to, round int) {
+		from := 1 - to
+		outbound[from].Send(ks[from].Now()+hop, func() { recv(to, round) })
+	}
+	ks[0].Schedule(0, func() { send(1, 1) })
+	g.Run()
+	return log
+}
+
+func TestCrossShardMatchesSequential(t *testing.T) {
+	want := pingPongSequential(64)
+	got := pingPongSharded(64)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sharded log diverges\n got: %v\nwant: %v", got, want)
+	}
+}
+
+// TestInjectedOrdering checks the core interleaving property: a delivery
+// injected with its remote transmit time sorts among same-instant local
+// events exactly where a shared kernel would have placed it.
+func TestInjectedOrdering(t *testing.T) {
+	seq := func() []string {
+		k := sim.NewKernel()
+		var log []string
+		// Remote transmit at t=0 for delivery at t=100ns...
+		k.ScheduleAt(100*sim.Nanosecond, func() { log = append(log, "remote") })
+		// ...and a local event at 60ns that schedules for the same instant.
+		k.ScheduleAt(60*sim.Nanosecond, func() {
+			k.ScheduleAt(100*sim.Nanosecond, func() { log = append(log, "local") })
+		})
+		k.Run()
+		return log
+	}()
+	shd := func() []string {
+		g := NewGroup(2, hop)
+		c := g.Connect(g.Shard(1), g.Shard(0), hop)
+		k := g.Shard(0).Kernel()
+		var log []string
+		// Same remote transmit, staged from shard 1 at its t=0.
+		g.Shard(1).Kernel().Schedule(0, func() {
+			c.Send(100*sim.Nanosecond, func() { log = append(log, "remote") })
+		})
+		k.ScheduleAt(60*sim.Nanosecond, func() {
+			k.ScheduleAt(100*sim.Nanosecond, func() { log = append(log, "local") })
+		})
+		g.Run()
+		return log
+	}()
+	if !reflect.DeepEqual(seq, shd) {
+		t.Fatalf("interleaving diverges: sequential %v, sharded %v", seq, shd)
+	}
+	if want := []string{"remote", "local"}; !reflect.DeepEqual(seq, want) {
+		t.Fatalf("sequential reference order = %v, want %v", seq, want)
+	}
+}
+
+func TestConduitLookaheadViolationPanics(t *testing.T) {
+	g := NewGroup(2, hop)
+	c := g.Connect(g.Shard(0), g.Shard(1), hop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send below the lookahead did not panic")
+		}
+	}()
+	c.Send(hop/2, func() {})
+}
+
+func TestConnectBelowLookaheadPanics(t *testing.T) {
+	g := NewGroup(2, hop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Connect below the group lookahead did not panic")
+		}
+	}()
+	g.Connect(g.Shard(0), g.Shard(1), hop-1)
+}
+
+func TestRunUntilParksClocks(t *testing.T) {
+	g := NewGroup(2, hop)
+	fired := false
+	g.Shard(0).Kernel().ScheduleAt(10*sim.Microsecond, func() { fired = true })
+	end := g.RunUntil(sim.Microsecond)
+	if fired {
+		t.Fatal("event beyond the limit fired")
+	}
+	if end != sim.Microsecond {
+		t.Fatalf("end = %v, want %v", end, sim.Microsecond)
+	}
+	for i := 0; i < g.Len(); i++ {
+		if now := g.Shard(i).Kernel().Now(); now != sim.Microsecond {
+			t.Fatalf("shard %d clock = %v, want parked at %v", i, now, sim.Microsecond)
+		}
+	}
+	g.RunUntil(20 * sim.Microsecond)
+	if !fired {
+		t.Fatal("event not fired after second RunUntil")
+	}
+}
+
+// TestScheduledConservation: one cross-shard delivery costs one scheduled
+// event on the destination, so the group-wide total matches the sequential
+// run's count.
+func TestScheduledConservation(t *testing.T) {
+	const rounds = 32
+	g := NewGroup(2, hop)
+	a, b := g.Shard(0), g.Shard(1)
+	ab, ba := g.Connect(a, b, hop), g.Connect(b, a, hop)
+	ks := []*sim.Kernel{a.Kernel(), b.Kernel()}
+	outbound := []*Conduit{ab, ba}
+	var send func(to, round int)
+	recv := func(actor, round int) {
+		if round < rounds {
+			send(1-actor, round+1)
+		}
+	}
+	send = func(to, round int) {
+		from := 1 - to
+		outbound[from].Send(ks[from].Now()+hop, func() { recv(to, round) })
+	}
+	ks[0].Schedule(0, func() { send(1, 1) })
+	g.Run()
+	total := ks[0].Scheduled() + ks[1].Scheduled()
+	if want := uint64(rounds + 1); total != want {
+		t.Fatalf("scheduled %d events across shards, want %d", total, want)
+	}
+}
+
+// BenchmarkGroupWindows measures window stepping with dense cross-shard
+// traffic: 4 shards, each running a self-rescheduling local chain while
+// exchanging messages with its neighbour every window.
+func BenchmarkGroupWindows(b *testing.B) {
+	const events = 100_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := NewGroup(4, hop)
+		conduits := make([]*Conduit, g.Len())
+		for s := 0; s < g.Len(); s++ {
+			conduits[s] = g.Connect(g.Shard(s), g.Shard((s+1)%g.Len()), hop)
+		}
+		// Per-shard counters: shards execute concurrently inside a window.
+		fired := make([]int, g.Len())
+		perShard := events / g.Len()
+		for s := 0; s < g.Len(); s++ {
+			s := s
+			k := g.Shard(s).Kernel()
+			var step func()
+			step = func() {
+				fired[s]++
+				if fired[s] >= perShard {
+					return
+				}
+				if fired[s]%8 == 0 {
+					// Hand the chain to the neighbour; it continues there
+					// against that shard's counter.
+					conduits[s].Send(k.Now()+hop, func() {
+						g.Shard((s+1)%g.Len()).Kernel().Schedule(0, func() {})
+					})
+					k.Schedule(sim.Time(fired[s]%7)*sim.Nanosecond, step)
+				} else {
+					k.Schedule(sim.Time(fired[s]%7)*sim.Nanosecond, step)
+				}
+			}
+			k.Schedule(0, step)
+		}
+		g.Run()
+		total := 0
+		for _, f := range fired {
+			total += f
+		}
+		if total < events/2 {
+			b.Fatalf("fired %d events, want >= %d", total, events/2)
+		}
+	}
+}
+
+// BenchmarkGroupBarrierOverhead isolates the per-window barrier cost: each
+// window holds exactly one event per shard, so the run is barrier-dominated.
+func BenchmarkGroupBarrierOverhead(b *testing.B) {
+	const windows = 10_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := NewGroup(4, hop)
+		for s := 0; s < g.Len(); s++ {
+			k := g.Shard(s).Kernel()
+			var step func()
+			n := 0
+			step = func() {
+				n++
+				if n < windows {
+					k.Schedule(hop, step)
+				}
+			}
+			k.Schedule(0, step)
+		}
+		g.Run()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/windows, "ns/window")
+	}
+}

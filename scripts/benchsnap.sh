@@ -7,11 +7,14 @@
 #   * full-datapath cacheline load with latency attribution off vs on
 #     (ns/op, allocs/op) — the on/off delta is the attribution overhead,
 #     and the off row documents the disabled path's allocation count
+#   * sharded-scaling: the rack-scale scenario (tfbench -experiment rack)
+#     at 1/2/4/8 simulation shards — stdout is byte-identical across the
+#     sweep (asserted by internal/bench tests); only wall-clock differs
 # The parallel and sequential suites print byte-identical output (asserted
 # by internal/bench tests); only wall-clock may differ.
 set -eu
 
-out=${1:-BENCH_PR1.json}
+out=${1:-BENCH_PR6.json}
 bin=$(mktemp -t tfbench.XXXXXX)
 trap 'rm -f "$bin"' EXIT
 
@@ -21,20 +24,44 @@ now_s() { date +%s.%N 2>/dev/null || date +%s; }
 elapsed() { awk "BEGIN{printf \"%.2f\", $2 - $1}"; }
 
 t0=$(now_s)
-"$bin" -parallel 1 >/dev/null
+"$bin" -parallel 1 >/dev/null 2>&1
 t1=$(now_s)
 seq_s=$(elapsed "$t0" "$t1")
 
 t0=$(now_s)
-"$bin" -parallel 0 >/dev/null
+"$bin" -parallel 0 >/dev/null 2>&1
 t1=$(now_s)
 par_s=$(elapsed "$t0" "$t1")
+
+# Sharded-scaling sweep: same seeded rack, increasing shard counts. The
+# -full scenario (32 hosts, 160 attachments, 1280 flows) is big enough for
+# the window parallelism to dominate the barrier cost.
+rack_rows=
+for shards in 1 2 4 8; do
+	t0=$(now_s)
+	"$bin" -experiment rack -full -shards "$shards" >/dev/null 2>&1
+	t1=$(now_s)
+	rack_s=$(elapsed "$t0" "$t1")
+	rack_rows="$rack_rows    { \"shards\": $shards, \"wall_seconds\": $rack_s },
+"
+done
+rack_rows=$(printf '%s' "$rack_rows" | sed '$s/,$//')
 
 kern=$(go test -run xxx -bench 'BenchmarkKernelScheduleRun$' -benchmem \
 	-benchtime 5x ./internal/sim/ | \
 	awk '$1 ~ /^BenchmarkKernelScheduleRun(-[0-9]+)?$/ {print $3, $7}')
 kern_ns=$(echo "$kern" | awk '{print $1}')
 kern_allocs=$(echo "$kern" | awk '{print $2}')
+
+winb=$(go test -run xxx -bench 'BenchmarkKernelRunBeforeWindows$' -benchmem \
+	-benchtime 5x ./internal/sim/ | \
+	awk '$1 ~ /^BenchmarkKernelRunBeforeWindows(-[0-9]+)?$/ {print $3, $9}')
+win_ns=$(echo "$winb" | awk '{print $1}')
+win_allocs=$(echo "$winb" | awk '{print $2}')
+
+barrier=$(go test -run xxx -bench 'BenchmarkGroupBarrierOverhead$' \
+	-benchtime 3x ./internal/sim/shard/ | \
+	awk '$1 ~ /^BenchmarkGroupBarrierOverhead(-[0-9]+)?$/ {print $5}')
 
 place=$(go test -run xxx -bench 'BenchmarkDcsimPlace/fixed' -benchtime 3x \
 	./internal/dcsim/ | awk '/BenchmarkDcsimPlace\/fixed/ {print $3}')
@@ -46,21 +73,36 @@ attr_off_allocs=$(echo "$attr" | awk '/BenchmarkClusterLoadAttrOff/ {print $7}')
 attr_on_ns=$(echo "$attr" | awk '/BenchmarkClusterLoadAttrOn/ {print $3}')
 attr_on_allocs=$(echo "$attr" | awk '/BenchmarkClusterLoadAttrOn/ {print $7}')
 
-cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 1)
+# Real scheduler-visible core count. BENCH_PR4.json recorded 1 because
+# getconf _NPROCESSORS_ONLN reports the container host's online-processor
+# view on some runtimes; nproc respects the cpuset/affinity mask actually
+# available to this process. Fall back through the chain otherwise.
+cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 
 cat > "$out" <<EOF
 {
-  "snapshot": "quick-suite wall clock + kernel/placement/attribution micro-benchmarks",
+  "snapshot": "quick-suite wall clock + kernel/placement/attribution micro-benchmarks + sharded rack scaling",
   "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
   "host_cores": $cores,
   "quick_suite_wall_seconds": {
     "sequential": $seq_s,
     "parallel_all_cores": $par_s
   },
+  "sharded_scaling": {
+    "scenario": "tfbench -experiment rack -full (32 hosts, 160 attachments, 1280 flows; seeded stdout byte-identical across shard counts)",
+    "runs": [
+$rack_rows
+    ]
+  },
   "kernel_schedule_run": {
     "ns_per_op": $kern_ns,
     "allocs_per_op": $kern_allocs
   },
+  "kernel_run_before_windows": {
+    "ns_per_op": $win_ns,
+    "allocs_per_op": $win_allocs
+  },
+  "shard_barrier_ns_per_window": $barrier,
   "dcsim_place_fixed_ns_per_op": $place,
   "cluster_load_latency_attr": {
     "off": { "ns_per_op": $attr_off_ns, "allocs_per_op": $attr_off_allocs },
