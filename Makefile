@@ -2,7 +2,7 @@
 # build + race-enabled tests — the parallel experiment engine and the
 # sharded simulation runtime are real concurrency, so the race detector is
 # load-bearing). `make bench-quick` snapshots wall-clock and allocation
-# numbers into BENCH_PR6.json.
+# numbers into BENCH_PR7.json.
 
 GO ?= go
 
@@ -61,10 +61,11 @@ bench:
 		./internal/dcsim/
 
 # Wall-clock / allocation snapshot: sequential vs parallel quick suite,
-# kernel/placement micro-benchmarks, and the sharded rack-scaling sweep
-# (tfbench -experiment rack at 1/2/4/8 shards), written to BENCH_PR6.json.
+# kernel/placement micro-benchmarks, the sharded rack-scaling sweep
+# (tfbench -experiment rack at 1/2/4/8 shards), and the saga path with
+# tracing off vs on, written to BENCH_PR7.json.
 bench-quick:
-	sh scripts/benchsnap.sh BENCH_PR6.json
+	sh scripts/benchsnap.sh BENCH_PR7.json
 
 # Produce a sample cross-layer trace (and metrics snapshot) from the quick
 # Figure 5 run: open trace_fig5.json in Perfetto (https://ui.perfetto.dev)

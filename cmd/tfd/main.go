@@ -41,6 +41,7 @@ func main() {
 	adminToken := flag.String("admin-token", "tf-admin", "bearer token with write access")
 	readerToken := flag.String("reader-token", "tf-reader", "bearer token with read-only access")
 	traceEvents := flag.Int("trace-events", 1<<16, "trace ring capacity in events (0 disables tracing)")
+	sagaEvents := flag.Int("saga-events", 1<<14, "saga event log capacity; spans every saga step, served under /v1/events and /v1/sagas/{id}/trace (0 disables)")
 	latencyAttr := flag.Bool("latency", false, "enable per-stage latency attribution, served under /v1/latency")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (admin token required)")
 	journalPath := flag.String("journal", "", "write-ahead saga journal file; replayed on boot for crash recovery (empty = in-memory)")
@@ -82,6 +83,12 @@ func main() {
 
 	const cpToken = "tfd-internal-trust"
 	svc := controlplane.NewService(model, controlplane.ClusterExecutor{Cluster: cluster}, cpToken)
+	if *sagaEvents > 0 {
+		// Before RegisterAgent, so agent-side command handling joins the
+		// same event log as the saga engine.
+		svc.EnableSagaTracing(*sagaEvents)
+		log.Printf("tfd: saga tracing on (%d-event log), /v1/events and /v1/sagas/{id}/trace live", *sagaEvents)
+	}
 	for _, n := range names {
 		svc.RegisterAgent(agent.New(strings.TrimSpace(n), cpToken))
 	}

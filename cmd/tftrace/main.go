@@ -1,8 +1,8 @@
-// Command tftrace analyses Chrome trace-event exports recorded by the
-// simulator (tfbench -trace, tfd -trace-events + /v1/trace/snapshot),
-// turning the trace recorder into an offline analysis tool.
+// Command tftrace analyses trace exports recorded by the simulator and the
+// control plane, turning the trace recorders into offline analysis tools.
 //
-// Usage:
+// Datapath mode ingests Chrome trace-event exports (tfbench -trace, tfd
+// -trace-events + /v1/trace/snapshot):
 //
 //	tftrace trace.json                  # per-layer span summaries
 //	tftrace -top 5 trace.json           # + critical paths of the 5 slowest transactions
@@ -13,6 +13,17 @@
 // A "transaction" is a capi *_req span: the compute-side round trip as the
 // host bus sees it. Critical-path extraction lists every event overlapping
 // the round trip's window, with a per-layer rollup of overlapped span time.
+//
+// Control-plane mode (-cp) ingests the saga event log served at /v1/events
+// (tfd -saga-events), reconstructs every saga timeline, and rolls them up
+// into per-operation stage profiles:
+//
+//	tftrace -cp events.json             # saga timelines + attach/detach profiles
+//	tftrace -cp -json events.json       # machine-readable output
+//
+// Either mode exits non-zero when the input holds no events: an empty export
+// is almost always a collection mistake (tracing off, wrong file, truncated
+// download), not a quiet result.
 package main
 
 import (
@@ -29,10 +40,11 @@ func main() {
 	stalls := flag.Bool("stalls", false, "attribute credit-stall and replay time against round trips")
 	layer := flag.String("layer", "", "restrict span summaries to one layer (sim|phy|llc|capi|rmmu)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	cpMode := flag.Bool("cp", false, "analyse a control-plane saga event log (/v1/events export) instead of a Chrome trace")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tftrace [-top N] [-stalls] [-layer L] [-json] <trace.json>")
+		fmt.Fprintln(os.Stderr, "usage: tftrace [-cp] [-top N] [-stalls] [-layer L] [-json] <trace.json>")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -40,10 +52,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tftrace: %v\n", err)
 		os.Exit(1)
 	}
+	defer f.Close()
+
+	if *cpMode {
+		analyzeCP(f, flag.Arg(0), *jsonOut)
+		return
+	}
 	events, err := trace.ParseChromeTrace(f)
-	f.Close()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tftrace: %v\n", err)
+		os.Exit(1)
+	}
+	if len(events) == 0 {
+		fmt.Fprintf(os.Stderr, "tftrace: %s holds no trace events (tracing disabled, or a truncated export?)\n", flag.Arg(0))
 		os.Exit(1)
 	}
 
@@ -116,5 +137,65 @@ func main() {
 			att.RoundTrips, att.RoundTripNS)
 		fmt.Printf("  credit stalls: %10.1f ns (%5.2f%%)\n", att.CreditStallNS, att.CreditPct)
 		fmt.Printf("  replay windows:%10.1f ns (%5.2f%%)\n", att.ReplayNS, att.ReplayPct)
+	}
+}
+
+// analyzeCP is control-plane mode: reconstruct saga timelines from a
+// /v1/events export and profile them per operation.
+func analyzeCP(f *os.File, name string, jsonOut bool) {
+	events, err := trace.ParseEventLog(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tftrace: %v\n", err)
+		os.Exit(1)
+	}
+	if len(events) == 0 {
+		fmt.Fprintf(os.Stderr, "tftrace: %s holds no control-plane events (saga tracing disabled, or a truncated export?)\n", name)
+		os.Exit(1)
+	}
+	traces := trace.BuildSagaTraces(events)
+	if len(traces) == 0 {
+		fmt.Fprintf(os.Stderr, "tftrace: %s holds %d events but no complete trace (all events lack trace IDs?)\n", name, len(events))
+		os.Exit(1)
+	}
+	profiles := trace.ProfileSagas(traces)
+
+	if jsonOut {
+		out := struct {
+			Events   int               `json:"events"`
+			Traces   []trace.SagaTrace `json:"traces"`
+			Profiles []trace.OpProfile `json:"profiles"`
+		}{len(events), traces, profiles}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "tftrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("%d events, %d saga traces\n\n", len(events), len(traces))
+	fmt.Printf("%-10s %-8s %-10s %8s %12s  %s\n",
+		"saga", "op", "state", "events", "total(ns)", "stages")
+	for _, t := range traces {
+		saga := t.Saga
+		if saga == "" {
+			saga = fmt.Sprintf("trace-%d", t.Trace)
+		}
+		fmt.Printf("%-10s %-8s %-10s %8d %12d ", saga, t.Op, t.State, t.Events, t.TotalNS)
+		for i, s := range t.Stages {
+			if i > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf(" %s=%dns(%.0f%%)", s.Name, s.DurNS, s.Pct)
+		}
+		fmt.Println()
+	}
+	for _, p := range profiles {
+		fmt.Printf("\n%s: %d sagas, mean %.1f ns, p50 %d ns, p99 %d ns, max %d ns\n",
+			p.Op, p.Count, p.MeanNS, p.P50NS, p.P99NS, p.MaxNS)
+		for _, s := range p.Stages {
+			fmt.Printf("  %-10s %12d ns (%5.1f%%)\n", s.Name, s.DurNS, s.Pct)
+		}
 	}
 }

@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"thymesisflow/internal/trace"
 )
 
 // CommandKind discriminates configuration commands.
@@ -61,6 +63,11 @@ type Command struct {
 	NetworkID uint16
 	// DonorBase is the donor effective address of the stolen region.
 	DonorBase uint64
+	// Trace and Span propagate the control plane's span context across the
+	// transport, so agent-side handling lands in the same saga trace. Zero
+	// when tracing is off.
+	Trace trace.TraceID
+	Span  trace.SpanID
 }
 
 // dedupeKey identifies one exact command instance for replay suppression.
@@ -104,6 +111,12 @@ type Agent struct {
 	// from effective commands. seen suppresses exact replays.
 	state map[string]*AttachmentStatus
 	seen  map[dedupeKey]struct{}
+
+	// elog records agent-side command handling into the control plane's
+	// saga event log (nil = tracing off; every use is nil-guarded so the
+	// disabled path stays allocation-free).
+	elog *trace.EventLog
+	wall trace.WallClock
 }
 
 // New returns an agent for the named host trusting the given control-plane
@@ -120,6 +133,19 @@ func New(host, trustedToken string) *Agent {
 // Host returns the host this agent manages.
 func (a *Agent) Host() string { return a.host }
 
+// SetEventLog joins this agent to the control plane's saga event log: every
+// traced command (cmd.Trace != 0) records its agent-side outcome — applied,
+// deduplicated, or rejected — into the same trace. A nil log disables.
+func (a *Agent) SetEventLog(l *trace.EventLog, clock trace.WallClock) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.elog = l
+	a.wall = clock
+	if l != nil && clock == nil {
+		a.wall = trace.Monotonic()
+	}
+}
+
 // Apply validates and applies a configuration command. Untrusted pushes are
 // rejected: no malicious software may install illegal forwarding
 // configurations (Section IV-C). Application is idempotent: exact replays
@@ -128,6 +154,36 @@ func (a *Agent) Host() string { return a.host }
 func (a *Agent) Apply(token string, cmd Command) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.elog == nil || cmd.Trace == 0 {
+		return a.applyLocked(token, cmd)
+	}
+	preDeduped, preRejected := a.deduped, a.rejected
+	err := a.applyLocked(token, cmd)
+	ev := trace.LogEvent{
+		WallNS: a.wall(),
+		Trace:  cmd.Trace,
+		Span:   cmd.Span,
+		Source: "agent",
+		Kind:   trace.KindAgentApply,
+		Saga:   cmd.AttachmentID,
+		Step:   string(cmd.Kind),
+		Host:   a.host,
+	}
+	switch {
+	case a.rejected > preRejected:
+		ev.Kind = trace.KindAgentReject
+	case a.deduped > preDeduped:
+		ev.Kind = trace.KindAgentDedupe
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	a.elog.Append(ev)
+	return err
+}
+
+// applyLocked holds the command-application logic; a.mu must be held.
+func (a *Agent) applyLocked(token string, cmd Command) error {
 	if token != a.trusted {
 		a.rejected++
 		return fmt.Errorf("agent %s: configuration push with untrusted token rejected", a.host)

@@ -8,6 +8,7 @@ import (
 
 	"thymesisflow/internal/core"
 	"thymesisflow/internal/sim"
+	"thymesisflow/internal/sim/shard"
 )
 
 // RackConfig sizes the rack-scale scenario: a full rack of hosts,
@@ -61,6 +62,13 @@ type RackReport struct {
 	EndNS       int64  `json:"end_ns"`
 	Seed        int64  `json:"seed"`
 	Events      uint64 `json:"events"`
+
+	// ShardHealth describes the parallel runtime's execution shape — windows,
+	// per-shard events, barrier stall, flush depth, imbalance; nil for
+	// sequential (shards=1) runs. Unlike every other field it legitimately
+	// varies with the shard count, but stays byte-identical per (seed, shard
+	// count): all counters derive from virtual time.
+	ShardHealth *shard.Health `json:"shard_health,omitempty"`
 }
 
 // Rack builds and runs the rack-scale scenario, writing a deterministic
@@ -177,8 +185,11 @@ func Rack(w io.Writer, cfg RackConfig) (RackReport, error) {
 	}
 
 	// The shard count is runtime configuration, not simulation output: keep
-	// it off stdout so the table is byte-identical at every -shards value
-	// (tfbench reports shards + wall clock on stderr).
+	// it out of the main table so that part is byte-identical at every
+	// -shards value (tfbench reports shards + wall clock on stderr). The
+	// shard-health section below is the deliberate exception — it describes
+	// the runtime itself, prints only for sharded runs, and is still
+	// byte-identical per (seed, shard count).
 	fmt.Fprintf(w, "Rack-scale scenario — %d hosts, %d attachments, %d flows\n",
 		rep.Hosts, rep.Attachments, rep.Flows)
 	fmt.Fprintf(w, "  %-18s %12d\n", "ops ok", rep.OpsOK)
@@ -188,6 +199,17 @@ func Rack(w io.Writer, cfg RackConfig) (RackReport, error) {
 	fmt.Fprintf(w, "  %-18s %12d\n", "rx transactions", rep.RxTxns)
 	fmt.Fprintf(w, "  %-18s %12d\n", "events scheduled", rep.Events)
 	fmt.Fprintf(w, "  %-18s %12d\n", "virtual end (ns)", rep.EndNS)
+	if h, ok := c.ShardHealth(); ok {
+		rep.ShardHealth = &h
+		fmt.Fprintf(w, "Shard health — %d shards, %d windows, %.2f events/window, imbalance %.3f\n",
+			len(h.Shards), h.Windows, h.EventsPerWindow, h.Imbalance)
+		fmt.Fprintf(w, "  %-18s %12d\n", "flushed messages", h.Flushed)
+		fmt.Fprintf(w, "  %-18s %12d\n", "max flush depth", h.MaxFlushDepth)
+		for _, st := range h.Shards {
+			fmt.Fprintf(w, "  shard %-11d %12d events %14d stall-ns\n",
+				st.Shard, st.Events, st.StallPS/1e3)
+		}
+	}
 	if rep.OpsFailed > 0 {
 		return rep, fmt.Errorf("bench: rack scenario failed %d ops", rep.OpsFailed)
 	}

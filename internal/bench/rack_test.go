@@ -2,6 +2,8 @@ package bench
 
 import (
 	"bytes"
+	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -21,16 +23,60 @@ func TestRackShardedMatchesSequential(t *testing.T) {
 		return buf.String(), rep
 	}
 	seqOut, seqRep := run(1)
+	if seqRep.ShardHealth != nil {
+		t.Fatal("sequential run reported shard health")
+	}
 	for _, shards := range []int{2, 6} {
 		out, rep := run(shards)
+		if rep.ShardHealth == nil {
+			t.Fatalf("run at %d shards reported no shard health", shards)
+		}
+		if rep.ShardHealth.Windows == 0 || len(rep.ShardHealth.Shards) != shards {
+			t.Fatalf("degenerate shard health at %d shards: %+v", shards, *rep.ShardHealth)
+		}
+		// Shards and ShardHealth describe the runtime, not the simulation:
+		// normalize them away, then require everything else identical.
 		rep.Shards = seqRep.Shards
+		rep.ShardHealth = nil
 		if rep != seqRep {
 			t.Fatalf("report at %d shards diverges:\nseq:     %+v\nsharded: %+v", shards, seqRep, rep)
 		}
-		_ = out // summaries embed the shard count; the report comparison is the invariant
+		_ = out // summaries embed shard health; cross-shard-count identity is report-only
 	}
 	if seqOut == "" {
 		t.Fatal("empty summary")
+	}
+}
+
+// TestRackShardHealthDeterministic pins the shard-health acceptance bar:
+// repeated runs at the same seed and shard count must emit byte-identical
+// summaries — shard-health section included — and identical health snapshots.
+func TestRackShardHealthDeterministic(t *testing.T) {
+	run := func() (string, RackReport) {
+		var buf bytes.Buffer
+		rep, err := Rack(&buf, RackConfig{
+			Hosts: 6, Attachments: 10, WorkersPerAttachment: 2,
+			OpsPerWorker: 6, Shards: 3, Seed: 99,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), rep
+	}
+	out1, rep1 := run()
+	out2, rep2 := run()
+	if out1 != out2 {
+		t.Fatalf("summary differs across identical runs:\n1:\n%s\n2:\n%s", out1, out2)
+	}
+	if !strings.Contains(out1, "Shard health") {
+		t.Fatalf("sharded summary missing shard-health section:\n%s", out1)
+	}
+	if rep1.ShardHealth == nil || rep2.ShardHealth == nil {
+		t.Fatal("missing shard health")
+	}
+	if !reflect.DeepEqual(*rep1.ShardHealth, *rep2.ShardHealth) {
+		t.Fatalf("shard health diverges across identical runs:\n1: %+v\n2: %+v",
+			*rep1.ShardHealth, *rep2.ShardHealth)
 	}
 }
 

@@ -117,8 +117,11 @@ func Run(s Scenario, campaignSeed int64) ScenarioReport {
 // RunSharded is Run on a cluster partitioned into the given number of
 // simulation shards (one kernel per host, conservative lookahead windows).
 // Reports carry only virtual-time measurements, so the shard count never
-// changes a report: shards=1 executes the exact sequential path, and the
-// sharded runtime's deterministic merge reproduces it event for event.
+// changes a simulation result: shards=1 executes the exact sequential path,
+// and the sharded runtime's deterministic merge reproduces it event for
+// event. The one shard-count-dependent section is ShardHealth, which
+// describes the runtime itself (and is still deterministic per seed at a
+// fixed shard count).
 func RunSharded(s Scenario, campaignSeed int64, shards int) ScenarioReport {
 	s.defaults()
 	seed := deriveSeed(campaignSeed, s.Name)
@@ -384,6 +387,10 @@ func RunSharded(s Scenario, campaignSeed int64, shards int) ScenarioReport {
 		if rep.OpsFailed != 0 {
 			fail("clean run failed %d ops: %s", rep.OpsFailed, rep.FirstError)
 		}
+	}
+
+	if h, ok := c.ShardHealth(); ok {
+		rep.ShardHealth = &h
 	}
 
 	rep.Passed = len(rep.Failures) == 0

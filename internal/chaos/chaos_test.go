@@ -127,16 +127,57 @@ func TestFindUnknown(t *testing.T) {
 // TestCampaignShardedMatchesSequential asserts the headline sharding
 // guarantee at the chaos layer: the full campaign report is byte-identical
 // whether each scenario's cluster runs on one kernel or one kernel per host.
+// ShardHealth is the one section that describes the runtime rather than the
+// simulation, so it is stripped before the cross-shard-count comparison (its
+// own determinism is checked separately below).
 func TestCampaignShardedMatchesSequential(t *testing.T) {
-	seq, err := RunCampaignSharded(Catalogue(), testSeed, 1).JSON()
+	stripHealth := func(r Report) Report {
+		for i := range r.Scenarios {
+			r.Scenarios[i].ShardHealth = nil
+		}
+		return r
+	}
+	seqRep := RunCampaignSharded(Catalogue(), testSeed, 1)
+	shardedRep := RunCampaignSharded(Catalogue(), testSeed, 2)
+	for _, sr := range seqRep.Scenarios {
+		if sr.ShardHealth != nil {
+			t.Fatalf("scenario %s: sequential run reported shard health", sr.Name)
+		}
+	}
+	for _, sr := range shardedRep.Scenarios {
+		if sr.ShardHealth == nil {
+			t.Fatalf("scenario %s: sharded run reported no shard health", sr.Name)
+		}
+		if sr.ShardHealth.Windows == 0 || len(sr.ShardHealth.Shards) != 2 {
+			t.Fatalf("scenario %s: degenerate shard health %+v", sr.Name, *sr.ShardHealth)
+		}
+	}
+	seq, err := stripHealth(seqRep).JSON()
 	if err != nil {
 		t.Fatal(err)
 	}
-	sharded, err := RunCampaignSharded(Catalogue(), testSeed, 2).JSON()
+	sharded, err := stripHealth(shardedRep).JSON()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(seq) != string(sharded) {
 		t.Fatalf("sharded campaign report diverges from sequential:\nseq:     %s\nsharded: %s", seq, sharded)
+	}
+}
+
+// TestCampaignShardedHealthDeterministic requires the full sharded report —
+// shard-health section included — to be byte-identical across repeated runs
+// at the same seed and shard count.
+func TestCampaignShardedHealthDeterministic(t *testing.T) {
+	a, err := RunCampaignSharded(Catalogue(), testSeed, 2).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCampaignSharded(Catalogue(), testSeed, 2).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed and shard count produced different shard-health reports")
 	}
 }

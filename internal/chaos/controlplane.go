@@ -16,10 +16,12 @@ package chaos
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"thymesisflow/internal/agent"
 	"thymesisflow/internal/controlplane"
 	"thymesisflow/internal/core"
+	"thymesisflow/internal/trace"
 )
 
 const cpToken = "chaos-cp-token"
@@ -54,6 +56,27 @@ type CPScenarioReport struct {
 
 	Counters  controlplane.SagaCounters   `json:"counters"`
 	Transport controlplane.TransportStats `json:"transport"`
+
+	// Trace summarizes the scenario's saga traces. The event log lives in
+	// the world, not the Service, so traces span crash-restarts; timestamps
+	// come from a deterministic step clock, so the summary is byte-identical
+	// per seed. verify additionally asserts the tiling invariant: every
+	// reconstructed saga's stage durations sum exactly to its wall time.
+	Trace CPTraceSummary `json:"trace"`
+}
+
+// CPTraceSummary is the deterministic roll-up of a scenario's saga traces.
+type CPTraceSummary struct {
+	// Sagas is the number of distinct traces reconstructed from the log.
+	Sagas int `json:"sagas"`
+	// Events is the total number of events recorded (including any the
+	// bounded log later evicted).
+	Events uint64 `json:"events"`
+	// TotalNS sums end-to-end wall time over all reconstructed sagas.
+	TotalNS int64 `json:"total_ns"`
+	// Stages is the aggregated stage mix across all sagas; the durations sum
+	// to TotalNS (sorted by descending duration, then name).
+	Stages []trace.StageSpan `json:"stages,omitempty"`
 }
 
 func (r *CPScenarioReport) fail(format string, args ...any) {
@@ -70,6 +93,12 @@ type cpWorld struct {
 	faulty  *controlplane.FaultyTransport
 	journal *controlplane.CrashableJournal
 	hosts   []string
+
+	// elog and clock implement world-scoped saga tracing: the event log and
+	// the deterministic step clock survive orchestrator crash-restarts, so a
+	// saga that spans a crash keeps one coherent timeline across processes.
+	elog  *trace.EventLog
+	clock trace.WallClock
 }
 
 func newCPWorld(rep *CPScenarioReport, faults controlplane.TransportFaults) *cpWorld {
@@ -117,6 +146,8 @@ func newCPWorld(rep *CPScenarioReport, faults controlplane.TransportFaults) *cpW
 		faulty:  controlplane.NewFaultyTransport(inner, faults),
 		journal: controlplane.NewCrashableJournal(controlplane.NewMemJournal()),
 		hosts:   hosts,
+		elog:    trace.NewEventLog(1 << 14),
+		clock:   trace.StepClock(0, 25),
 	}
 }
 
@@ -127,6 +158,7 @@ func (w *cpWorld) boot(tr controlplane.Transport) *controlplane.Service {
 	svc.SetJournal(w.journal)
 	svc.SetTransport(tr)
 	svc.SetRetryPolicy(controlplane.RetryPolicy{MaxAttempts: 6})
+	svc.SetSagaTracing(w.elog, w.clock)
 	return svc
 }
 
@@ -248,6 +280,45 @@ func (w *cpWorld) verify(rep *CPScenarioReport, svc *controlplane.Service) {
 		rep.fail("parked sagas after heal+reconcile: %v", parked)
 	}
 	rep.Transport = w.faulty.Stats()
+
+	// Saga-trace roll-up plus the tiling invariant: the stage durations of
+	// every reconstructed trace (sagas and reconcile/recovery passes alike)
+	// must sum exactly to that trace's end-to-end wall time — the event
+	// timeline has no gaps and no double counting.
+	traces := trace.BuildSagaTraces(w.elog.Snapshot())
+	if len(traces) == 0 {
+		rep.fail("tracing recorded no saga traces")
+	}
+	byCat := map[string]int64{}
+	for _, t := range traces {
+		var sum int64
+		for _, st := range t.Stages {
+			sum += st.DurNS
+			byCat[st.Name] += st.DurNS
+		}
+		if sum != t.TotalNS {
+			rep.fail("trace %d (saga %q): stages sum to %dns, wall time is %dns",
+				t.Trace, t.Saga, sum, t.TotalNS)
+		}
+		rep.Trace.TotalNS += t.TotalNS
+	}
+	rep.Trace.Sagas = len(traces)
+	rep.Trace.Events = w.elog.Recorded()
+	rep.Trace.Stages = make([]trace.StageSpan, 0, len(byCat))
+	for name, dur := range byCat {
+		s := trace.StageSpan{Name: name, DurNS: dur}
+		if rep.Trace.TotalNS > 0 {
+			s.Pct = 100 * float64(dur) / float64(rep.Trace.TotalNS)
+		}
+		rep.Trace.Stages = append(rep.Trace.Stages, s)
+	}
+	sort.Slice(rep.Trace.Stages, func(i, j int) bool {
+		a, b := rep.Trace.Stages[i], rep.Trace.Stages[j]
+		if a.DurNS != b.DurNS {
+			return a.DurNS > b.DurNS
+		}
+		return a.Name < b.Name
+	})
 }
 
 // hostPair rotates attach endpoints deterministically.

@@ -39,6 +39,31 @@ func TestCPScenariosExerciseFaults(t *testing.T) {
 	}
 }
 
+// TestCPCampaignTraceSummaries asserts every scenario report carries a saga
+// trace summary whose aggregated stage durations tile the total wall time
+// exactly — the chaos-level form of the tracing acceptance criterion (the
+// per-trace invariant is enforced inside verify and would surface as a
+// scenario failure).
+func TestCPCampaignTraceSummaries(t *testing.T) {
+	for _, rep := range RunCPCampaign(CPCatalogue(), testSeed) {
+		tr := rep.Trace
+		if tr.Sagas == 0 || tr.Events == 0 {
+			t.Errorf("%s: empty trace summary: %+v", rep.Name, tr)
+			continue
+		}
+		var sum int64
+		for _, st := range tr.Stages {
+			sum += st.DurNS
+		}
+		if sum != tr.TotalNS {
+			t.Errorf("%s: stage durations sum to %dns, total is %dns", rep.Name, sum, tr.TotalNS)
+		}
+		if tr.TotalNS <= 0 {
+			t.Errorf("%s: non-positive total trace time %dns", rep.Name, tr.TotalNS)
+		}
+	}
+}
+
 // TestCPCampaignDeterministic requires byte-identical reports for the same
 // seed, across multiple seeds.
 func TestCPCampaignDeterministic(t *testing.T) {

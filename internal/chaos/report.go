@@ -1,6 +1,10 @@
 package chaos
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"thymesisflow/internal/sim/shard"
+)
 
 // Report is the result of one campaign: every scenario's outcome plus the
 // campaign seed that reproduces it exactly. All values derive from virtual
@@ -52,6 +56,14 @@ type ScenarioReport struct {
 
 	// FinalState is the attachment's lifecycle state at scenario end.
 	FinalState string `json:"final_state"`
+
+	// ShardHealth describes the parallel runtime's execution shape (windows,
+	// barrier stall, flush depth, imbalance); nil on single-kernel runs. It
+	// characterizes the runtime configuration rather than the simulation, so
+	// it is the one section that legitimately varies with the shard count —
+	// still byte-identical per (seed, shard count). Cross-shard-count
+	// determinism comparisons strip it.
+	ShardHealth *shard.Health `json:"shard_health,omitempty"`
 }
 
 // LatencyStats is the scenario's end-to-end latency distribution as seen by

@@ -6,6 +6,7 @@ import (
 
 	"thymesisflow/internal/agent"
 	"thymesisflow/internal/graphdb"
+	"thymesisflow/internal/trace"
 )
 
 // ReconcileReport summarizes one reconciliation sweep: what the diff of
@@ -64,18 +65,34 @@ func (s *Service) Reconcile() ReconcileReport {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var rep ReconcileReport
+	if s.elog != nil {
+		s.cur = s.newTraceCtx()
+		s.emit(trace.LogEvent{Source: "reconcile", Kind: trace.KindReconcileBegin})
+	}
 	s.drainParked(&rep)
 	s.reconcileExecutor(&rep)
 	s.reconcileAgents(&rep)
 	s.reconcileReservations(&rep)
 	s.ctrReconcileFixes.Add(int64(rep.Repairs()))
+	if s.elog != nil {
+		s.emit(trace.LogEvent{Source: "reconcile", Kind: trace.KindReconcileEnd, Attempt: rep.Repairs()})
+		s.cur = trace.SpanContext{}
+	}
 	return rep
 }
 
+// repaired emits one reconcile_repair event when tracing is on.
+func (s *Service) repaired(what, saga, host string) {
+	if s.elog != nil {
+		s.emit(trace.LogEvent{Source: "reconcile", Kind: trace.KindReconcileRepair, Step: what, Saga: saga, Host: host})
+	}
+}
+
 // StartReconciler runs Reconcile every interval until the returned stop
-// function is called.
+// function is called. The running/stopped state feeds GET /v1/readyz.
 func (s *Service) StartReconciler(interval time.Duration) (stop func()) {
 	done := make(chan struct{})
+	s.reconState.Store(reconRunning)
 	go func() {
 		t := time.NewTicker(interval)
 		defer t.Stop()
@@ -92,6 +109,7 @@ func (s *Service) StartReconciler(interval time.Duration) (stop func()) {
 	return func() {
 		if !once {
 			once = true
+			s.reconState.Store(reconStopped)
 			close(done)
 		}
 	}
@@ -114,7 +132,7 @@ func (s *Service) drainParked(rep *ReconcileReport) {
 				continue
 			}
 			err := s.retry(func() error {
-				return s.transport.Send(host, s.token, agent.Command{
+				return s.send(host, agent.Command{
 					Kind: agent.CmdDetach, AttachmentID: p.attID, Epoch: s.nextEpoch(),
 				})
 			})
@@ -128,6 +146,7 @@ func (s *Service) drainParked(rep *ReconcileReport) {
 			delete(s.parked, id)
 			s.ctrParked.Add(-1)
 			rep.ParkedDrained++
+			s.repaired("parked-drained", p.sagaID, "")
 			s.append(JournalEntry{SagaID: p.sagaID, Op: p.op, Event: EvCommitted, AttID: p.attID, Err: "reconciled"}) //nolint:errcheck
 			if st, ok := s.sagas[p.sagaID]; ok {
 				st.State = "committed"
@@ -151,6 +170,7 @@ func (s *Service) reconcileExecutor(rep *ReconcileReport) {
 			// the executor call and its journal entry. Tear it down.
 			if err := s.exec.Detach(id); err == nil {
 				rep.OrphanExecDetached++
+				s.repaired("orphan-exec-detached", id, "")
 			} else {
 				rep.Unrepaired++
 			}
@@ -173,7 +193,7 @@ func (s *Service) reconcileExecutor(rep *ReconcileReport) {
 				continue
 			}
 			s.retry(func() error { //nolint:errcheck // next sweep retries
-				return s.transport.Send(host, s.token, agent.Command{
+				return s.send(host, agent.Command{
 					Kind: agent.CmdDetach, AttachmentID: rec.SagaID, Epoch: s.nextEpoch(),
 				})
 			})
@@ -181,6 +201,7 @@ func (s *Service) reconcileExecutor(rep *ReconcileReport) {
 		s.model.ReleasePaths(rec.paths)
 		delete(s.attachments, id)
 		rep.RecordsTornDown++
+		s.repaired("record-torn-down", rec.SagaID, "")
 	}
 }
 
@@ -221,7 +242,7 @@ func (s *Service) reconcileAgents(rep *ReconcileReport) {
 				continue
 			}
 			err := s.retry(func() error {
-				return s.transport.Send(host, s.token, agent.Command{
+				return s.send(host, agent.Command{
 					Kind: agent.CmdDetach, AttachmentID: a.ID, Epoch: s.nextEpoch(),
 				})
 			})
@@ -230,6 +251,7 @@ func (s *Service) reconcileAgents(rep *ReconcileReport) {
 				continue
 			}
 			rep.AgentDetached++
+			s.repaired("agent-detached", a.ID, host)
 		}
 		// Lost state: desired but not held (crash-restarted agent lost its
 		// volatile configuration). Re-push from the record.
@@ -254,12 +276,13 @@ func (s *Service) reconcileAgents(rep *ReconcileReport) {
 			} else {
 				cmd.Kind = agent.CmdStealMemory
 			}
-			err := s.retry(func() error { return s.transport.Send(host, s.token, cmd) })
+			err := s.retry(func() error { return s.send(host, cmd) })
 			if err != nil {
 				rep.Unrepaired++
 				continue
 			}
 			rep.AgentRepushed++
+			s.repaired("agent-repushed", id, host)
 		}
 	}
 }

@@ -55,9 +55,23 @@ func NewAPI(svc *Service, auth AuthConfig) *API {
 	a.mux.HandleFunc("/v1/topology", a.handleTopology)
 	a.mux.HandleFunc("/v1/metrics", a.handleMetrics)
 	a.mux.HandleFunc("/v1/sagas", a.handleSagas)
+	a.mux.HandleFunc("/v1/sagas/", a.handleSagaSub)
 	a.mux.HandleFunc("/v1/latency", a.handleLatency)
 	a.mux.HandleFunc("/v1/trace/snapshot", a.handleTraceSnapshot)
+	a.mux.HandleFunc("/v1/events", a.handleEvents)
+	a.mux.HandleFunc("/v1/healthz", a.handleHealthz)
+	a.mux.HandleFunc("/v1/readyz", a.handleReadyz)
 	return a
+}
+
+// handleSagaSub routes /v1/sagas/{id}/trace.
+func (a *API) handleSagaSub(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/sagas/")
+	if rest, found := strings.CutSuffix(id, "/trace"); found && rest != "" {
+		a.handleSagaTrace(w, r, rest)
+		return
+	}
+	writeErr(w, http.StatusNotFound, "unknown saga resource")
 }
 
 // ServeHTTP implements http.Handler.

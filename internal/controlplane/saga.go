@@ -10,6 +10,7 @@ import (
 
 	"thymesisflow/internal/agent"
 	"thymesisflow/internal/graphdb"
+	"thymesisflow/internal/trace"
 )
 
 // saga is the in-memory execution state of one attach/detach state
@@ -20,6 +21,7 @@ type saga struct {
 	op      string
 	intents map[string]bool
 	dones   map[string]bool
+	ctx     trace.SpanContext // root span; zero when tracing is off
 }
 
 // newSaga allocates the next saga ID and registers its status.
@@ -31,18 +33,45 @@ func (s *Service) newSaga(op string) *saga {
 		intents: make(map[string]bool),
 		dones:   make(map[string]bool),
 	}
-	s.sagas[sg.id] = &SagaStatus{ID: sg.id, Op: op, State: "running"}
+	st := &SagaStatus{ID: sg.id, Op: op, State: "running"}
+	s.sagas[sg.id] = st
 	s.sagaOrder = append(s.sagaOrder, sg.id)
+	if s.elog != nil {
+		sg.ctx = s.newTraceCtx()
+		s.cur = sg.ctx
+		st.Trace = sg.ctx.Trace
+		s.emit(trace.LogEvent{Source: "saga", Kind: trace.KindSagaBegin, Saga: sg.id, Op: op})
+	}
 	return sg
 }
 
 // append stamps the global sequence number and writes one journal entry.
 // Any journal failure is treated as a control-plane crash by the callers.
+// With tracing on, the append (including a FileJournal's fsync) is recorded
+// as a journal event so fsync cost shows up in saga stage breakdowns; the
+// sticky lastJournalErr feeds GET /v1/readyz.
 func (s *Service) append(e JournalEntry) error {
+	var t0 int64
+	if s.elog != nil {
+		t0 = s.wall()
+	}
 	e.Seq = s.jseq + 1
-	if err := s.journal.Append(e); err != nil {
+	err := s.journal.Append(e)
+	if s.elog != nil {
+		ev := trace.LogEvent{
+			Source: "journal", Kind: trace.KindJournalAppend,
+			Saga: e.SagaID, Op: e.Op, Step: e.Event, DurNS: s.wall() - t0,
+		}
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		s.emit(ev)
+	}
+	if err != nil {
+		s.lastJournalErr = err.Error()
 		return fmt.Errorf("%w: %v", errCrashed, err)
 	}
+	s.lastJournalErr = ""
 	s.jseq++
 	return nil
 }
@@ -65,6 +94,10 @@ func (s *Service) crash(sg *saga, err error) error {
 		st.State = "crashed"
 		st.Err = err.Error()
 	}
+	if s.elog != nil {
+		s.emit(trace.LogEvent{Source: "saga", Kind: trace.KindSagaCrash, Saga: sg.id, Op: sg.op, Err: err.Error()})
+		s.cur = trace.SpanContext{}
+	}
 	if isCrash(err) {
 		return err
 	}
@@ -76,13 +109,28 @@ func (s *Service) crash(sg *saga, err error) error {
 // payload for recovery). A journal failure at any point aborts with a
 // crash error.
 func (s *Service) step(sg *saga, step string, epoch uint64, fn func() error, payload func(*JournalEntry)) error {
+	if s.elog != nil {
+		s.cur = s.childSpan(sg.ctx)
+		s.emit(trace.LogEvent{Source: "saga", Kind: trace.KindStepStart, Saga: sg.id, Op: sg.op, Step: step})
+		defer func() { s.cur = sg.ctx }()
+	}
 	if err := s.append(JournalEntry{SagaID: sg.id, Op: sg.op, Event: EvIntent, Step: step, Epoch: epoch}); err != nil {
 		return err
 	}
 	sg.intents[step] = true
+	var runT0 int64
+	if s.elog != nil {
+		runT0 = s.wall()
+	}
 	if err := s.retry(fn); err != nil {
+		if s.elog != nil {
+			s.emit(trace.LogEvent{Source: "saga", Kind: trace.KindStepFail, Saga: sg.id, Op: sg.op, Step: step, Err: err.Error()})
+		}
 		s.append(JournalEntry{SagaID: sg.id, Op: sg.op, Event: EvFailed, Step: step, Err: err.Error()}) //nolint:errcheck // best-effort: the failure is re-derivable
 		return err
+	}
+	if s.elog != nil {
+		s.emit(trace.LogEvent{Source: "saga", Kind: trace.KindStepRun, Saga: sg.id, Op: sg.op, Step: step, DurNS: s.wall() - runT0})
 	}
 	done := JournalEntry{SagaID: sg.id, Op: sg.op, Event: EvDone, Step: step, Epoch: epoch}
 	if payload != nil {
@@ -92,6 +140,9 @@ func (s *Service) step(sg *saga, step string, epoch uint64, fn func() error, pay
 		return err
 	}
 	sg.dones[step] = true
+	if s.elog != nil {
+		s.emit(trace.LogEvent{Source: "saga", Kind: trace.KindStepDone, Saga: sg.id, Op: sg.op, Step: step})
+	}
 	return nil
 }
 
@@ -109,9 +160,15 @@ func (s *Service) retry(fn func() error) error {
 			return err
 		}
 		s.ctrRetries.Add(1)
+		var slept time.Duration
 		if backoff > 0 {
-			jittered := backoff/2 + time.Duration(s.jitter.Int63n(int64(backoff)))
-			s.sleep(jittered)
+			slept = backoff/2 + time.Duration(s.jitter.Int63n(int64(backoff)))
+			s.sleep(slept)
+		}
+		if s.elog != nil {
+			// Recorded after the sleep so the backoff wait tiles into the
+			// "backoff" stage of the saga timeline.
+			s.emit(trace.LogEvent{Source: "transport", Kind: trace.KindCmdRetry, Attempt: attempt + 1, DurNS: int64(slept)})
 		}
 		backoff *= 2
 		if s.policy.MaxBackoff > 0 && backoff > s.policy.MaxBackoff {
@@ -128,6 +185,9 @@ func (s *Service) nextEpoch() uint64 {
 
 // logCompensated best-effort journals one compensated step.
 func (s *Service) logCompensated(sg *saga, step, host string) {
+	if s.elog != nil {
+		s.emit(trace.LogEvent{Source: "saga", Kind: trace.KindCompensate, Saga: sg.id, Op: sg.op, Step: step, Host: host})
+	}
 	s.append(JournalEntry{SagaID: sg.id, Op: sg.op, Event: EvCompensated, Step: step, Compute: host}) //nolint:errcheck
 }
 
@@ -146,6 +206,10 @@ func (s *Service) park(sg *saga, attID string, pending map[string]string) {
 	if st, ok := s.sagas[sg.id]; ok {
 		st.State = "parked"
 	}
+	if s.elog != nil {
+		s.emit(trace.LogEvent{Source: "saga", Kind: trace.KindSagaPark, Saga: sg.id, Op: sg.op})
+		s.cur = trace.SpanContext{}
+	}
 }
 
 // finishSaga records a terminal status.
@@ -154,6 +218,14 @@ func (s *Service) finishSaga(sg *saga, state, execID, errMsg string) {
 		st.State = state
 		st.ExecID = execID
 		st.Err = errMsg
+	}
+	if s.elog != nil {
+		kind := trace.KindSagaCommit
+		if state == "aborted" {
+			kind = trace.KindSagaAbort
+		}
+		s.emit(trace.LogEvent{Source: "saga", Kind: kind, Saga: sg.id, Op: sg.op, Err: errMsg})
+		s.cur = trace.SpanContext{}
 	}
 }
 
@@ -225,6 +297,17 @@ func (s *Service) Recover() (RecoveryReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var rep RecoveryReport
+	var rctx trace.SpanContext
+	if s.elog != nil {
+		rctx = s.newTraceCtx()
+		s.cur = rctx
+		s.emit(trace.LogEvent{Source: "recovery", Kind: trace.KindRecoveryBegin})
+		defer func() {
+			s.cur = rctx
+			s.emit(trace.LogEvent{Source: "recovery", Kind: trace.KindRecoveryEnd})
+			s.cur = trace.SpanContext{}
+		}()
+	}
 	entries, err := s.journal.Entries()
 	if err != nil {
 		return rep, err
@@ -340,13 +423,26 @@ func (s *Service) recoverSaga(l *sagaLog, rep *RecoveryReport) {
 		return
 	}
 
-	// In-flight saga: the control plane died mid-execution.
+	// In-flight saga: the control plane died mid-execution. Each replayed
+	// saga gets its own trace so its compensation or roll-forward commands
+	// reconstruct as one timeline.
 	s.ctrRecoveryReplays.Add(1)
+	var ctx trace.SpanContext
+	if s.elog != nil {
+		ctx = s.newTraceCtx()
+		s.cur = ctx
+		s.emit(trace.LogEvent{Source: "recovery", Kind: trace.KindRecoverySaga, Saga: l.id, Op: begin.Op})
+	}
 	switch begin.Op {
 	case OpAttach:
 		s.recoverAttach(l.id, begin, intents, dones, rep)
 	case OpDetach:
 		s.recoverDetach(l.id, begin, rep)
+	}
+	if s.elog != nil {
+		if st, ok := s.sagas[l.id]; ok {
+			st.Trace = ctx.Trace
+		}
 	}
 }
 
@@ -497,7 +593,7 @@ func (s *Service) recoverDetach(sagaID string, begin *JournalEntry, rep *Recover
 			continue
 		}
 		err := s.retry(func() error {
-			return s.transport.Send(st.host, s.token, agent.Command{
+			return s.send(st.host, agent.Command{
 				Kind: agent.CmdDetach, AttachmentID: begin.AttID, Epoch: s.nextEpoch(),
 			})
 		})

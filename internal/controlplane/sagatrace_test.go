@@ -1,0 +1,257 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"thymesisflow/internal/trace"
+)
+
+// tracedFaultService is testFaultService plus saga tracing on a deterministic
+// step clock, so event timelines are byte-stable.
+func tracedFaultService(t *testing.T, faults TransportFaults) (*Service, *FaultyTransport, *trace.EventLog) {
+	t.Helper()
+	svc, _, ft := testFaultService(t, faults)
+	elog := trace.NewEventLog(0)
+	svc.SetSagaTracing(elog, trace.StepClock(1_000, 10))
+	return svc, ft, elog
+}
+
+// TestSagaTraceStagesSumToWallTime is the tentpole acceptance check: a saga
+// run through a lossy transport (forcing retries and backoff) produces a
+// trace whose per-stage spans sum exactly to the end-to-end wall time.
+func TestSagaTraceStagesSumToWallTime(t *testing.T) {
+	svc, ft, _ := tracedFaultService(t, TransportFaults{})
+	ft.FailNext("node1", 2) // donor: first two steal deliveries dropped
+
+	rec, err := svc.Attach(AttachRequest{
+		ComputeHost: "node0", DonorHost: "node1", Bytes: 2 << 20, Channels: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, events, ok := svc.SagaTraceByID(rec.SagaID)
+	if !ok {
+		t.Fatal("no trace for committed saga")
+	}
+	if st.State != "committed" {
+		t.Fatalf("trace state = %q, want committed", st.State)
+	}
+	if st.TotalNS <= 0 {
+		t.Fatalf("total = %d, want > 0", st.TotalNS)
+	}
+	var sum int64
+	byName := make(map[string]int64)
+	for _, sp := range st.Stages {
+		sum += sp.DurNS
+		byName[sp.Name] = sp.DurNS
+	}
+	if sum != st.TotalNS {
+		t.Fatalf("stage sum %d != total %d (stages %+v)", sum, st.TotalNS, st.Stages)
+	}
+	// The scripted drops forced retries, so backoff wait must be attributed.
+	if byName["backoff"] <= 0 {
+		t.Fatalf("no backoff stage despite retries: %+v", st.Stages)
+	}
+	if byName["journal"] <= 0 || byName["agent"] <= 0 {
+		t.Fatalf("missing journal/agent stages: %+v", st.Stages)
+	}
+
+	// Agent-side handling joined the same trace via the propagated span
+	// context on agent.Command.
+	var agentEvents, dedupes int
+	for _, e := range events {
+		if e.Trace != st.Trace {
+			t.Fatalf("event outside saga trace: %+v", e)
+		}
+		if e.Source == "agent" {
+			agentEvents++
+			if e.Kind == trace.KindAgentDedupe {
+				dedupes++
+			}
+			if e.Span == 0 {
+				t.Fatalf("agent event without span: %+v", e)
+			}
+		}
+	}
+	if agentEvents < 2 {
+		t.Fatalf("agent events = %d, want >= 2 (steal + attach)", agentEvents)
+	}
+
+	// Timestamps on the deterministic step clock strictly increase.
+	for i := 1; i < len(events); i++ {
+		if events[i].WallNS <= events[i-1].WallNS {
+			t.Fatalf("timeline not monotonic at %d: %+v", i, events[i])
+		}
+	}
+	_ = dedupes // drops never delivered, so no dedupe is expected here
+}
+
+// TestSagaTraceDuplicateDeliveryRecordsDedupe drives an ambiguous send (the
+// command lands, the ack is lost) and asserts the agent-side replay
+// suppression is visible in the trace.
+func TestSagaTraceDuplicateDeliveryRecordsDedupe(t *testing.T) {
+	svc, _, elog := tracedFaultService(t, TransportFaults{AmbiguousProb: 1, Seed: 7})
+	// Every send reports a transient failure after delivering, so the saga
+	// retries until MaxAttempts and the agent dedupes the replays; with
+	// AmbiguousProb 1 the step finally fails and the saga compensates.
+	_, err := svc.Attach(AttachRequest{
+		ComputeHost: "node0", DonorHost: "node1", Bytes: 1 << 20, Channels: 1,
+	})
+	if err == nil {
+		t.Fatal("attach over fully-ambiguous transport succeeded")
+	}
+	var dedupes, retries int
+	for _, e := range elog.Snapshot() {
+		switch e.Kind {
+		case trace.KindAgentDedupe:
+			dedupes++
+		case trace.KindCmdRetry:
+			retries++
+		}
+	}
+	if dedupes == 0 {
+		t.Fatal("no agent_dedupe events despite replayed deliveries")
+	}
+	if retries == 0 {
+		t.Fatal("no cmd_retry events despite ambiguous sends")
+	}
+}
+
+// TestSagaTraceRecoveryAndReconcileEvents asserts journal replay and
+// reconciliation sweeps land in the event log with their own traces.
+func TestSagaTraceRecoveryAndReconcileEvents(t *testing.T) {
+	svc, _, ft := testFaultService(t, TransportFaults{})
+	cj := NewCrashableJournal(NewMemJournal())
+	svc.SetJournal(cj)
+	elog := trace.NewEventLog(0)
+	svc.SetSagaTracing(elog, trace.StepClock(0, 5))
+
+	// Crash mid-attach: after the begin + first intent entries.
+	cj.FailAfter(2)
+	if _, err := svc.Attach(AttachRequest{
+		ComputeHost: "node0", DonorHost: "node1", Bytes: 1 << 20, Channels: 1,
+	}); !IsCrash(err) {
+		t.Fatalf("err = %v, want crash", err)
+	}
+	cj.FailAfter(-1)
+
+	// Restart: a fresh service over the same journal and agents.
+	svc2 := NewService(svc.Model(), svc.exec, testToken)
+	svc2.SetJournal(cj)
+	svc2.SetTransport(ft)
+	elog2 := trace.NewEventLog(0)
+	svc2.SetSagaTracing(elog2, trace.StepClock(0, 5))
+	if _, err := svc2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	svc2.Reconcile()
+
+	kinds := make(map[string]int)
+	for _, e := range elog2.Snapshot() {
+		kinds[e.Kind]++
+	}
+	for _, k := range []string{
+		trace.KindRecoveryBegin, trace.KindRecoverySaga, trace.KindRecoveryEnd,
+		trace.KindReconcileBegin, trace.KindReconcileEnd,
+	} {
+		if kinds[k] == 0 {
+			t.Fatalf("no %s event; kinds = %v", k, kinds)
+		}
+	}
+}
+
+// TestSagaTraceRESTEndpoints exercises GET /v1/events and
+// GET /v1/sagas/{id}/trace through the REST frontend.
+func TestSagaTraceRESTEndpoints(t *testing.T) {
+	api, svc := restAPI(t)
+
+	// Tracing off: the event log is not configured.
+	if w := doReq(t, api, http.MethodGet, "/v1/events", "reader-tok", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("events without tracing status = %d", w.Code)
+	}
+
+	svc.SetSagaTracing(trace.NewEventLog(0), trace.StepClock(0, 3))
+	w := doReq(t, api, http.MethodPost, "/v1/attachments", "admin-tok", AttachRequest{
+		ComputeHost: "node0", DonorHost: "node1", Bytes: 1 << 20, Channels: 1,
+	})
+	if w.Code != http.StatusCreated {
+		t.Fatalf("POST status = %d body=%s", w.Code, w.Body.String())
+	}
+
+	// Auth: events and traces are reader-gated.
+	if w := doReq(t, api, http.MethodGet, "/v1/events", "", nil); w.Code != http.StatusUnauthorized {
+		t.Fatalf("events without token status = %d", w.Code)
+	}
+
+	w = doReq(t, api, http.MethodGet, "/v1/events", "reader-tok", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("events status = %d body=%s", w.Code, w.Body.String())
+	}
+	var ev eventsView
+	if err := json.Unmarshal(w.Body.Bytes(), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Recorded == 0 || len(ev.Events) == 0 {
+		t.Fatalf("empty event log after attach: %+v", ev)
+	}
+
+	// ?n=K limits to the most recent K.
+	w = doReq(t, api, http.MethodGet, "/v1/events?n=2", "reader-tok", nil)
+	var tail eventsView
+	if err := json.Unmarshal(w.Body.Bytes(), &tail); err != nil {
+		t.Fatal(err)
+	}
+	if len(tail.Events) != 2 || tail.Events[1].Seq != ev.Events[len(ev.Events)-1].Seq {
+		t.Fatalf("tail = %+v", tail.Events)
+	}
+	if w := doReq(t, api, http.MethodGet, "/v1/events?n=x", "reader-tok", nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad n status = %d", w.Code)
+	}
+
+	// Per-saga timeline.
+	w = doReq(t, api, http.MethodGet, "/v1/sagas/saga-1/trace", "reader-tok", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("saga trace status = %d body=%s", w.Code, w.Body.String())
+	}
+	var tv sagaTraceView
+	if err := json.Unmarshal(w.Body.Bytes(), &tv); err != nil {
+		t.Fatal(err)
+	}
+	if tv.Trace.Saga != "saga-1" || len(tv.Events) == 0 || len(tv.Trace.Stages) == 0 {
+		t.Fatalf("trace view = %+v", tv.Trace)
+	}
+	var sum int64
+	for _, sp := range tv.Trace.Stages {
+		sum += sp.DurNS
+	}
+	if sum != tv.Trace.TotalNS {
+		t.Fatalf("REST stage sum %d != total %d", sum, tv.Trace.TotalNS)
+	}
+
+	if w := doReq(t, api, http.MethodGet, "/v1/sagas/nope/trace", "reader-tok", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown saga trace status = %d", w.Code)
+	}
+	if w := doReq(t, api, http.MethodGet, "/v1/sagas/saga-1/bogus", "reader-tok", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("bogus saga subresource status = %d", w.Code)
+	}
+}
+
+// TestSagaStatusCarriesTraceID asserts GET /v1/sagas exposes the trace ID so
+// operators can jump from saga status to its timeline.
+func TestSagaStatusCarriesTraceID(t *testing.T) {
+	svc, _, _ := tracedFaultService(t, TransportFaults{})
+	rec, err := svc.Attach(AttachRequest{
+		ComputeHost: "node0", DonorHost: "node1", Bytes: 1 << 20, Channels: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range svc.Sagas() {
+		if st.ID == rec.SagaID && st.Trace == 0 {
+			t.Fatalf("saga status has no trace: %+v", st)
+		}
+	}
+}

@@ -193,11 +193,12 @@ type SagaCounters struct {
 // SagaStatus is the externally visible progress of one saga, served under
 // GET /v1/sagas.
 type SagaStatus struct {
-	ID     string `json:"id"`
-	Op     string `json:"op"`
-	State  string `json:"state"` // running | committed | aborted | parked | crashed
-	ExecID string `json:"exec_id,omitempty"`
-	Err    string `json:"err,omitempty"`
+	ID     string        `json:"id"`
+	Op     string        `json:"op"`
+	State  string        `json:"state"` // running | committed | aborted | parked | crashed
+	ExecID string        `json:"exec_id,omitempty"`
+	Err    string        `json:"err,omitempty"`
+	Trace  trace.TraceID `json:"trace,omitempty"` // saga trace ID when tracing is on
 }
 
 // Service is the control plane: topology model, agent transport, executor,
@@ -234,6 +235,25 @@ type Service struct {
 	metrics *metrics.Registry
 	ring    *trace.Ring
 	latRep  LatencyReporter
+
+	// Saga tracing (sagatrace.go). elog == nil means disabled — the
+	// production default, and every emission site is nil-guarded so the
+	// disabled saga hot path stays allocation-free. cur is the span context
+	// of the work currently executing under s.mu.
+	elog     *trace.EventLog
+	wall     trace.WallClock
+	cur      trace.SpanContext
+	traceSeq uint64
+	spanSeq  uint64
+	// elogShared mirrors elog for readers that must not take s.mu (the
+	// metrics collector runs inside Registry.Snapshot, which MetricsSnapshot
+	// already calls under the lock).
+	elogShared atomic.Pointer[trace.EventLog]
+
+	// Readiness state (health.go): sticky last journal append error and
+	// reconciler liveness (0 disabled, 1 running, 2 stopped).
+	lastJournalErr string
+	reconState     atomic.Int32
 }
 
 // parkedSaga is a saga whose datapath work is finished but whose agent
@@ -302,6 +322,9 @@ func (s *Service) RegisterAgent(a *agent.Agent) {
 	defer s.mu.Unlock()
 	if reg, ok := s.transport.(interface{ Register(*agent.Agent) }); ok {
 		reg.Register(a)
+	}
+	if s.elog != nil {
+		a.SetEventLog(s.elog, s.wall)
 	}
 }
 
@@ -407,7 +430,7 @@ func (s *Service) Attach(req AttachRequest) (*AttachmentRecord, error) {
 	// pinned before the compute side can forward to it).
 	stealEpoch := s.nextEpoch()
 	err = s.step(sg, StepStealMemory, stealEpoch, func() error {
-		return s.transport.Send(req.DonorHost, s.token, agent.Command{
+		return s.send(req.DonorHost, agent.Command{
 			Kind: agent.CmdStealMemory, AttachmentID: sg.id, Epoch: stealEpoch,
 			Bytes: req.Bytes, NetworkID: netID,
 		})
@@ -418,7 +441,7 @@ func (s *Service) Attach(req AttachRequest) (*AttachmentRecord, error) {
 
 	attachEpoch := s.nextEpoch()
 	err = s.step(sg, StepAttachCompute, attachEpoch, func() error {
-		return s.transport.Send(req.ComputeHost, s.token, agent.Command{
+		return s.send(req.ComputeHost, agent.Command{
 			Kind: agent.CmdAttachCompute, AttachmentID: sg.id, Epoch: attachEpoch,
 			Bytes: req.Bytes, Channels: req.Channels, NetworkID: netID,
 		})
@@ -521,7 +544,7 @@ func (s *Service) failAttach(sg *saga, req AttachRequest, paths []Path, netID ui
 // command; exhausted retries land the step in pending for the reconciler.
 func (s *Service) compensateAgent(sg *saga, step, host string, pending map[string]string) {
 	err := s.retry(func() error {
-		return s.transport.Send(host, s.token, agent.Command{
+		return s.send(host, agent.Command{
 			Kind: agent.CmdDetach, AttachmentID: sg.id, Epoch: s.nextEpoch(),
 		})
 	})
@@ -589,7 +612,7 @@ func (s *Service) Detach(id string) error {
 		st := st
 		epoch := s.nextEpoch()
 		err := s.step(sg, st.step, epoch, func() error {
-			return s.transport.Send(st.host, s.token, agent.Command{
+			return s.send(st.host, agent.Command{
 				Kind: agent.CmdDetach, AttachmentID: rec.SagaID, Epoch: epoch,
 			})
 		}, nil)

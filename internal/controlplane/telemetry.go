@@ -46,6 +46,13 @@ func (s *Service) collectSagaCounters(reg *metrics.Registry) {
 		ctr.Reset()
 		ctr.Add(v)
 	}
+	// Event-log health: how much of the saga timeline the bounded log still
+	// holds. A growing dropped count means the capacity is too small for the
+	// saga rate.
+	if elog := s.elogShared.Load(); elog != nil {
+		reg.Gauge("cp.events_recorded").Set(float64(elog.Recorded()))
+		reg.Gauge("cp.events_dropped").Set(float64(elog.Dropped()))
+	}
 }
 
 // SetLatency attaches the latency-attribution source served under

@@ -1,7 +1,9 @@
 package controlplane
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strings"
 	"testing"
@@ -111,6 +113,63 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 	}
 	if w := doReq(t, api, http.MethodGet, "/v1/metrics?format=prometheus", "", nil); w.Code != http.StatusUnauthorized {
 		t.Fatalf("anonymous prometheus scrape = %d", w.Code)
+	}
+}
+
+// TestPrometheusSagaTraceInstruments pins the event-log instruments: with
+// saga tracing on, cp_events_recorded / cp_events_dropped surface in the
+// Prometheus exposition, track the log exactly, and scrape byte-stable at
+// quiescence.
+func TestPrometheusSagaTraceInstruments(t *testing.T) {
+	svc, _ := testService(t)
+	reg := metrics.NewRegistry()
+	svc.SetTelemetry(reg, nil)
+	// A tiny log: one attach+detach records far more than 8 events, so the
+	// dropped counter is exercised too.
+	elog := trace.NewEventLog(8)
+	svc.SetSagaTracing(elog, trace.StepClock(0, 10))
+
+	rec, err := svc.Attach(AttachRequest{
+		ComputeHost: "node0", DonorHost: "node1", Bytes: 1 << 20, Channels: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Detach(rec.ID); err != nil {
+		t.Fatal(err)
+	}
+	if elog.Dropped() == 0 {
+		t.Fatal("tiny log never evicted; dropped counter untested")
+	}
+
+	snap, ok := svc.MetricsSnapshot()
+	if !ok {
+		t.Fatal("telemetry configured but MetricsSnapshot not ok")
+	}
+	var a bytes.Buffer
+	if err := snap.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	out := a.String()
+	for _, want := range []string{
+		"# TYPE cp_events_recorded gauge\n",
+		fmt.Sprintf("cp_events_recorded %d\n", elog.Recorded()),
+		"# TYPE cp_events_dropped gauge\n",
+		fmt.Sprintf("cp_events_dropped %d\n", elog.Dropped()),
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Quiescent service: a second scrape must be byte-identical.
+	snap2, _ := svc.MetricsSnapshot()
+	var b bytes.Buffer
+	if err := snap2.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if out != b.String() {
+		t.Fatalf("quiescent scrapes differ:\n%s\n---\n%s", out, b.String())
 	}
 }
 

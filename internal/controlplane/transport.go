@@ -104,6 +104,18 @@ func (d *DirectTransport) Hosts() []string {
 	return out
 }
 
+// AgentList returns the registered agents in host order, so the service can
+// wire cross-cutting concerns (the saga event log) into every agent.
+func (d *DirectTransport) AgentList() []*agent.Agent {
+	out := make([]*agent.Agent, 0)
+	for _, h := range d.Hosts() {
+		if a, ok := d.Agent(h); ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 // TransportFaults configures the seeded fault injection of a
 // FaultyTransport, in the style of phy.FaultConfig: per-send
 // probabilities, drawn from one private PRNG so a campaign reproduces
@@ -246,6 +258,9 @@ func (f *FaultyTransport) Query(host string) (agent.Status, error) {
 
 // Hosts implements Transport.
 func (f *FaultyTransport) Hosts() []string { return f.inner.Hosts() }
+
+// AgentList delegates to the inner registry.
+func (f *FaultyTransport) AgentList() []*agent.Agent { return f.inner.AgentList() }
 
 // Stats returns the injection counters.
 func (f *FaultyTransport) Stats() TransportStats {

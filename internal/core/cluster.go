@@ -134,6 +134,16 @@ func (c *Cluster) Kernels() []*sim.Kernel {
 	return out
 }
 
+// ShardHealth reports the shard runtime's health counters — windows
+// executed, per-shard event split, barrier stall, conduit flush depth.
+// ok is false when the cluster runs on a single kernel.
+func (c *Cluster) ShardHealth() (shard.Health, bool) {
+	if c.group == nil {
+		return shard.Health{}, false
+	}
+	return c.group.Health(), true
+}
+
 // Run advances the cluster until all queues drain, returning the final
 // virtual time. Sharded clusters step their kernels in conservative
 // windows; unsharded ones run the kernel directly.

@@ -21,6 +21,38 @@ func (c *Cluster) RegisterMetrics(reg *metrics.Registry, prefix string) {
 	reg.GaugeFunc(prefix+"sim.now_seconds", func() float64 { return c.K.Now().Seconds() })
 	reg.GaugeFunc(prefix+"attachments", func() float64 { return float64(len(c.attachments)) })
 
+	// Shard-runtime health (sharded clusters only): how evenly the
+	// conservative-window runtime spreads work and how hard the barriers
+	// bite. All derived from virtual time, so values are deterministic per
+	// seed and shard count.
+	if c.group != nil {
+		g := c.group
+		reg.GaugeFunc(prefix+"shard.windows", func() float64 {
+			return float64(g.Health().Windows)
+		})
+		reg.GaugeFunc(prefix+"shard.events_per_window", func() float64 {
+			return g.Health().EventsPerWindow
+		})
+		reg.GaugeFunc(prefix+"shard.flush_max_depth", func() float64 {
+			return float64(g.Health().MaxFlushDepth)
+		})
+		reg.GaugeFunc(prefix+"shard.flushed_messages", func() float64 {
+			return float64(g.Health().Flushed)
+		})
+		reg.GaugeFunc(prefix+"shard.imbalance", func() float64 {
+			return g.Health().Imbalance
+		})
+		for i := 0; i < g.Len(); i++ {
+			i := i
+			reg.GaugeFunc(fmt.Sprintf("%sshard.%d.events", prefix, i), func() float64 {
+				return float64(g.Health().Shards[i].Events)
+			})
+			reg.GaugeFunc(fmt.Sprintf("%sshard.%d.barrier_stall_ns", prefix, i), func() float64 {
+				return float64(g.Health().Shards[i].StallPS) / 1e3
+			})
+		}
+	}
+
 	// Latency-attribution distributions surface as snapshot-time histogram
 	// functions so the registry (and the Prometheus exposition built on it)
 	// always reflects the sink, whether attribution was enabled before or

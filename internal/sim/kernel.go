@@ -54,6 +54,7 @@ type Kernel struct {
 	now             Time
 	pq              []*Event
 	seq             uint64
+	executed        uint64 // events fired (excludes cancelled)
 	procs           int // live processes (for leak detection)
 	stopped         bool
 	cancelledQueued int      // cancelled events still in pq (lazy deletion)
@@ -176,6 +177,7 @@ func (k *Kernel) RunUntil(limit Time) Time {
 		}
 		fn := e.fn
 		fn()
+		k.executed++
 		k.recycle(e)
 	}
 	return k.now
@@ -205,6 +207,11 @@ func (k *Kernel) Pending() int { return len(k.pq) - k.cancelledQueued }
 // the sequential run's count, since a cross-kernel delivery costs one
 // scheduled event either way.
 func (k *Kernel) Scheduled() uint64 { return k.seq }
+
+// Executed reports the number of events that have fired on this kernel
+// (cancelled events are excluded). The shard runtime reads it per window to
+// attribute work across shards.
+func (k *Kernel) Executed() uint64 { return k.executed }
 
 // NextAt reports the timestamp of the earliest live event, discarding any
 // cancelled events sitting on top of the heap. ok is false when no live
@@ -246,6 +253,7 @@ func (k *Kernel) RunBefore(limit Time) Time {
 		}
 		fn := e.fn
 		fn()
+		k.executed++
 		k.recycle(e)
 	}
 	return k.now

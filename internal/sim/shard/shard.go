@@ -26,6 +26,7 @@ package shard
 import (
 	"fmt"
 	"runtime"
+	"sync"
 
 	"thymesisflow/internal/sim"
 )
@@ -96,6 +97,18 @@ type Group struct {
 	horizon sim.Time
 	work    chan *Shard
 	done    chan struct{}
+
+	// Runtime health counters, updated once per window by the coordinator
+	// (single-threaded) under statMu so Health() may be called concurrently
+	// by a metrics scraper. Everything is derived from virtual time and
+	// event counts, so a seeded run reports identical health regardless of
+	// GOMAXPROCS or OS scheduling.
+	statMu       sync.Mutex
+	windows      uint64
+	flushed      uint64
+	maxFlush     int
+	shardWindows []uint64   // windows in which shard i executed
+	shardStall   []sim.Time // virtual time shard i sat idle at barriers
 }
 
 // NewGroup builds a group of n shards advanced with the given lookahead
@@ -115,6 +128,8 @@ func NewGroup(n int, lookahead sim.Time) *Group {
 	if p := runtime.GOMAXPROCS(0); g.workers > p {
 		g.workers = p
 	}
+	g.shardWindows = make([]uint64, n)
+	g.shardStall = make([]sim.Time, n)
 	return g
 }
 
@@ -237,8 +252,10 @@ func (g *Group) RunUntil(limit sim.Time) sim.Time {
 	}
 	var scratch []msgRef
 	active := make([]*Shard, 0, len(g.shards))
+	isActive := make([]bool, len(g.shards))
 	for {
 		scratch = g.flush(scratch)
+		nflushed := len(scratch)
 		t, ok := g.nextAt()
 		if !ok || t > limit {
 			break
@@ -248,11 +265,32 @@ func (g *Group) RunUntil(limit sim.Time) sim.Time {
 			horizon = limit + 1 // include events at the limit itself
 		}
 		active = active[:0]
+		for i := range isActive {
+			isActive[i] = false
+		}
 		for _, s := range g.shards {
 			if at, ok := s.k.NextAt(); ok && at < horizon {
 				active = append(active, s)
+				isActive[s.id] = true
 			}
 		}
+		g.statMu.Lock()
+		g.windows++
+		g.flushed += uint64(nflushed)
+		if nflushed > g.maxFlush {
+			g.maxFlush = nflushed
+		}
+		for i := range g.shards {
+			if isActive[i] {
+				g.shardWindows[i]++
+			} else {
+				// The shard has nothing to run before the horizon: it waits
+				// out the window at the barrier. Measured in virtual time so
+				// the figure is deterministic per seed and shard count.
+				g.shardStall[i] += horizon - t
+			}
+		}
+		g.statMu.Unlock()
 		if g.work == nil || len(active) == 1 {
 			for _, s := range active {
 				s.k.RunBefore(horizon)
@@ -290,6 +328,79 @@ func (g *Group) RunUntil(limit sim.Time) sim.Time {
 		s.k.AdvanceTo(end)
 	}
 	return end
+}
+
+// ShardStat is one shard's slice of the group's runtime health counters.
+type ShardStat struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// Windows counts the conservative windows in which the shard had work.
+	Windows uint64 `json:"windows"`
+	// Events counts the events executed on the shard's kernel.
+	Events uint64 `json:"events"`
+	// StallPS is the virtual time (picoseconds) the shard sat idle at
+	// barriers — windows where peers ran but this shard had nothing due.
+	StallPS int64 `json:"stall_ps"`
+}
+
+// Health is the group's runtime health snapshot: window/flush counters plus
+// the per-shard work split. All figures derive from virtual time and event
+// counts, so a seeded run reports byte-identical health at a given shard
+// count regardless of GOMAXPROCS or OS scheduling.
+type Health struct {
+	// Shards holds the per-shard counters, indexed by shard ID.
+	Shards []ShardStat `json:"shards"`
+	// Windows is the total number of conservative windows executed.
+	Windows uint64 `json:"windows"`
+	// EventsPerWindow is the mean events executed per window across the
+	// whole group.
+	EventsPerWindow float64 `json:"events_per_window"`
+	// Flushed counts cross-shard messages delivered at barriers; MaxFlushDepth
+	// is the largest single-barrier batch (conduit backlog high-water mark).
+	Flushed       uint64 `json:"flushed"`
+	MaxFlushDepth int    `json:"max_flush_depth"`
+	// Imbalance is max/mean of per-shard executed events: 1.0 is a perfect
+	// split, N means one shard did N times the average (0 before any work).
+	Imbalance float64 `json:"imbalance"`
+}
+
+// Health assembles the group's runtime health snapshot. Safe to call
+// concurrently with RunUntil only from between-window quiescence or other
+// goroutines reading stale-but-consistent counters; kernels' executed counts
+// are read without synchronization and may lag mid-window.
+func (g *Group) Health() Health {
+	g.statMu.Lock()
+	h := Health{
+		Shards:        make([]ShardStat, len(g.shards)),
+		Windows:       g.windows,
+		Flushed:       g.flushed,
+		MaxFlushDepth: g.maxFlush,
+	}
+	for i, s := range g.shards {
+		h.Shards[i] = ShardStat{
+			Shard:   i,
+			Windows: g.shardWindows[i],
+			Events:  s.k.Executed(),
+			StallPS: int64(g.shardStall[i]),
+		}
+	}
+	g.statMu.Unlock()
+
+	var total, max uint64
+	for _, st := range h.Shards {
+		total += st.Events
+		if st.Events > max {
+			max = st.Events
+		}
+	}
+	if h.Windows > 0 {
+		h.EventsPerWindow = float64(total) / float64(h.Windows)
+	}
+	if total > 0 {
+		mean := float64(total) / float64(len(h.Shards))
+		h.Imbalance = float64(max) / mean
+	}
+	return h
 }
 
 // nextAt returns the earliest live event time across shards. Conduits are

@@ -175,6 +175,98 @@ func TestScheduledConservation(t *testing.T) {
 	}
 }
 
+// TestHealthCounters drives the ping-pong and checks the runtime health
+// snapshot: windows/events accounting, barrier stall attribution, and flush
+// depth all add up.
+func TestHealthCounters(t *testing.T) {
+	const rounds = 64
+	g := NewGroup(2, hop)
+	a, b := g.Shard(0), g.Shard(1)
+	ab, ba := g.Connect(a, b, hop), g.Connect(b, a, hop)
+	ks := []*sim.Kernel{a.Kernel(), b.Kernel()}
+	outbound := []*Conduit{ab, ba}
+	var send func(to, round int)
+	recv := func(actor, round int) {
+		if round < rounds {
+			send(1-actor, round+1)
+		}
+	}
+	send = func(to, round int) {
+		from := 1 - to
+		outbound[from].Send(ks[from].Now()+hop, func() { recv(to, round) })
+	}
+	ks[0].Schedule(0, func() { send(1, 1) })
+	g.Run()
+
+	h := g.Health()
+	if h.Windows == 0 {
+		t.Fatal("no windows recorded")
+	}
+	var events uint64
+	for i, st := range h.Shards {
+		if st.Shard != i {
+			t.Fatalf("shard index %d at position %d", st.Shard, i)
+		}
+		events += st.Events
+	}
+	// The ping-pong fires one kickoff plus one delivery per round, and each
+	// shard executed its own half.
+	if want := uint64(rounds + 1); events != want {
+		t.Fatalf("events across shards = %d, want %d", events, want)
+	}
+	if h.Flushed != rounds {
+		t.Fatalf("flushed = %d, want %d cross-shard messages", h.Flushed, rounds)
+	}
+	if h.MaxFlushDepth < 1 {
+		t.Fatalf("max flush depth = %d, want >= 1", h.MaxFlushDepth)
+	}
+	// The exchange is strictly alternating: while one shard runs a window the
+	// other waits, so both accumulate barrier stall.
+	for _, st := range h.Shards {
+		if st.StallPS <= 0 {
+			t.Fatalf("shard %d recorded no barrier stall: %+v", st.Shard, h.Shards)
+		}
+	}
+	if h.EventsPerWindow <= 0 {
+		t.Fatalf("events per window = %v", h.EventsPerWindow)
+	}
+	// A symmetric ping-pong splits work evenly (the kickoff event gives shard
+	// 0 at most one extra event).
+	if h.Imbalance < 1 || h.Imbalance > 1.1 {
+		t.Fatalf("imbalance = %v, want ~1.0", h.Imbalance)
+	}
+}
+
+// TestHealthDeterministic runs the same seeded workload twice and requires
+// byte-identical health snapshots: the counters must derive from virtual
+// time only, never host scheduling.
+func TestHealthDeterministic(t *testing.T) {
+	run := func() Health {
+		g := NewGroup(2, hop)
+		a, b := g.Shard(0), g.Shard(1)
+		ab, ba := g.Connect(a, b, hop), g.Connect(b, a, hop)
+		ks := []*sim.Kernel{a.Kernel(), b.Kernel()}
+		outbound := []*Conduit{ab, ba}
+		var send func(to, round int)
+		recv := func(actor, round int) {
+			if round < 128 {
+				send(1-actor, round+1)
+			}
+		}
+		send = func(to, round int) {
+			from := 1 - to
+			outbound[from].Send(ks[from].Now()+hop, func() { recv(to, round) })
+		}
+		ks[0].Schedule(0, func() { send(1, 1) })
+		g.Run()
+		return g.Health()
+	}
+	h1, h2 := run(), run()
+	if !reflect.DeepEqual(h1, h2) {
+		t.Fatalf("health diverges across identical runs:\n1: %+v\n2: %+v", h1, h2)
+	}
+}
+
 // BenchmarkGroupWindows measures window stepping with dense cross-shard
 // traffic: 4 shards, each running a self-rescheduling local chain while
 // exchanging messages with its neighbour every window.

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Control-plane span tracing. The datapath tracer above lives on *virtual*
+// simulation time; the control plane (sagas, journal, agent transport,
+// recovery, reconciler) runs on host wall-clock, so its spans get their own
+// domain: a TraceID per saga, a SpanID per unit of work, and monotonic
+// wall-clock nanoseconds from an injectable clock. The two domains never mix
+// — a Chrome trace timestamp is virtual picoseconds, a LogEvent timestamp is
+// wall nanoseconds — and tooling (tftrace) keeps them in separate modes.
+
+// TraceID identifies one causal chain through the control plane — one saga,
+// including its retries, compensation, recovery replay, and the agent-side
+// handling of its commands. The zero TraceID means "untraced".
+type TraceID uint64
+
+// SpanID identifies one unit of work within a trace: a saga step, a journal
+// append, one command send attempt. The zero SpanID means "no span".
+type SpanID uint64
+
+// SpanContext is the propagation token: it rides on agent commands so work
+// executed on the far side of the Transport lands in the same trace.
+type SpanContext struct {
+	Trace  TraceID `json:"trace"`
+	Span   SpanID  `json:"span"`
+	Parent SpanID  `json:"parent,omitempty"`
+}
+
+// Valid reports whether the context belongs to a live trace.
+func (c SpanContext) Valid() bool { return c.Trace != 0 }
+
+// WallClock returns monotonic wall-clock nanoseconds. Injectable so tests
+// and seeded chaos runs get deterministic timelines.
+type WallClock func() int64
+
+// Monotonic is the production clock: nanoseconds on Go's monotonic clock,
+// relative to process start (wall epoch deliberately excluded so timelines
+// are diffable across runs).
+func Monotonic() WallClock {
+	start := time.Now()
+	return func() int64 { return int64(time.Since(start)) }
+}
+
+// StepClock is a deterministic WallClock for tests and seeded chaos runs:
+// every reading advances exactly step nanoseconds past the previous one, so
+// a seeded control-plane run produces a byte-identical event timeline.
+func StepClock(start, step int64) WallClock {
+	now := start - step
+	return func() int64 {
+		now += step
+		return now
+	}
+}
+
+// LogEvent is one typed control-plane lifecycle event. Events are both the
+// span store (an event with DurNS > 0 closes the span that started DurNS
+// earlier) and the structured log served at /v1/events.
+type LogEvent struct {
+	Seq     uint64  `json:"seq"`
+	WallNS  int64   `json:"wall_ns"`
+	Trace   TraceID `json:"trace,omitempty"`
+	Span    SpanID  `json:"span,omitempty"`
+	Parent  SpanID  `json:"parent,omitempty"`
+	Source  string  `json:"source"`            // saga | journal | transport | agent | recovery | reconcile
+	Kind    string  `json:"kind"`              // typed lifecycle kind (see internal/controlplane)
+	Saga    string  `json:"saga,omitempty"`    // saga ID ("saga-3")
+	Op      string  `json:"op,omitempty"`      // attach | detach
+	Step    string  `json:"step,omitempty"`    // saga step or journal event name
+	Host    string  `json:"host,omitempty"`    // agent host for transport/agent events
+	Attempt int     `json:"attempt,omitempty"` // send attempt number (1-based)
+	DurNS   int64   `json:"dur_ns,omitempty"`  // span duration; 0 for instants
+	Err     string  `json:"err,omitempty"`
+}
+
+// DefaultEventLogCapacity bounds logs created with NewEventLog(0): 16 Ki
+// events (~2.5 MiB) holds thousands of saga timelines on a live daemon.
+const DefaultEventLogCapacity = 1 << 14
+
+// EventLog is a bounded ring of LogEvents. Like Ring, the buffer is
+// allocated up front and appending never allocates; the oldest events are
+// silently evicted past capacity. Safe for concurrent use: the saga engine,
+// reconciler goroutine, and agents all append to one log.
+type EventLog struct {
+	mu  sync.Mutex
+	buf []LogEvent
+	seq uint64 // total events ever appended; next sequence number
+}
+
+// NewEventLog returns a log retaining the last `capacity` events
+// (DefaultEventLogCapacity if capacity <= 0).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = DefaultEventLogCapacity
+	}
+	return &EventLog{buf: make([]LogEvent, 0, capacity)}
+}
+
+// Append records one event, stamping its sequence number.
+func (l *EventLog) Append(e LogEvent) {
+	l.mu.Lock()
+	e.Seq = l.seq
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+	} else {
+		l.buf[l.seq%uint64(cap(l.buf))] = e
+	}
+	l.seq++
+	l.mu.Unlock()
+}
+
+// Len reports the number of events currently retained.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}
+
+// Recorded reports the total number of events ever appended.
+func (l *EventLog) Recorded() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Dropped reports how many events the ring bound has evicted.
+func (l *EventLog) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq - uint64(len(l.buf))
+}
+
+// Snapshot returns the retained events oldest-first. The returned slice is a
+// copy and safe to use while appending continues.
+func (l *EventLog) Snapshot() []LogEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LogEvent, len(l.buf))
+	if len(l.buf) < cap(l.buf) {
+		copy(out, l.buf)
+		return out
+	}
+	head := int(l.seq % uint64(cap(l.buf)))
+	n := copy(out, l.buf[head:])
+	copy(out[n:], l.buf[:head])
+	return out
+}
+
+// SnapshotTrace returns the retained events of one trace, oldest-first.
+func (l *EventLog) SnapshotTrace(id TraceID) []LogEvent {
+	all := l.Snapshot()
+	out := all[:0]
+	for _, e := range all {
+		if e.Trace == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}

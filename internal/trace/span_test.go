@@ -1,0 +1,235 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventLogAppendAndSnapshot(t *testing.T) {
+	l := NewEventLog(8)
+	for i := 0; i < 5; i++ {
+		l.Append(LogEvent{WallNS: int64(i), Kind: KindStepStart})
+	}
+	if l.Len() != 5 || l.Recorded() != 5 || l.Dropped() != 0 {
+		t.Fatalf("len=%d recorded=%d dropped=%d", l.Len(), l.Recorded(), l.Dropped())
+	}
+	snap := l.Snapshot()
+	for i, e := range snap {
+		if e.Seq != uint64(i) || e.WallNS != int64(i) {
+			t.Fatalf("event %d: seq=%d wall=%d", i, e.Seq, e.WallNS)
+		}
+	}
+}
+
+func TestEventLogEviction(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 11; i++ {
+		l.Append(LogEvent{WallNS: int64(i)})
+	}
+	if l.Len() != 4 || l.Recorded() != 11 || l.Dropped() != 7 {
+		t.Fatalf("len=%d recorded=%d dropped=%d", l.Len(), l.Recorded(), l.Dropped())
+	}
+	snap := l.Snapshot()
+	want := []int64{7, 8, 9, 10}
+	for i, e := range snap {
+		if e.WallNS != want[i] || e.Seq != uint64(want[i]) {
+			t.Fatalf("snapshot[%d] = seq %d wall %d, want %d", i, e.Seq, e.WallNS, want[i])
+		}
+	}
+}
+
+func TestEventLogSnapshotTrace(t *testing.T) {
+	l := NewEventLog(16)
+	for i := 0; i < 9; i++ {
+		l.Append(LogEvent{Trace: TraceID(1 + i%3), WallNS: int64(i)})
+	}
+	got := l.SnapshotTrace(2)
+	if len(got) != 3 {
+		t.Fatalf("trace 2: %d events, want 3", len(got))
+	}
+	for _, e := range got {
+		if e.Trace != 2 {
+			t.Fatalf("foreign trace %d in snapshot", e.Trace)
+		}
+	}
+}
+
+// TestEventLogSnapshotUnderParallelWriters is the race test for the
+// event-log ring: snapshots taken while many goroutines append must stay
+// internally consistent (run under -race via `make race`).
+func TestEventLogSnapshotUnderParallelWriters(t *testing.T) {
+	l := NewEventLog(256)
+	const writers, perWriter = 8, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				l.Append(LogEvent{Trace: TraceID(w + 1), WallNS: int64(i), Kind: KindCmdSend})
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	readers.Add(2)
+	for r := 0; r < 2; r++ {
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := l.Snapshot()
+				for i := 1; i < len(snap); i++ {
+					if snap[i].Seq != snap[i-1].Seq+1 {
+						t.Errorf("snapshot not contiguous: %d then %d", snap[i-1].Seq, snap[i].Seq)
+						return
+					}
+				}
+				_ = l.SnapshotTrace(3)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got := l.Recorded(); got != writers*perWriter {
+		t.Fatalf("recorded %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestStepClockDeterministic(t *testing.T) {
+	a, b := StepClock(100, 7), StepClock(100, 7)
+	for i := 0; i < 5; i++ {
+		x, y := a(), b()
+		if x != y {
+			t.Fatalf("step clocks diverged: %d vs %d", x, y)
+		}
+		if want := int64(100 + 7*i); x != want {
+			t.Fatalf("reading %d = %d, want %d", i, x, want)
+		}
+	}
+}
+
+func TestMonotonicClockAdvances(t *testing.T) {
+	c := Monotonic()
+	prev := c()
+	for i := 0; i < 100; i++ {
+		now := c()
+		if now < prev {
+			t.Fatalf("clock went backwards: %d after %d", now, prev)
+		}
+		prev = now
+	}
+}
+
+// sagaEvents builds a synthetic but realistic attach timeline.
+func sagaEvents(trace TraceID, saga string, start int64) []LogEvent {
+	t := start
+	at := func(d int64) int64 { t += d; return t }
+	return []LogEvent{
+		{Trace: trace, Saga: saga, Op: "attach", Source: "saga", Kind: KindSagaBegin, WallNS: at(0)},
+		{Trace: trace, Saga: saga, Source: "journal", Kind: KindJournalAppend, WallNS: at(40)},
+		{Trace: trace, Saga: saga, Step: "steal-memory", Source: "saga", Kind: KindStepStart, WallNS: at(1)},
+		{Trace: trace, Saga: saga, Step: "steal-memory", Source: "journal", Kind: KindJournalAppend, WallNS: at(35)},
+		{Trace: trace, Saga: saga, Step: "steal-memory", Source: "transport", Kind: KindCmdSend, Host: "d0", WallNS: at(2)},
+		{Trace: trace, Saga: saga, Step: "steal-memory", Source: "transport", Kind: KindCmdFail, Host: "d0", Err: "dropped", WallNS: at(10)},
+		{Trace: trace, Saga: saga, Step: "steal-memory", Source: "transport", Kind: KindCmdRetry, Host: "d0", Attempt: 2, WallNS: at(50)},
+		{Trace: trace, Saga: saga, Step: "steal-memory", Source: "transport", Kind: KindCmdAck, Host: "d0", WallNS: at(12)},
+		{Trace: trace, Saga: saga, Step: "steal-memory", Source: "saga", Kind: KindStepRun, WallNS: at(1)},
+		{Trace: trace, Saga: saga, Step: "steal-memory", Source: "journal", Kind: KindJournalAppend, WallNS: at(30)},
+		{Trace: trace, Saga: saga, Step: "steal-memory", Source: "saga", Kind: KindStepDone, WallNS: at(1)},
+		{Trace: trace, Saga: saga, Source: "journal", Kind: KindJournalAppend, WallNS: at(38)},
+		{Trace: trace, Saga: saga, Source: "saga", Kind: KindSagaCommit, WallNS: at(1)},
+	}
+}
+
+func TestBuildSagaTraceStagesTileTotal(t *testing.T) {
+	events := sagaEvents(7, "saga-1", 1000)
+	st := BuildSagaTrace(events)
+	if st.Saga != "saga-1" || st.Op != "attach" || st.State != "committed" {
+		t.Fatalf("trace header: %+v", st)
+	}
+	if st.TotalNS != events[len(events)-1].WallNS-events[0].WallNS {
+		t.Fatalf("total %d", st.TotalNS)
+	}
+	var sum int64
+	var pct float64
+	for _, s := range st.Stages {
+		sum += s.DurNS
+		pct += s.Pct
+	}
+	if sum != st.TotalNS {
+		t.Fatalf("stages sum %d != total %d", sum, st.TotalNS)
+	}
+	if pct < 99.999 || pct > 100.001 {
+		t.Fatalf("stage pct sum %v", pct)
+	}
+	// The retry backoff (50 ns) must be charged to "backoff", journal
+	// appends (40+35+30+38) to "journal".
+	byName := map[string]int64{}
+	for _, s := range st.Stages {
+		byName[s.Name] = s.DurNS
+	}
+	if byName["backoff"] != 50 {
+		t.Fatalf("backoff stage = %d, want 50", byName["backoff"])
+	}
+	if byName["journal"] != 40+35+30+38 {
+		t.Fatalf("journal stage = %d, want 143", byName["journal"])
+	}
+	if byName["agent"] != 10+12 {
+		t.Fatalf("agent stage = %d, want 22", byName["agent"])
+	}
+}
+
+func TestBuildSagaTracesGroupsAndProfiles(t *testing.T) {
+	var events []LogEvent
+	for i := 0; i < 4; i++ {
+		events = append(events, sagaEvents(TraceID(i+1), fmt.Sprintf("saga-%d", i+1), int64(1000*i))...)
+	}
+	traces := BuildSagaTraces(events)
+	if len(traces) != 4 {
+		t.Fatalf("%d traces, want 4", len(traces))
+	}
+	profs := ProfileSagas(traces)
+	if len(profs) != 1 || profs[0].Op != "attach" || profs[0].Count != 4 {
+		t.Fatalf("profiles: %+v", profs)
+	}
+	var sum int64
+	for _, s := range profs[0].Stages {
+		sum += s.DurNS
+	}
+	if sum != profs[0].TotalNS {
+		t.Fatalf("profile stages sum %d != total %d", sum, profs[0].TotalNS)
+	}
+	if profs[0].P99NS != profs[0].MaxNS {
+		t.Fatalf("p99 %d vs max %d over 4 identical sagas", profs[0].P99NS, profs[0].MaxNS)
+	}
+}
+
+func TestParseEventLogShapes(t *testing.T) {
+	arr := `[{"seq":1,"wall_ns":5,"kind":"saga_begin"},{"seq":0,"wall_ns":1,"kind":"saga_begin"}]`
+	events, err := ParseEventLog(strings.NewReader(arr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].Seq != 0 {
+		t.Fatalf("array parse: %+v", events)
+	}
+	obj := `{"recorded":2,"events":[{"seq":0,"kind":"saga_begin"},{"seq":1,"kind":"saga_commit"}]}`
+	events, err = ParseEventLog(strings.NewReader(obj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[1].Kind != KindSagaCommit {
+		t.Fatalf("object parse: %+v", events)
+	}
+	if _, err := ParseEventLog(strings.NewReader("not json")); err == nil {
+		t.Fatal("want error on garbage input")
+	}
+}

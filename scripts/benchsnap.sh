@@ -8,8 +8,13 @@
 #     (ns/op, allocs/op) — the on/off delta is the attribution overhead,
 #     and the off row documents the disabled path's allocation count
 #   * sharded-scaling: the rack-scale scenario (tfbench -experiment rack)
-#     at 1/2/4/8 simulation shards — stdout is byte-identical across the
-#     sweep (asserted by internal/bench tests); only wall-clock differs
+#     at 1/2/4/8 simulation shards — the simulation results are identical
+#     across the sweep (asserted by internal/bench tests; the shard-health
+#     section describes the runtime and varies with the shard count);
+#     only wall-clock differs
+#   * control-plane saga path with tracing off vs on (ns/op, allocs/op) —
+#     the off row documents that the disabled-tracing saga path adds zero
+#     allocations over the pre-tracing baseline
 # The parallel and sequential suites print byte-identical output (asserted
 # by internal/bench tests); only wall-clock may differ.
 set -eu
@@ -66,6 +71,13 @@ barrier=$(go test -run xxx -bench 'BenchmarkGroupBarrierOverhead$' \
 place=$(go test -run xxx -bench 'BenchmarkDcsimPlace/fixed' -benchtime 3x \
 	./internal/dcsim/ | awk '/BenchmarkDcsimPlace\/fixed/ {print $3}')
 
+saga=$(go test -run xxx -bench 'BenchmarkSagaAttachDetach' -benchmem \
+	-benchtime 200x ./internal/controlplane/)
+saga_off_ns=$(echo "$saga" | awk '$1 ~ /^BenchmarkSagaAttachDetach(-[0-9]+)?$/ {print $3}')
+saga_off_allocs=$(echo "$saga" | awk '$1 ~ /^BenchmarkSagaAttachDetach(-[0-9]+)?$/ {print $7}')
+saga_on_ns=$(echo "$saga" | awk '$1 ~ /^BenchmarkSagaAttachDetachTraced(-[0-9]+)?$/ {print $3}')
+saga_on_allocs=$(echo "$saga" | awk '$1 ~ /^BenchmarkSagaAttachDetachTraced(-[0-9]+)?$/ {print $7}')
+
 attr=$(go test -run xxx -bench 'BenchmarkClusterLoadAttr' -benchmem \
 	-benchtime 2000x ./internal/core/)
 attr_off_ns=$(echo "$attr" | awk '/BenchmarkClusterLoadAttrOff/ {print $3}')
@@ -107,6 +119,11 @@ $rack_rows
   "cluster_load_latency_attr": {
     "off": { "ns_per_op": $attr_off_ns, "allocs_per_op": $attr_off_allocs },
     "on": { "ns_per_op": $attr_on_ns, "allocs_per_op": $attr_on_allocs }
+  },
+  "saga_attach_detach_tracing": {
+    "note": "one journaled attach+detach saga pair against 3 agents; off = tracing disabled (nil-guarded emission sites add zero allocations), on = default 16Ki event log on the monotonic clock",
+    "off": { "ns_per_op": $saga_off_ns, "allocs_per_op": $saga_off_allocs },
+    "on": { "ns_per_op": $saga_on_ns, "allocs_per_op": $saga_on_allocs }
   }
 }
 EOF
