@@ -2,38 +2,46 @@
 # build + race-enabled tests — the parallel experiment engine and the
 # sharded simulation runtime are real concurrency, so the race detector is
 # load-bearing). `make bench-quick` snapshots wall-clock and allocation
-# numbers into BENCH_PR7.json.
+# numbers into BENCH_PR8.json.
 
 GO ?= go
 
-.PHONY: check ci test build vet lint race chaos fuzz-smoke bench-quick bench trace-demo
+.PHONY: check ci test build vet lint race chaos fuzz-smoke replay-smoke bench-quick bench trace-demo
 
 check: lint vet build
 	$(GO) test -race ./...
 
 # Full CI gate: everything `check` runs, plus an uncached race pass over the
 # concurrency-bearing packages, the chaos conformance campaign through the
-# tfbench binary, and a short fuzz smoke of the frame decoder. This is the
+# tfbench binary, a one-simulated-minute churn replay against the real
+# control plane, and a short fuzz smoke of the frame decoder. This is the
 # target a pipeline should invoke.
-ci: check race chaos fuzz-smoke
+ci: check race chaos replay-smoke fuzz-smoke
 
 # Uncached (-count=1) race-detector pass over the packages with real
 # concurrency: the LLC protocol under the parallel experiment engine, the
 # cluster, the sharded simulation runtime (kernel stepping + conservative
 # window barriers), the telemetry surfaces (metrics registry, trace ring,
 # control-plane handlers) that are read while the simulation runs, and the
-# saga/journal/reconciler machinery plus the node agents it drives.
+# saga/journal/reconciler machinery plus the node agents it drives, and
+# the churn-trace replay driver that hammers the control plane.
 race:
 	$(GO) test -race -count=1 ./internal/llc/ ./internal/core/ \
 		./internal/sim/ ./internal/sim/shard/ ./internal/chaos/ \
 		./internal/metrics/ ./internal/trace/ ./internal/controlplane/ \
-		./internal/agent/
+		./internal/agent/ ./internal/dctrace/ ./internal/bench/
 
 # Run the fault-injection conformance campaigns (docs/RELIABILITY.md):
 # the datapath catalogue and the control-plane saga/recovery/reconciliation
 # catalogue. Fails if any scenario violates its invariants.
 chaos:
 	$(GO) run ./cmd/tfbench -chaos -seed 1 -parallel 0 -chaos-out chaos_report.json
+
+# One simulated minute of seeded datacenter churn (attach/detach arrivals,
+# flap storms, pressure walks) replayed through the real saga engine with
+# transport faults on. Exits non-zero on any invariant violation.
+replay-smoke:
+	$(GO) run ./cmd/tfbench -experiment replay -replay-minutes 1 -seed 1 >/dev/null
 
 # Brief coverage-guided fuzz of the LLC frame decoder against corrupted
 # and truncated wire images.
@@ -62,10 +70,11 @@ bench:
 
 # Wall-clock / allocation snapshot: sequential vs parallel quick suite,
 # kernel/placement micro-benchmarks, the sharded rack-scaling sweep
-# (tfbench -experiment rack at 1/2/4/8 shards), and the saga path with
-# tracing off vs on, written to BENCH_PR7.json.
+# (tfbench -experiment rack at 1/2/4/8 shards), the saga path with
+# tracing off vs on, and the churn-replay saga throughput, written to
+# BENCH_PR8.json.
 bench-quick:
-	sh scripts/benchsnap.sh BENCH_PR7.json
+	sh scripts/benchsnap.sh BENCH_PR8.json
 
 # Produce a sample cross-layer trace (and metrics snapshot) from the quick
 # Figure 5 run: open trace_fig5.json in Perfetto (https://ui.perfetto.dev)

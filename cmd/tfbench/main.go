@@ -9,7 +9,20 @@
 //
 // Experiments: fig1, rtt, fig5 (stream), fig6 (voltdb-profile),
 // fig7 (voltdb-throughput), fig8 (memcached), fig9 (search),
-// ablation-replay, ablation-bonding, ablation-migration, rack, all.
+// ablation-replay, ablation-bonding, ablation-migration, rack, replay, all.
+//
+// Replay mode drives a seeded datacenter-churn trace (attach/detach
+// arrivals under diurnal/burst envelopes, memory-pressure walks, agent
+// flap storms) through the REAL control plane — journaled sagas over a
+// lossy transport, the reconciler, and the autoscaler — at over a thousand
+// sagas per simulated minute (docs in EXPERIMENTS.md):
+//
+//	tfbench -experiment replay -seed 7
+//	tfbench -experiment replay -replay-minutes 5 -replay-rate 2000
+//	tfbench -experiment replay -replay-out replay.json -metrics m.json
+//
+// The report (stdout table + -replay-out JSON + replay_* metrics) is byte-
+// identical per seed.
 //
 // -parallel N runs each experiment's independent cells on N workers
 // (N=0 means one per core, N=1 — the default — is sequential). Every cell
@@ -50,6 +63,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -70,12 +84,15 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto / chrome://tracing)")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry snapshot JSON file")
 	chaosMode := flag.Bool("chaos", false, "run the fault-injection conformance campaign instead of the figures")
-	chaosSeed := flag.Int64("seed", 1, "campaign seed for -chaos; the same seed reproduces the report byte for byte")
+	chaosSeed := flag.Int64("seed", 1, "seed for -chaos, -experiment rack and -experiment replay; the same seed reproduces the report byte for byte")
 	chaosScenario := flag.String("chaos-scenario", "", "run a single catalogue scenario by name (default: all)")
 	chaosOut := flag.String("chaos-out", "", "write the campaign report JSON to a file instead of stdout")
 	latencyAttr := flag.Bool("latency-attr", false, "run the per-stage latency-attribution experiment instead of the figures")
 	latencyOut := flag.String("latency-out", "", "with -latency-attr, also write the breakdown JSON to this file")
 	shards := flag.Int("shards", 1, "simulation shards per cluster: 1 = one sequential kernel, 0 = one per core, N = N kernels in conservative lookahead windows; seeded output is byte-identical at any value")
+	replayMinutes := flag.Int("replay-minutes", 0, "with -experiment replay: simulated trace minutes (0 = 2 quick / 5 full)")
+	replayRate := flag.Float64("replay-rate", 0, "with -experiment replay: attach arrivals per simulated minute (0 = 800)")
+	replayOut := flag.String("replay-out", "", "with -experiment replay: also write the replay report JSON to this file")
 	flag.Parse()
 	if *shards <= 0 {
 		*shards = runtime.NumCPU()
@@ -130,6 +147,9 @@ func main() {
 		{[]string{"projection-multistack"}, func() { r.ProjectionMultiStack(w, scale) }},
 		{[]string{"projection-switching"}, func() { bench.ProjectionSwitching(w) }},
 		{[]string{"rack"}, func() { runRack(w, scale, *shards, *chaosSeed) }},
+		{[]string{"replay"}, func() {
+			runReplayExperiment(w, scale, *chaosSeed, *replayMinutes, *replayRate, *replayOut, reg)
+		}},
 	}
 
 	want := strings.ToLower(*experiment)
@@ -191,6 +211,45 @@ func runRack(w *os.File, scale bench.Scale, shards int, seed int64) {
 		rep.Hosts, rep.Shards, wall.Seconds(), rep.Events)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tfbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runReplayExperiment drives the datacenter-churn traffic replay against
+// the real control plane (sagas over a lossy transport, journal,
+// reconciler, autoscaler). Stdout is a pure function of the seed; wall
+// clock goes to stderr.
+func runReplayExperiment(w *os.File, scale bench.Scale, seed int64, minutes int, rate float64, out string, reg *metrics.Registry) {
+	cfg := bench.ReplayConfig{Seed: seed, Minutes: minutes, RatePerMinute: rate}
+	if cfg.Minutes == 0 && scale == bench.Full {
+		cfg.Minutes = 5
+	}
+	start := time.Now()
+	rep, err := bench.Replay(w, cfg)
+	wall := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tfbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tfbench: replay %d sim-minutes, %d sagas: %.3fs wall (%.0f sagas/s wall)\n",
+		rep.Minutes, rep.SagasCommitted, wall.Seconds(), float64(rep.SagasCommitted)/wall.Seconds())
+	if reg != nil {
+		bench.RegisterReplayMetrics(reg, &rep)
+	}
+	if out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tfbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tfbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "replay report (seed %d) -> %s\n", seed, out)
+	}
+	if len(rep.Invariants) != 0 {
+		fmt.Fprintf(os.Stderr, "tfbench: replay invariants violated: %v\n", rep.Invariants)
 		os.Exit(1)
 	}
 }

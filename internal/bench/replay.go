@@ -1,0 +1,782 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"thymesisflow/internal/agent"
+	"thymesisflow/internal/controlplane"
+	"thymesisflow/internal/core"
+	"thymesisflow/internal/dctrace"
+	"thymesisflow/internal/metrics"
+	"thymesisflow/internal/trace"
+)
+
+// Replay: datacenter-churn traffic replay against the REAL control plane.
+// A seeded dctrace churn trace (attach/depart arrivals under diurnal+burst
+// envelopes, memory-pressure walks, agent flap storms, autoscaler cadence)
+// is driven event by event through the actual saga engine — journaled
+// write-ahead sagas over a seeded FaultyTransport, the reconciler, and the
+// autoscaler — at thousands of sagas per simulated minute. Everything is a
+// pure function of the seed, so the report is byte-identical per seed; the
+// crash-point property test additionally kills and recovers the
+// orchestrator mid-replay and asserts final-state equality with an
+// uncrashed run.
+
+const replayToken = "replay-secret"
+
+// ReplayConfig parameterizes one replay run. Zero values take defaults().
+type ReplayConfig struct {
+	Seed              int64
+	Minutes           int     // simulated trace duration
+	RatePerMinute     float64 // base attach arrival rate
+	Hosts             int
+	TransceiversPerEP int
+	// MaxInflightSagas is forwarded to Service.SetMaxInflightSagas — the
+	// admission knob; the single-threaded driver never trips it, but load
+	// harnesses layering goroutines on top will.
+	MaxInflightSagas  int
+	ReconcileEverySec float64 // periodic reconciler cadence (simulated)
+	LocalBytes        int64   // synthetic local DRAM per host for the pressure model
+
+	// NoFaults zeroes the transport fault probabilities and NoAutoscale
+	// disables the autoscaler — the crash-equality tests use both so a
+	// crashed run's recovery traffic cannot skew the shared fault RNG.
+	NoFaults    bool
+	NoAutoscale bool
+
+	// crashPoints arms the journal to fail after the given append counts,
+	// in order, killing the control plane mid-saga; the driver recovers a
+	// fresh incarnation and resumes the trace (tests only).
+	crashPoints []int
+}
+
+func (cfg *ReplayConfig) defaults() {
+	if cfg.Minutes <= 0 {
+		cfg.Minutes = 2
+	}
+	if cfg.RatePerMinute <= 0 {
+		cfg.RatePerMinute = 800
+	}
+	if cfg.Hosts <= 1 {
+		cfg.Hosts = 8
+	}
+	if cfg.TransceiversPerEP <= 0 {
+		cfg.TransceiversPerEP = 12
+	}
+	if cfg.MaxInflightSagas <= 0 {
+		cfg.MaxInflightSagas = 64
+	}
+	if cfg.ReconcileEverySec <= 0 {
+		cfg.ReconcileEverySec = 20
+	}
+	if cfg.LocalBytes <= 0 {
+		cfg.LocalBytes = 64 << 20
+	}
+}
+
+// ReplayReconciler summarizes reconciler activity during the replay.
+type ReplayReconciler struct {
+	// PeriodicSweeps counts cadence-driven single sweeps.
+	PeriodicSweeps int `json:"periodic_sweeps"`
+	// StormReconciles counts flap storms; after each the driver sweeps
+	// until clean and records the convergence passes (the "convergence
+	// time after a flap storm" number).
+	StormReconciles  int  `json:"storm_reconciles"`
+	StormPassesTotal int  `json:"storm_passes_total"`
+	StormPassesMax   int  `json:"storm_passes_max"`
+	FinalPasses      int  `json:"final_passes"`
+	FinalClean       bool `json:"final_clean"`
+}
+
+// ReplayJournal is the write-ahead journal growth over the run.
+type ReplayJournal struct {
+	Entries int64 `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// ReplayAttachment is one (compute, donor, bytes) multiset entry of the
+// final attachment state. Executor IDs are deliberately excluded: a crashed
+// and recovered run re-issues sagas under fresh IDs, but must converge to
+// the same multiset.
+type ReplayAttachment struct {
+	Compute string `json:"compute"`
+	Donor   string `json:"donor"`
+	Bytes   int64  `json:"bytes"`
+	Count   int    `json:"count"`
+}
+
+// ReplayFinalState is the converged end-of-trace state — the section the
+// crash-point property test asserts byte-equal between a crashed and an
+// uncrashed run.
+type ReplayFinalState struct {
+	Attachments      []ReplayAttachment `json:"attachments"`
+	Count            int                `json:"count"`
+	TotalBytes       int64              `json:"total_bytes"`
+	ReservedVertices int                `json:"reserved_vertices"`
+	AgentHeld        int                `json:"agent_held"`
+	ParkedSagas      int                `json:"parked_sagas"`
+}
+
+// ReplayReport is the deterministic (per seed) result of a replay run.
+type ReplayReport struct {
+	Experiment       string  `json:"experiment"`
+	Seed             int64   `json:"seed"`
+	Minutes          int     `json:"minutes"`
+	RatePerMinute    float64 `json:"rate_per_minute"`
+	Hosts            int     `json:"hosts"`
+	FaultsEnabled    bool    `json:"faults_enabled"`
+	AutoscaleEnabled bool    `json:"autoscale_enabled"`
+	MaxInflightSagas int     `json:"max_inflight_sagas"`
+
+	Trace dctrace.ChurnMix `json:"trace"`
+
+	AttachesOK     int `json:"attaches_ok"`
+	AttachErrors   int `json:"attach_errors"`
+	DetachesOK     int `json:"detaches_ok"`
+	DepartsSkipped int `json:"departs_skipped"`
+	DetachErrors   int `json:"detach_errors"`
+	ScaleAttaches  int `json:"scale_attaches"`
+	ScaleDetaches  int `json:"scale_detaches"`
+	ScaleErrors    int `json:"scale_errors"`
+	Crashes        int `json:"crashes"`
+
+	SagasCommitted    int     `json:"sagas_committed"`
+	SagasPerSimMinute float64 `json:"sagas_per_sim_minute"`
+	SagasPerSimSecond float64 `json:"sagas_per_sim_second"`
+
+	// Profiles are the attach/detach stage profiles from the saga event
+	// log (virtual StepClock nanoseconds — deterministic, not wall time).
+	Profiles []trace.OpProfile `json:"profiles"`
+
+	Reconciler ReplayReconciler            `json:"reconciler"`
+	Journal    ReplayJournal               `json:"journal"`
+	Counters   controlplane.SagaCounters   `json:"counters"`
+	Transport  controlplane.TransportStats `json:"transport"`
+
+	EventsRecorded uint64 `json:"events_recorded"`
+	EventsDropped  uint64 `json:"events_dropped"`
+
+	FinalState ReplayFinalState `json:"final_state"`
+	// Invariants lists end-state invariant violations (empty on a healthy
+	// run; the crash tests assert it stays empty).
+	Invariants []string `json:"invariants,omitempty"`
+}
+
+// replayWorld is everything that outlives a control-plane "process": the
+// cluster, topology model, agents, transports, journal chain, and the
+// shared saga event log. A crash kills only the Service; a fresh boot()
+// over the same world recovers from the journal.
+type replayWorld struct {
+	cfg      ReplayConfig
+	cluster  *core.Cluster
+	model    *controlplane.Model
+	inner    *controlplane.DirectTransport
+	faulty   *controlplane.FaultyTransport
+	counting *controlplane.CountingJournal
+	crash    *controlplane.CrashableJournal
+	elog     *trace.EventLog
+	clock    trace.WallClock
+	hosts    []string
+}
+
+func buildReplayWorld(cfg ReplayConfig) (*replayWorld, error) {
+	cluster := core.NewCluster()
+	hosts := make([]string, cfg.Hosts)
+	for i := range hosts {
+		hosts[i] = fmt.Sprintf("replay%02d", i)
+	}
+	for _, n := range hosts {
+		hc := core.DefaultHostConfig(n)
+		hc.Sockets = 1
+		hc.CoresPerSocket = 2
+		hc.DRAMPerSocket = 1 << 30
+		hc.SectionSize = 1 << 20
+		hc.RMMUSections = 512
+		if _, err := cluster.AddHost(hc); err != nil {
+			return nil, fmt.Errorf("replay: add host %s: %w", n, err)
+		}
+	}
+	model := controlplane.NewModel()
+	for _, n := range hosts {
+		if err := model.AddHost(n, cfg.TransceiversPerEP); err != nil {
+			return nil, fmt.Errorf("replay: model host %s: %w", n, err)
+		}
+	}
+	for _, a := range hosts {
+		for _, b := range hosts {
+			if a == b {
+				continue
+			}
+			ca := model.Transceivers(a, controlplane.LabelComputeEP)
+			mb := model.Transceivers(b, controlplane.LabelMemoryEP)
+			for i := range ca {
+				if i < len(mb) {
+					if err := model.Cable(ca[i], mb[i]); err != nil {
+						return nil, fmt.Errorf("replay: cable %s-%s: %w", a, b, err)
+					}
+				}
+			}
+		}
+	}
+	inner := controlplane.NewDirectTransport()
+	for _, n := range hosts {
+		inner.Register(agent.New(n, replayToken))
+	}
+	faults := controlplane.TransportFaults{Seed: cfg.Seed}
+	if !cfg.NoFaults {
+		faults.DropProb = 0.02
+		faults.DupProb = 0.04
+		faults.AmbiguousProb = 0.04
+	}
+
+	// Size the saga event log for the expected traffic (~56 events per
+	// saga), clamped to [16Ki, 512Ki]; overflow drops deterministically
+	// and is reported.
+	expected := int(float64(cfg.Minutes)*cfg.RatePerMinute*2.5) * 56
+	capEvents := 1 << 14
+	for capEvents < expected && capEvents < 1<<19 {
+		capEvents <<= 1
+	}
+
+	return &replayWorld{
+		cfg:      cfg,
+		cluster:  cluster,
+		model:    model,
+		inner:    inner,
+		faulty:   controlplane.NewFaultyTransport(inner, faults),
+		counting: controlplane.NewCountingJournal(controlplane.NewMemJournal()),
+		elog:     trace.NewEventLog(capEvents),
+		clock:    trace.StepClock(0, 25),
+		hosts:    hosts,
+	}, nil
+}
+
+// boot starts a control-plane "process" over the shared world. Transport
+// must be set before tracing so SetSagaTracing can wire the agents, and
+// tracing continues trace/span sequences past the shared log's high-water
+// mark so incarnations never collide.
+func (w *replayWorld) boot() *controlplane.Service {
+	svc := controlplane.NewService(w.model, controlplane.ClusterExecutor{Cluster: w.cluster}, replayToken)
+	svc.SetJournal(w.crash)
+	svc.SetTransport(w.faulty)
+	svc.SetRetryPolicy(controlplane.RetryPolicy{MaxAttempts: 6})
+	svc.SetMaxInflightSagas(w.cfg.MaxInflightSagas)
+	svc.SetSagaTracing(w.elog, w.clock)
+	return svc
+}
+
+// replayInspector feeds the autoscaler a synthetic per-host memory view:
+// fixed local DRAM minus the pressure random walk's demand, with overflow
+// demand spilling into whatever remote memory is currently attached.
+type replayInspector struct {
+	d *replayDriver
+}
+
+func (ri *replayInspector) HostMemory() []controlplane.HostMemory {
+	d := ri.d
+	remote := make(map[string]int64)
+	for _, rec := range d.svc.Attachments() {
+		remote[rec.ComputeHost] += rec.Bytes
+	}
+	out := make([]controlplane.HostMemory, 0, len(d.w.hosts))
+	for i, h := range d.w.hosts {
+		local := d.cfg.LocalBytes
+		demand := d.demand[i]
+		hm := controlplane.HostMemory{
+			Name:           h,
+			LocalCapacity:  local,
+			LocalFree:      max64(0, local-demand),
+			RemoteAttached: remote[h],
+		}
+		hm.RemoteFree = max64(0, hm.RemoteAttached-max64(0, demand-local))
+		out = append(out, hm)
+	}
+	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// replayDriver walks the churn trace, translating events into real
+// control-plane calls and recovering from injected crashes.
+type replayDriver struct {
+	w      *replayWorld
+	cfg    ReplayConfig
+	svc    *controlplane.Service
+	scaler *controlplane.Autoscaler
+
+	demand     []int64        // per-host pressure walk
+	live       map[int]string // churn attach seq -> executor attachment ID
+	known      map[string]bool
+	crashQueue []int
+	banked     controlplane.SagaCounters
+	rep        *ReplayReport
+}
+
+func (d *replayDriver) bank() {
+	c := d.svc.Counters()
+	d.banked.SagaRetries += c.SagaRetries
+	d.banked.SagaCompensations += c.SagaCompensations
+	d.banked.RecoveryReplays += c.RecoveryReplays
+	d.banked.ReconcileRepairs += c.ReconcileRepairs
+	d.banked.DetachAgentFailures += c.DetachAgentFailures
+	d.banked.SagasParked += c.SagasParked
+	d.banked.SagasRejected += c.SagasRejected
+}
+
+// reboot replaces a crashed control plane: bank the dead incarnation's
+// counters, arm the next scripted crash point (or disarm), boot a fresh
+// Service over the same world, replay the journal, and reconcile until the
+// recovered state is clean.
+func (d *replayDriver) reboot() {
+	d.rep.Crashes++
+	d.bank()
+	if len(d.crashQueue) > 0 {
+		d.w.crash.FailAfter(d.crashQueue[0])
+		d.crashQueue = d.crashQueue[1:]
+	} else {
+		d.w.crash.FailAfter(-1)
+	}
+	d.svc = d.w.boot()
+	if d.scaler != nil {
+		d.scaler = controlplane.NewAutoscaler(d.svc, &replayInspector{d: d}, d.scalePolicy())
+	}
+	d.svc.Recover() //nolint:errcheck // recovery over a live journal cannot fail here
+	d.svc.ReconcileUntilClean(8)
+}
+
+func (d *replayDriver) scalePolicy() controlplane.AutoscalePolicy {
+	return controlplane.AutoscalePolicy{
+		LowWatermark:          0.15,
+		HighWatermark:         0.60,
+		StepBytes:             4 << 20,
+		DonorReserve:          0.25,
+		MaxAttachmentsPerHost: 24,
+	}
+}
+
+// handle applies one churn event, rebooting and re-issuing through crashes.
+func (d *replayDriver) handle(ev dctrace.ChurnEvent) {
+	for attempt := 0; attempt < 4; attempt++ {
+		err := d.apply(ev)
+		if err == nil || !controlplane.IsCrash(err) {
+			return
+		}
+		d.reboot()
+		switch ev.Kind {
+		case dctrace.ChurnAttach:
+			// Recovery may have rolled the crashed attach forward under its
+			// original executor ID; adopt it instead of re-issuing.
+			if d.adoptAttach(ev) {
+				return
+			}
+		case dctrace.ChurnDepart:
+			// Rolled-forward detach: the attachment is gone, nothing to redo.
+			id := d.live[ev.Ref]
+			if _, ok := d.svc.Attachment(id); !ok {
+				delete(d.live, ev.Ref)
+				delete(d.known, id)
+				d.rep.DetachesOK++
+				return
+			}
+		case dctrace.ChurnScale:
+			// Absorb whatever the crashed evaluation attached before dying;
+			// the next scale event re-evaluates from live state anyway.
+			for _, rec := range d.svc.Attachments() {
+				if !d.known[rec.ID] {
+					d.known[rec.ID] = true
+					d.rep.ScaleAttaches++
+				}
+			}
+			return
+		default:
+			return
+		}
+	}
+}
+
+// adoptAttach looks for an attachment the recovery rolled forward matching
+// the crashed churn attach and claims it.
+func (d *replayDriver) adoptAttach(ev dctrace.ChurnEvent) bool {
+	for _, rec := range d.svc.Attachments() {
+		if d.known[rec.ID] {
+			continue
+		}
+		if rec.ComputeHost == d.w.hosts[ev.Compute] && rec.DonorHost == d.w.hosts[ev.Donor] && rec.Bytes == ev.Bytes {
+			d.known[rec.ID] = true
+			d.live[ev.Seq] = rec.ID
+			d.rep.AttachesOK++
+			return true
+		}
+	}
+	return false
+}
+
+// apply performs one event against the live control plane. Only crash
+// errors propagate; everything else is tallied.
+func (d *replayDriver) apply(ev dctrace.ChurnEvent) error {
+	switch ev.Kind {
+	case dctrace.ChurnAttach:
+		rec, err := d.svc.Attach(controlplane.AttachRequest{
+			ComputeHost: d.w.hosts[ev.Compute], DonorHost: d.w.hosts[ev.Donor],
+			Bytes: ev.Bytes, Channels: 1,
+		})
+		if err != nil {
+			if controlplane.IsCrash(err) {
+				return err
+			}
+			d.rep.AttachErrors++
+			return nil
+		}
+		d.live[ev.Seq] = rec.ID
+		d.known[rec.ID] = true
+		d.rep.AttachesOK++
+
+	case dctrace.ChurnDepart:
+		id, ok := d.live[ev.Ref]
+		if !ok {
+			d.rep.DepartsSkipped++ // its attach failed or was shed
+			return nil
+		}
+		if _, alive := d.svc.Attachment(id); !alive {
+			// The autoscaler shrank it away first.
+			delete(d.live, ev.Ref)
+			delete(d.known, id)
+			d.rep.DepartsSkipped++
+			return nil
+		}
+		if err := d.svc.Detach(id); err != nil {
+			if controlplane.IsCrash(err) {
+				return err
+			}
+			d.rep.DetachErrors++
+			return nil
+		}
+		delete(d.live, ev.Ref)
+		delete(d.known, id)
+		d.rep.DetachesOK++
+
+	case dctrace.ChurnFlap:
+		d.w.faulty.CrashAgent(d.w.hosts[ev.Host]) //nolint:errcheck // host is always registered
+		if ev.StormEnd {
+			passes, _ := d.svc.ReconcileUntilClean(8)
+			d.rep.Reconciler.StormReconciles++
+			d.rep.Reconciler.StormPassesTotal += passes
+			if passes > d.rep.Reconciler.StormPassesMax {
+				d.rep.Reconciler.StormPassesMax = passes
+			}
+		}
+
+	case dctrace.ChurnPressure:
+		i := ev.Host
+		d.demand[i] += ev.Bytes
+		if d.demand[i] < 0 {
+			d.demand[i] = 0
+		}
+		if limit := 2 * d.cfg.LocalBytes; d.demand[i] > limit {
+			d.demand[i] = limit
+		}
+
+	case dctrace.ChurnScale:
+		if d.scaler == nil {
+			return nil
+		}
+		actions, err := d.scaler.Evaluate()
+		for _, a := range actions {
+			if a.Kind == "attach" {
+				d.known[a.AttachmentID] = true
+				d.rep.ScaleAttaches++
+			} else {
+				delete(d.known, a.AttachmentID)
+				d.rep.ScaleDetaches++
+			}
+		}
+		if err != nil {
+			if controlplane.IsCrash(err) {
+				return err
+			}
+			d.rep.ScaleErrors++
+		}
+	}
+	return nil
+}
+
+// finalState builds the ID-free converged-state summary and checks the
+// end-state invariants.
+func (d *replayDriver) finalState() {
+	recs := d.svc.Attachments()
+	type key struct {
+		compute, donor string
+		bytes          int64
+	}
+	counts := make(map[key]int)
+	var order []key
+	pathVertices := 0
+	recBySaga := make(map[string]*controlplane.AttachmentRecord)
+	for _, rec := range recs {
+		k := key{rec.ComputeHost, rec.DonorHost, rec.Bytes}
+		if counts[k] == 0 {
+			order = append(order, k)
+		}
+		counts[k]++
+		d.rep.FinalState.TotalBytes += rec.Bytes
+		for _, n := range rec.PathLen {
+			pathVertices += n
+		}
+		recBySaga[rec.SagaID] = rec
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.compute != b.compute {
+			return a.compute < b.compute
+		}
+		if a.donor != b.donor {
+			return a.donor < b.donor
+		}
+		return a.bytes < b.bytes
+	})
+	for _, k := range order {
+		d.rep.FinalState.Attachments = append(d.rep.FinalState.Attachments, ReplayAttachment{
+			Compute: k.compute, Donor: k.donor, Bytes: k.bytes, Count: counts[k],
+		})
+	}
+	d.rep.FinalState.Count = len(recs)
+	d.rep.FinalState.ReservedVertices = len(d.w.model.ReservedIDs())
+	d.rep.FinalState.ParkedSagas = len(d.svc.ParkedSagas())
+
+	bad := func(format string, args ...interface{}) {
+		d.rep.Invariants = append(d.rep.Invariants, fmt.Sprintf(format, args...))
+	}
+
+	// Executor ground truth == records (no orphan datapaths, no dangling
+	// records).
+	clusterIDs := make(map[string]bool)
+	for _, a := range d.w.cluster.Attachments() {
+		clusterIDs[a.ID] = true
+	}
+	if len(clusterIDs) != len(recs) {
+		bad("executor holds %d attachments, records hold %d", len(clusterIDs), len(recs))
+	}
+	for _, rec := range recs {
+		if !clusterIDs[rec.ID] {
+			bad("record %s has no datapath attachment", rec.ID)
+		}
+	}
+
+	// Fabric reservations == union of record paths (no leaked vertices).
+	if d.rep.FinalState.ReservedVertices != pathVertices {
+		bad("%d vertices reserved, records imply %d", d.rep.FinalState.ReservedVertices, pathVertices)
+	}
+
+	// Agent ground truth: every held attachment belongs to a record on that
+	// host (no orphaned donor memory), every record is fully configured.
+	for _, h := range d.w.hosts {
+		a, _ := d.w.inner.Agent(h)
+		for _, att := range a.Status().Attachments {
+			d.rep.FinalState.AgentHeld++
+			rec, ok := recBySaga[att.ID]
+			if !ok {
+				bad("agent %s holds orphaned attachment %s", h, att.ID)
+				continue
+			}
+			switch h {
+			case rec.ComputeHost:
+				if !att.ComputeAttached {
+					bad("agent %s half-configured (compute) for %s", h, att.ID)
+				}
+			case rec.DonorHost:
+				if att.StolenBytes == 0 {
+					bad("agent %s half-configured (donor) for %s", h, att.ID)
+				}
+			default:
+				bad("agent %s holds %s but is neither side", h, att.ID)
+			}
+		}
+	}
+	for _, rec := range recs {
+		for _, h := range []string{rec.ComputeHost, rec.DonorHost} {
+			a, _ := d.w.inner.Agent(h)
+			if _, ok := a.Holds(rec.SagaID); !ok {
+				bad("agent %s missing desired attachment %s", h, rec.SagaID)
+			}
+		}
+	}
+
+	if d.rep.FinalState.ParkedSagas != 0 {
+		bad("%d sagas still parked after final reconcile", d.rep.FinalState.ParkedSagas)
+	}
+	if n := d.svc.InflightSagas(); n != 0 {
+		bad("%d sagas still admitted at end of trace", n)
+	}
+}
+
+// Replay runs the churn replay experiment and prints a summary table.
+func Replay(w io.Writer, cfg ReplayConfig) (ReplayReport, error) {
+	cfg.defaults()
+	world, err := buildReplayWorld(cfg)
+	if err != nil {
+		return ReplayReport{}, err
+	}
+	world.crash = controlplane.NewCrashableJournal(world.counting)
+	if len(cfg.crashPoints) > 0 {
+		world.crash.FailAfter(cfg.crashPoints[0])
+	}
+
+	rep := ReplayReport{
+		Experiment:       "replay",
+		Seed:             cfg.Seed,
+		Minutes:          cfg.Minutes,
+		RatePerMinute:    cfg.RatePerMinute,
+		Hosts:            cfg.Hosts,
+		FaultsEnabled:    !cfg.NoFaults,
+		AutoscaleEnabled: !cfg.NoAutoscale,
+		MaxInflightSagas: cfg.MaxInflightSagas,
+	}
+
+	d := &replayDriver{
+		w:      world,
+		cfg:    cfg,
+		svc:    world.boot(),
+		demand: make([]int64, cfg.Hosts),
+		live:   make(map[int]string),
+		known:  make(map[string]bool),
+		rep:    &rep,
+	}
+	if len(cfg.crashPoints) > 1 {
+		d.crashQueue = cfg.crashPoints[1:]
+	}
+	if !cfg.NoAutoscale {
+		d.scaler = controlplane.NewAutoscaler(d.svc, &replayInspector{d: d}, d.scalePolicy())
+	}
+
+	ch := dctrace.DefaultChurnConfig()
+	ch.Seed = cfg.Seed
+	ch.Minutes = cfg.Minutes
+	ch.Hosts = cfg.Hosts
+	ch.AttachPerMinute = cfg.RatePerMinute
+	ch.FlapStorms = cfg.Minutes // one flap storm per simulated minute
+	trace_ := dctrace.GenerateChurn(ch)
+	rep.Trace = dctrace.MixOf(trace_)
+
+	nextReconcile := cfg.ReconcileEverySec
+	for _, ev := range trace_ {
+		for ev.At >= nextReconcile {
+			d.svc.Reconcile()
+			rep.Reconciler.PeriodicSweeps++
+			nextReconcile += cfg.ReconcileEverySec
+		}
+		d.handle(ev)
+	}
+
+	// Settle: sweep until clean, then snapshot the converged state.
+	rep.Reconciler.FinalPasses, rep.Reconciler.FinalClean = d.svc.ReconcileUntilClean(8)
+	d.finalState()
+
+	d.bank()
+	rep.Counters = d.banked
+	rep.Transport = world.faulty.Stats()
+	rep.Journal.Entries, rep.Journal.Bytes = world.counting.Stats()
+	rep.EventsRecorded = world.elog.Recorded()
+	rep.EventsDropped = world.elog.Dropped()
+
+	rep.SagasCommitted = rep.AttachesOK + rep.DetachesOK + rep.ScaleAttaches + rep.ScaleDetaches
+	rep.SagasPerSimMinute = float64(rep.SagasCommitted) / float64(cfg.Minutes)
+	rep.SagasPerSimSecond = rep.SagasPerSimMinute / 60
+
+	for _, p := range trace.ProfileSagas(trace.BuildSagaTraces(world.elog.Snapshot())) {
+		if p.Op == "attach" || p.Op == "detach" {
+			rep.Profiles = append(rep.Profiles, p)
+		}
+	}
+
+	printReplay(w, &rep)
+	return rep, nil
+}
+
+func printReplay(w io.Writer, rep *ReplayReport) {
+	onOff := func(b bool) string {
+		if b {
+			return "on"
+		}
+		return "off"
+	}
+	fmt.Fprintf(w, "Replay: churn trace vs the real control plane (seed %d)\n", rep.Seed)
+	fmt.Fprintf(w, "  %d sim-minutes, %d hosts, %.0f attach/min, faults %s, autoscale %s\n",
+		rep.Minutes, rep.Hosts, rep.RatePerMinute,
+		onOff(rep.FaultsEnabled), onOff(rep.AutoscaleEnabled))
+	fmt.Fprintf(w, "  trace events       %d attach / %d depart / %d flap (%d storms) / %d pressure / %d scale\n",
+		rep.Trace.Attaches, rep.Trace.Departs, rep.Trace.Flaps, rep.Trace.FlapStorms,
+		rep.Trace.Pressure, rep.Trace.ScaleEvals)
+	fmt.Fprintf(w, "  attaches           %d ok, %d failed\n", rep.AttachesOK, rep.AttachErrors)
+	fmt.Fprintf(w, "  departs            %d ok, %d skipped, %d failed\n",
+		rep.DetachesOK, rep.DepartsSkipped, rep.DetachErrors)
+	fmt.Fprintf(w, "  autoscaler         %d attaches, %d detaches, %d errors\n",
+		rep.ScaleAttaches, rep.ScaleDetaches, rep.ScaleErrors)
+	fmt.Fprintf(w, "  crashes            %d\n", rep.Crashes)
+	fmt.Fprintf(w, "  sagas committed    %d (%.1f per sim-minute, %.2f per sim-second)\n",
+		rep.SagasCommitted, rep.SagasPerSimMinute, rep.SagasPerSimSecond)
+	for _, p := range rep.Profiles {
+		fmt.Fprintf(w, "  %-7s p50/p99    %d / %d ns (virtual, %d sagas)\n",
+			p.Op, p.P50NS, p.P99NS, p.Count)
+	}
+	fmt.Fprintf(w, "  reconciler         %d periodic sweeps; %d storms, %d passes total (max %d); final clean=%v in %d\n",
+		rep.Reconciler.PeriodicSweeps, rep.Reconciler.StormReconciles,
+		rep.Reconciler.StormPassesTotal, rep.Reconciler.StormPassesMax,
+		rep.Reconciler.FinalClean, rep.Reconciler.FinalPasses)
+	fmt.Fprintf(w, "  journal            %d entries, %d bytes\n", rep.Journal.Entries, rep.Journal.Bytes)
+	fmt.Fprintf(w, "  transport          %d sends, %d drops, %d dups, %d ambiguous\n",
+		rep.Transport.Sends, rep.Transport.Drops, rep.Transport.Dups, rep.Transport.Ambiguous)
+	fmt.Fprintf(w, "  saga counters      %d retries, %d compensations, %d parked, %d rejected\n",
+		rep.Counters.SagaRetries, rep.Counters.SagaCompensations,
+		rep.Counters.SagasParked, rep.Counters.SagasRejected)
+	fmt.Fprintf(w, "  trace events       %d recorded, %d dropped\n", rep.EventsRecorded, rep.EventsDropped)
+	fmt.Fprintf(w, "  final state        %d attachments, %d bytes, %d vertices reserved, %d agent-held, %d parked\n",
+		rep.FinalState.Count, rep.FinalState.TotalBytes,
+		rep.FinalState.ReservedVertices, rep.FinalState.AgentHeld, rep.FinalState.ParkedSagas)
+	for _, v := range rep.Invariants {
+		fmt.Fprintf(w, "  INVARIANT VIOLATED %s\n", v)
+	}
+}
+
+// RegisterReplayMetrics publishes the replay_* instruments into the
+// registry (and from there the Prometheus exposition): throughput, latency
+// percentiles, journal growth, reconciler convergence, and the fault/
+// compensation tallies.
+func RegisterReplayMetrics(reg *metrics.Registry, rep *ReplayReport) {
+	set := func(name string, v int64) {
+		ctr := reg.Counter(name)
+		ctr.Reset()
+		ctr.Add(v)
+	}
+	set("replay.sagas_committed", int64(rep.SagasCommitted))
+	set("replay.attaches_ok", int64(rep.AttachesOK))
+	set("replay.attach_errors", int64(rep.AttachErrors))
+	set("replay.detaches_ok", int64(rep.DetachesOK))
+	set("replay.detach_errors", int64(rep.DetachErrors))
+	set("replay.scale_attaches", int64(rep.ScaleAttaches))
+	set("replay.scale_detaches", int64(rep.ScaleDetaches))
+	set("replay.crashes", int64(rep.Crashes))
+	set("replay.flaps", int64(rep.Trace.Flaps))
+	set("replay.journal_entries", rep.Journal.Entries)
+	set("replay.journal_bytes", rep.Journal.Bytes)
+	set("replay.reconcile_periodic_sweeps", int64(rep.Reconciler.PeriodicSweeps))
+	set("replay.reconcile_storm_passes", int64(rep.Reconciler.StormPassesTotal))
+	set("replay.saga_retries", rep.Counters.SagaRetries)
+	set("replay.saga_compensations", rep.Counters.SagaCompensations)
+	set("replay.sagas_parked", rep.Counters.SagasParked)
+	set("replay.sagas_rejected", rep.Counters.SagasRejected)
+	set("replay.transport_drops", rep.Transport.Drops)
+
+	reg.Gauge("replay.sagas_per_sim_minute").Set(rep.SagasPerSimMinute)
+	reg.Gauge("replay.final_attachments").Set(float64(rep.FinalState.Count))
+	for _, p := range rep.Profiles {
+		reg.Gauge("replay." + p.Op + "_p50_ns").Set(float64(p.P50NS))
+		reg.Gauge("replay." + p.Op + "_p99_ns").Set(float64(p.P99NS))
+	}
+}

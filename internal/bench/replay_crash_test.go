@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestReplayCrashPointEquality kills and recovers the orchestrator
+// mid-replay at randomized journal offsets across 4 seeds and asserts that,
+// after reconciliation settles, the crashed run's converged final state is
+// byte-identical to an uncrashed run of the same seed — no donor-memory
+// leak, no orphan attachments, no divergence.
+//
+// These runs disable transport faults and the autoscaler: recovery and
+// re-issued sagas consume extra sends, so with faults enabled the crashed
+// run's fault RNG stream diverges from the uncrashed run's and exact state
+// equality is unattainable by construction. The attach/depart/flap churn
+// still flows through the full saga + journal + reconciler machinery; the
+// faults-enabled crash coverage lives in TestReplayCrashUnderFaults below.
+func TestReplayCrashPointEquality(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			base := ReplayConfig{
+				Seed: seed, Minutes: 1, RatePerMinute: 400,
+				NoFaults: true, NoAutoscale: true,
+			}
+			ref, _, _ := runReplayOnce(t, base)
+			if len(ref.Invariants) != 0 {
+				t.Fatalf("reference run violated invariants: %v", ref.Invariants)
+			}
+			refState, err := json.MarshalIndent(ref.FinalState, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			rng := rand.New(rand.NewSource(seed))
+			for k := 0; k < 3; k++ {
+				// A random journal offset strictly inside the uncrashed run's
+				// append count always fires mid-replay.
+				cp := 1 + rng.Intn(int(ref.Journal.Entries)-1)
+				t.Run(fmt.Sprintf("crash%d", cp), func(t *testing.T) {
+					cfg := base
+					cfg.crashPoints = []int{cp}
+					rep, _, _ := runReplayOnce(t, cfg)
+					if rep.Crashes < 1 {
+						t.Fatalf("crash point %d never fired", cp)
+					}
+					if len(rep.Invariants) != 0 {
+						t.Fatalf("crashed run violated invariants: %v", rep.Invariants)
+					}
+					if !rep.Reconciler.FinalClean {
+						t.Fatal("crashed run did not reconcile clean")
+					}
+					if rep.Counters.RecoveryReplays == 0 {
+						t.Fatal("recovery never replayed the journal")
+					}
+					state, err := json.MarshalIndent(rep.FinalState, "", "  ")
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(state, refState) {
+						t.Fatalf("crashed run diverged from uncrashed run:\n--- uncrashed\n%s\n--- crashed at %d\n%s",
+							refState, cp, state)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestReplayCrashUnderFaults crashes the orchestrator mid-replay (twice per
+// run, at randomized journal offsets) with transport faults and the
+// autoscaler ENABLED, and asserts the hard invariants: the recovered
+// control plane converges to a clean reconcile and the end state has no
+// leaked reservations, no orphan datapaths, no half-configured agents, and
+// no parked sagas.
+func TestReplayCrashUnderFaults(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(400 + seed))
+			cfg := ReplayConfig{
+				Seed: seed, Minutes: 1, RatePerMinute: 400,
+				crashPoints: []int{
+					200 + rng.Intn(1500),
+					200 + rng.Intn(1500),
+				},
+			}
+			rep, _, _ := runReplayOnce(t, cfg)
+			if rep.Crashes < 2 {
+				t.Fatalf("only %d crashes fired, want 2", rep.Crashes)
+			}
+			if !rep.Reconciler.FinalClean {
+				t.Fatal("crashed run did not reconcile clean")
+			}
+			if len(rep.Invariants) != 0 {
+				t.Fatalf("invariant violations after crash recovery: %v", rep.Invariants)
+			}
+			if rep.SagasPerSimMinute < 500 {
+				t.Fatalf("throughput collapsed to %.1f sagas/sim-minute", rep.SagasPerSimMinute)
+			}
+		})
+	}
+}

@@ -172,6 +172,7 @@ func addCounters(rep *CPScenarioReport, c controlplane.SagaCounters) {
 	rep.Counters.ReconcileRepairs += c.ReconcileRepairs
 	rep.Counters.DetachAgentFailures += c.DetachAgentFailures
 	rep.Counters.SagasParked += c.SagasParked
+	rep.Counters.SagasRejected += c.SagasRejected
 }
 
 // heal banks the old process's counters, disarms the journal, restarts the

@@ -124,12 +124,49 @@ type FileJournal struct {
 }
 
 // OpenFileJournal opens (creating if needed) an append-only journal file.
+// If the file ends in a torn or corrupt tail (crash mid-write, bit rot),
+// the tail past the last intact record is truncated away so subsequent
+// appends land on a clean record boundary instead of gluing onto garbage.
 func OpenFileJournal(path string) (*FileJournal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("controlplane: open journal: %w", err)
 	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close() //nolint:errcheck
+		return nil, fmt.Errorf("controlplane: read journal: %w", err)
+	}
+	if prefix, _ := journalValidPrefix(data); prefix < len(data) {
+		if err := f.Truncate(int64(prefix)); err != nil {
+			f.Close() //nolint:errcheck
+			return nil, fmt.Errorf("controlplane: truncate torn journal tail: %w", err)
+		}
+	}
 	return &FileJournal{path: path, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// journalValidPrefix scans JSON-lines data and returns the byte length of
+// the longest prefix of intact, newline-terminated records along with the
+// decoded entries. Everything past the prefix — a record without its
+// newline (torn write) or a line that is not valid JSON (bit flip) — is the
+// uncommitted tail.
+func journalValidPrefix(data []byte) (int, []JournalEntry) {
+	var entries []JournalEntry
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // torn tail: record never got its newline
+		}
+		var e JournalEntry
+		if err := json.Unmarshal(data[off:off+nl], &e); err != nil {
+			break // corrupt line: stop at the committed prefix
+		}
+		entries = append(entries, e)
+		off += nl + 1
+	}
+	return off, entries
 }
 
 // Append implements Journal: one JSON line per entry, synced to stable
@@ -150,8 +187,9 @@ func (j *FileJournal) Append(e JournalEntry) error {
 	return j.f.Sync()
 }
 
-// Entries implements Journal by re-reading the file. A torn final line
-// (crash mid-write) is tolerated and dropped.
+// Entries implements Journal by re-reading the file and decoding the valid
+// committed prefix: a torn final line (crash mid-write) or a corrupted line
+// (bit flip) ends the replay there — never a panic, never garbage records.
 func (j *FileJournal) Entries() ([]JournalEntry, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -162,15 +200,7 @@ func (j *FileJournal) Entries() ([]JournalEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []JournalEntry
-	dec := json.NewDecoder(bytes.NewReader(data))
-	for {
-		var e JournalEntry
-		if err := dec.Decode(&e); err != nil {
-			break // EOF or torn tail
-		}
-		out = append(out, e)
-	}
+	_, out := journalValidPrefix(data)
 	return out, nil
 }
 
@@ -236,3 +266,46 @@ func (c *CrashableJournal) Append(e JournalEntry) error {
 // Entries implements Journal (reads are served even while "crashed": the
 // restarted control plane replays from the same backend).
 func (c *CrashableJournal) Entries() ([]JournalEntry, error) { return c.inner.Entries() }
+
+// CountingJournal wraps a journal and tallies accepted appends and their
+// encoded size (JSON line + newline, the FileJournal wire format), so load
+// harnesses can report journal growth without a file backend. Failed
+// appends are not counted.
+type CountingJournal struct {
+	mu      sync.Mutex
+	inner   Journal
+	entries int64
+	bytes   int64
+}
+
+// NewCountingJournal wraps inner.
+func NewCountingJournal(inner Journal) *CountingJournal {
+	return &CountingJournal{inner: inner}
+}
+
+// Append implements Journal, counting only appends the inner journal
+// accepted.
+func (c *CountingJournal) Append(e JournalEntry) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if err := c.inner.Append(e); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.entries++
+	c.bytes += int64(len(data)) + 1
+	c.mu.Unlock()
+	return nil
+}
+
+// Entries implements Journal.
+func (c *CountingJournal) Entries() ([]JournalEntry, error) { return c.inner.Entries() }
+
+// Stats returns accepted appends and their encoded byte size.
+func (c *CountingJournal) Stats() (entries, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries, c.bytes
+}

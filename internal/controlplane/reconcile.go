@@ -88,6 +88,22 @@ func (s *Service) repaired(what, saga, host string) {
 	}
 }
 
+// ReconcileUntilClean sweeps until a pass finds nothing to repair and
+// nothing unrepaired, or maxPasses is exhausted. It returns the number of
+// passes run and whether the final pass was clean — the "convergence time
+// after a flap storm" number the replay report and the reconciler
+// convergence property test measure.
+func (s *Service) ReconcileUntilClean(maxPasses int) (passes int, clean bool) {
+	for passes < maxPasses {
+		rep := s.Reconcile()
+		passes++
+		if rep.Repairs() == 0 && rep.Unrepaired == 0 {
+			return passes, true
+		}
+	}
+	return passes, false
+}
+
 // StartReconciler runs Reconcile every interval until the returned stop
 // function is called. The running/stopped state feeds GET /v1/readyz.
 func (s *Service) StartReconciler(interval time.Duration) (stop func()) {
@@ -126,7 +142,16 @@ func (s *Service) drainParked(rep *ReconcileReport) {
 	sort.Strings(ids)
 	for _, id := range ids {
 		p := s.parked[id]
-		for step, host := range p.pending {
+		// Sorted step order: retry sends draw from the (seeded) faulty
+		// transport's RNG, so map-order iteration here would make replay
+		// runs diverge between executions of the same seed.
+		steps := make([]string, 0, len(p.pending))
+		for step := range p.pending {
+			steps = append(steps, step)
+		}
+		sort.Strings(steps)
+		for _, step := range steps {
+			host := p.pending[step]
 			if !s.agentMayHold(host, p.attID) {
 				delete(p.pending, step)
 				continue

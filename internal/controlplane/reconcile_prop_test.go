@@ -1,0 +1,106 @@
+package controlplane
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"thymesisflow/internal/agent"
+	"thymesisflow/internal/graphdb"
+)
+
+// TestReconcileConvergenceProperty injects N random divergences between the
+// control plane's records and ground truth — agent flaps (lost volatile
+// state), orphaned datapath attachments, stale fabric reservations, ghost
+// agent state, and datapaths torn down underneath a record — then asserts
+// that ReconcileUntilClean converges within a small bounded number of
+// passes, that a further pass is idempotent (zero repairs), and that the
+// converged state satisfies the full no-leak/no-orphan invariants.
+func TestReconcileConvergenceProperty(t *testing.T) {
+	const seeds = 6
+	const injections = 12
+	for seed := int64(1); seed <= seeds; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			env := newCrashEnv(t, 50000+seed)
+			svc := env.service(env.inner)
+
+			// Base state: four attachments across distinct host pairs.
+			pairs := [][2]string{
+				{"node0", "node1"}, {"node1", "node2"},
+				{"node2", "node0"}, {"node0", "node2"},
+			}
+			for _, p := range pairs {
+				if _, err := svc.Attach(AttachRequest{
+					ComputeHost: p[0], DonorHost: p[1], Bytes: 2 << 20, Channels: 1,
+				}); err != nil {
+					t.Fatalf("setup attach %v: %v", p, err)
+				}
+			}
+
+			rng := rand.New(rand.NewSource(seed))
+			exec := ClusterExecutor{Cluster: env.cluster}
+			recs := svc.Attachments()
+			for i := 0; i < injections; i++ {
+				switch rng.Intn(5) {
+				case 0: // agent flap: restart loses all volatile config
+					a, _ := env.inner.Agent(env.hosts[rng.Intn(len(env.hosts))])
+					a.Restart()
+				case 1: // orphan datapath attachment with no record
+					c := env.hosts[rng.Intn(len(env.hosts))]
+					d := env.hosts[(rng.Intn(len(env.hosts)-1)+1)%len(env.hosts)]
+					if c == d {
+						d = env.hosts[(rng.Intn(2)+1)%len(env.hosts)]
+					}
+					if c != d {
+						exec.Attach(c, d, 1<<20, 1) //nolint:errcheck // capacity may be gone; fine
+					}
+				case 2: // stale fabric reservation on a free transceiver
+					host := env.hosts[rng.Intn(len(env.hosts))]
+					reserved := make(map[graphdb.ID]bool)
+					for _, id := range env.model.ReservedIDs() {
+						reserved[id] = true
+					}
+					for _, id := range env.model.Transceivers(host, LabelComputeEP) {
+						if !reserved[id] {
+							env.model.ReservePaths([]Path{{Vertices: []graphdb.ID{id}}})
+							break
+						}
+					}
+				case 3: // ghost agent state no record wants
+					host := env.hosts[rng.Intn(len(env.hosts))]
+					a, _ := env.inner.Agent(host)
+					a.Apply(testToken, agent.Command{ //nolint:errcheck
+						Kind: agent.CmdStealMemory, AttachmentID: fmt.Sprintf("ghost-%d-%d", seed, i),
+						Epoch: 100000 + uint64(i), Bytes: 1 << 20, NetworkID: 900 + uint16(i),
+					})
+				case 4: // datapath vanishes underneath a live record
+					if len(recs) > 0 {
+						rec := recs[rng.Intn(len(recs))]
+						if _, ok := env.cluster.Attachment(rec.ID); ok {
+							if err := exec.Detach(rec.ID); err != nil {
+								t.Fatalf("inject datapath teardown: %v", err)
+							}
+						}
+					}
+				}
+			}
+
+			// Convergence: bounded passes over a reliable transport. One
+			// pass repairs every divergence it sees, the next proves clean.
+			passes, clean := svc.ReconcileUntilClean(8)
+			if !clean {
+				t.Fatalf("reconciler did not converge in %d passes", passes)
+			}
+			if passes > 4 {
+				t.Fatalf("convergence took %d passes, want <= 4", passes)
+			}
+
+			// Idempotency: a further sweep finds nothing at all.
+			if rep := svc.Reconcile(); rep.Repairs() != 0 || rep.Unrepaired != 0 {
+				t.Fatalf("reconcile not idempotent after convergence: %+v", rep)
+			}
+
+			assertConverged(t, env, svc)
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package controlplane
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -188,6 +189,7 @@ type SagaCounters struct {
 	ReconcileRepairs    int64 `json:"reconcile_repairs"`
 	DetachAgentFailures int64 `json:"detach_agent_failures"`
 	SagasParked         int64 `json:"sagas_parked"`
+	SagasRejected       int64 `json:"sagas_rejected"`
 }
 
 // SagaStatus is the externally visible progress of one saga, served under
@@ -229,6 +231,14 @@ type Service struct {
 	ctrReconcileFixes  atomic.Int64
 	ctrDetachFailures  atomic.Int64
 	ctrParked          atomic.Int64
+	ctrRejected        atomic.Int64
+
+	// Saga admission control (SetMaxInflightSagas). maxInflight == 0 means
+	// unlimited; inflight counts Attach/Detach sagas between admission and
+	// return. Checked before s.mu so overload rejection is immediate even
+	// while a saga holds the lock.
+	maxInflight atomic.Int64
+	inflight    atomic.Int64
 
 	// metrics and ring back the read-only telemetry endpoints; nil until
 	// SetTelemetry is called.
@@ -315,6 +325,42 @@ func (s *Service) SetRetryPolicy(p RetryPolicy) {
 	s.policy = p
 }
 
+// ErrOverloaded is returned by Attach/Detach when the in-flight saga limit
+// set by SetMaxInflightSagas is reached. The request had no effect; callers
+// shed or retry later.
+var ErrOverloaded = errors.New("controlplane: saga admission limit reached")
+
+// SetMaxInflightSagas bounds the number of concurrently executing
+// Attach/Detach sagas; further requests fail fast with ErrOverloaded and
+// count as SagasRejected. n <= 0 removes the bound (the default). This is
+// the concurrency-limit knob sustained replay load exposed: without it, a
+// burst of arrivals queues on the saga mutex and every request pays the
+// full queue's latency instead of the overload being visible at admission.
+func (s *Service) SetMaxInflightSagas(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.maxInflight.Store(int64(n))
+}
+
+// InflightSagas returns the number of currently admitted sagas.
+func (s *Service) InflightSagas() int { return int(s.inflight.Load()) }
+
+// admit reserves an in-flight saga slot, or rejects with ErrOverloaded.
+func (s *Service) admit() error {
+	max := s.maxInflight.Load()
+	n := s.inflight.Add(1)
+	if max > 0 && n > max {
+		s.inflight.Add(-1)
+		s.ctrRejected.Add(1)
+		return ErrOverloaded
+	}
+	return nil
+}
+
+// release frees an admitted slot.
+func (s *Service) release() { s.inflight.Add(-1) }
+
 // RegisterAgent attaches a node agent for a host (delegating to the
 // transport's registry when it has one).
 func (s *Service) RegisterAgent(a *agent.Agent) {
@@ -340,6 +386,7 @@ func (s *Service) Counters() SagaCounters {
 		ReconcileRepairs:    s.ctrReconcileFixes.Load(),
 		DetachAgentFailures: s.ctrDetachFailures.Load(),
 		SagasParked:         s.ctrParked.Load(),
+		SagasRejected:       s.ctrRejected.Load(),
 	}
 }
 
@@ -383,6 +430,10 @@ type AttachRequest struct {
 // *compensating* rollback — a failed compute-side push issues a donor-side
 // detach (not just a path release), so no donor memory leaks.
 func (s *Service) Attach(req AttachRequest) (*AttachmentRecord, error) {
+	if err := s.admit(); err != nil {
+		return nil, err
+	}
+	defer s.release()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if req.Channels <= 0 {
@@ -570,6 +621,10 @@ func compensationStep(step string) string {
 // detaches are parked for the reconciliation loop (counted in
 // detach_agent_failures) instead of silently dropped.
 func (s *Service) Detach(id string) error {
+	if err := s.admit(); err != nil {
+		return err
+	}
+	defer s.release()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rec, ok := s.attachments[id]

@@ -41,6 +41,7 @@ func (s *Service) collectSagaCounters(reg *metrics.Registry) {
 		"reconcile_repairs":     c.ReconcileRepairs,
 		"detach_agent_failures": c.DetachAgentFailures,
 		"sagas_parked":          c.SagasParked,
+		"sagas_rejected":        c.SagasRejected,
 	} {
 		ctr := reg.Counter(name)
 		ctr.Reset()

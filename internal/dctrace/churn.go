@@ -1,0 +1,286 @@
+package dctrace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Churn trace: a seeded time series of control-plane events with the
+// statistical shape of datacenter churn — Poisson attach arrivals under a
+// diurnal-ish rate envelope, tenant growth bursts that multiply the arrival
+// rate for a window, lognormal attachment lifetimes and sizes, per-host
+// memory-pressure random walks that drive autoscaler stealing, and agent
+// flap storms. The replay engine (internal/bench) feeds these events to the
+// real controlplane saga engine; everything here is a pure function of the
+// seed so a replay report is byte-identical per seed.
+
+// ChurnKind labels one churn event.
+type ChurnKind string
+
+// Churn event kinds.
+const (
+	// ChurnAttach is one attach arrival: compute host Compute steals Bytes
+	// from donor host Donor. Seq identifies the attachment for its paired
+	// departure.
+	ChurnAttach ChurnKind = "attach"
+	// ChurnDepart tears down the attachment created by the ChurnAttach with
+	// Seq == Ref (skipped by the driver if that attach failed).
+	ChurnDepart ChurnKind = "depart"
+	// ChurnFlap crash-restarts the agent on Host, losing its volatile
+	// state. Flaps arrive in storms; StormEnd marks the last flap of one.
+	ChurnFlap ChurnKind = "flap"
+	// ChurnPressure adjusts Host's synthetic memory demand by Bytes (signed)
+	// — the random walk the autoscaler watermarks react to.
+	ChurnPressure ChurnKind = "pressure"
+	// ChurnScale runs one autoscaler evaluation (the orchestrator's
+	// periodic memory-pressure stealing pass).
+	ChurnScale ChurnKind = "scale"
+)
+
+// ChurnEvent is one timestamped event of the trace.
+type ChurnEvent struct {
+	At       float64 // seconds since trace start
+	Kind     ChurnKind
+	Seq      int   // attach: attachment sequence number
+	Ref      int   // depart: Seq of the attach to tear down
+	Compute  int   // attach: compute host index
+	Donor    int   // attach: donor host index
+	Host     int   // flap/pressure host index
+	Bytes    int64 // attach size, or signed pressure delta
+	StormEnd bool  // flap: last event of its storm
+}
+
+// ChurnConfig tunes the churn generator. Zero values take the defaults of
+// DefaultChurnConfig.
+type ChurnConfig struct {
+	Seed    int64
+	Minutes int // simulated trace duration
+	Hosts   int
+
+	// AttachPerMinute is the base attach arrival rate; the effective rate
+	// is modulated by the diurnal envelope and burst windows.
+	AttachPerMinute float64
+	// MeanLifetime is the mean attachment lifetime in seconds (lognormal);
+	// steady-state live attachments ~= AttachPerMinute/60 * MeanLifetime.
+	MeanLifetime float64
+	// DiurnalAmplitude in [0,1) modulates the arrival rate sinusoidally
+	// over one full period spanning the trace (a compressed "day").
+	DiurnalAmplitude float64
+	// Bursts tenant-growth windows multiply the arrival rate by
+	// BurstFactor for a window of duration/(4*Bursts) each.
+	Bursts      int
+	BurstFactor float64
+
+	// FlapStorms agent flap storms of FlapsPerStorm flaps each, evenly
+	// spaced through the trace.
+	FlapStorms    int
+	FlapsPerStorm int
+
+	// PressurePerMinute memory-pressure random-walk events (across all
+	// hosts), each a signed delta of up to PressureStepBytes.
+	PressurePerMinute float64
+	PressureStepBytes int64
+
+	// ScalePerMinute autoscaler evaluations, evenly spaced.
+	ScalePerMinute float64
+
+	// BytesLogMu/BytesLogSigma shape the lognormal attachment size in MiB,
+	// clamped to [MinBytes, MaxBytes].
+	BytesLogMu, BytesLogSigma float64
+	MinBytes, MaxBytes        int64
+}
+
+// DefaultChurnConfig returns a rack-shaped default: 8 hosts, 800 attach
+// arrivals per simulated minute (≥1000 sagas/min including departures),
+// ~2.4 s lifetimes (~32 live attachments at steady state), two growth
+// bursts, one flap storm per minute, and 1–4 MiB attachment sizes.
+func DefaultChurnConfig() ChurnConfig {
+	return ChurnConfig{
+		Seed:              1,
+		Minutes:           2,
+		Hosts:             8,
+		AttachPerMinute:   800,
+		MeanLifetime:      2.4,
+		DiurnalAmplitude:  0.5,
+		Bursts:            2,
+		BurstFactor:       2.0,
+		FlapStorms:        2,
+		FlapsPerStorm:     3,
+		PressurePerMinute: 30,
+		PressureStepBytes: 8 << 20,
+		ScalePerMinute:    3,
+		BytesLogMu:        0.4,
+		BytesLogSigma:     0.6,
+		MinBytes:          1 << 20,
+		MaxBytes:          4 << 20,
+	}
+}
+
+// normalize fills zero fields from the defaults (Bursts/FlapStorms/
+// ScalePerMinute may legitimately be zero — they stay zero when Minutes is
+// set, so callers can disable whole event classes).
+func (cfg *ChurnConfig) normalize() {
+	def := DefaultChurnConfig()
+	if cfg.Minutes <= 0 {
+		cfg.Minutes = def.Minutes
+	}
+	if cfg.Hosts <= 1 {
+		cfg.Hosts = def.Hosts
+	}
+	if cfg.AttachPerMinute <= 0 {
+		cfg.AttachPerMinute = def.AttachPerMinute
+	}
+	if cfg.MeanLifetime <= 0 {
+		cfg.MeanLifetime = def.MeanLifetime
+	}
+	if cfg.BurstFactor <= 0 {
+		cfg.BurstFactor = def.BurstFactor
+	}
+	if cfg.FlapsPerStorm <= 0 {
+		cfg.FlapsPerStorm = def.FlapsPerStorm
+	}
+	if cfg.PressureStepBytes <= 0 {
+		cfg.PressureStepBytes = def.PressureStepBytes
+	}
+	if cfg.BytesLogSigma <= 0 {
+		cfg.BytesLogMu = def.BytesLogMu
+		cfg.BytesLogSigma = def.BytesLogSigma
+	}
+	if cfg.MinBytes <= 0 {
+		cfg.MinBytes = def.MinBytes
+	}
+	if cfg.MaxBytes < cfg.MinBytes {
+		cfg.MaxBytes = def.MaxBytes
+	}
+}
+
+// rateAt returns the effective attach arrival rate (per second) at t.
+func (cfg *ChurnConfig) rateAt(t, duration float64) float64 {
+	rate := cfg.AttachPerMinute / 60.0
+	rate *= 1 + cfg.DiurnalAmplitude*math.Sin(2*math.Pi*t/duration)
+	if cfg.Bursts > 0 {
+		width := duration / (4 * float64(cfg.Bursts))
+		for b := 0; b < cfg.Bursts; b++ {
+			center := duration * (float64(b) + 0.5) / float64(cfg.Bursts)
+			if math.Abs(t-center) < width/2 {
+				rate *= cfg.BurstFactor
+			}
+		}
+	}
+	return rate
+}
+
+// GenerateChurn produces the churn trace, sorted by time. Attach arrivals
+// come from a nonhomogeneous Poisson process (thinning against the peak
+// rate), so burst windows and the diurnal envelope shape the density
+// without breaking seeded determinism.
+func GenerateChurn(cfg ChurnConfig) []ChurnEvent {
+	cfg.normalize()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	duration := float64(cfg.Minutes) * 60
+	var evs []ChurnEvent
+
+	// Attach/depart pairs. Lifetime lognormal with the requested mean.
+	lifeSigma := 0.7
+	lifeMu := math.Log(cfg.MeanLifetime) - lifeSigma*lifeSigma/2
+	peak := cfg.AttachPerMinute / 60.0 * (1 + cfg.DiurnalAmplitude)
+	if cfg.Bursts > 0 && cfg.BurstFactor > 1 {
+		peak *= cfg.BurstFactor
+	}
+	seq := 0
+	for t := rng.ExpFloat64() / peak; t < duration; t += rng.ExpFloat64() / peak {
+		if rng.Float64() >= cfg.rateAt(t, duration)/peak {
+			continue // thinned candidate
+		}
+		compute := rng.Intn(cfg.Hosts)
+		donor := (compute + 1 + rng.Intn(cfg.Hosts-1)) % cfg.Hosts
+		mib := math.Exp(cfg.BytesLogMu + cfg.BytesLogSigma*rng.NormFloat64())
+		bytes := int64(mib) << 20
+		if bytes < cfg.MinBytes {
+			bytes = cfg.MinBytes
+		}
+		if bytes > cfg.MaxBytes {
+			bytes = cfg.MaxBytes
+		}
+		evs = append(evs, ChurnEvent{
+			At: t, Kind: ChurnAttach, Seq: seq,
+			Compute: compute, Donor: donor, Bytes: bytes,
+		})
+		life := math.Exp(lifeMu + lifeSigma*rng.NormFloat64())
+		if t+life < duration {
+			evs = append(evs, ChurnEvent{At: t + life, Kind: ChurnDepart, Ref: seq})
+		}
+		seq++
+	}
+
+	// Flap storms, evenly spaced, flaps 50 ms apart within a storm.
+	for s := 0; s < cfg.FlapStorms; s++ {
+		at := duration * float64(s+1) / float64(cfg.FlapStorms+1)
+		for k := 0; k < cfg.FlapsPerStorm; k++ {
+			evs = append(evs, ChurnEvent{
+				At: at + 0.05*float64(k), Kind: ChurnFlap,
+				Host:     rng.Intn(cfg.Hosts),
+				StormEnd: k == cfg.FlapsPerStorm-1,
+			})
+		}
+	}
+
+	// Memory-pressure random walk.
+	nPressure := int(cfg.PressurePerMinute * float64(cfg.Minutes))
+	for i := 0; i < nPressure; i++ {
+		delta := int64(float64(cfg.PressureStepBytes) * (0.5 + rng.Float64()))
+		if rng.Intn(2) == 0 {
+			delta = -delta
+		}
+		evs = append(evs, ChurnEvent{
+			At: rng.Float64() * duration, Kind: ChurnPressure,
+			Host: rng.Intn(cfg.Hosts), Bytes: delta,
+		})
+	}
+
+	// Autoscaler evaluations on a fixed cadence.
+	if cfg.ScalePerMinute > 0 {
+		interval := 60 / cfg.ScalePerMinute
+		for at := interval; at < duration; at += interval {
+			evs = append(evs, ChurnEvent{At: at, Kind: ChurnScale})
+		}
+	}
+
+	// Stable sort: equal timestamps keep their deterministic build order.
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs
+}
+
+// ChurnMix counts the events of a trace by kind.
+type ChurnMix struct {
+	Attaches   int `json:"attaches"`
+	Departs    int `json:"departs"`
+	Flaps      int `json:"flaps"`
+	FlapStorms int `json:"flap_storms"`
+	Pressure   int `json:"pressure_events"`
+	ScaleEvals int `json:"scale_evals"`
+}
+
+// MixOf tallies a trace.
+func MixOf(evs []ChurnEvent) ChurnMix {
+	var m ChurnMix
+	for _, e := range evs {
+		switch e.Kind {
+		case ChurnAttach:
+			m.Attaches++
+		case ChurnDepart:
+			m.Departs++
+		case ChurnFlap:
+			m.Flaps++
+			if e.StormEnd {
+				m.FlapStorms++
+			}
+		case ChurnPressure:
+			m.Pressure++
+		case ChurnScale:
+			m.ScaleEvals++
+		}
+	}
+	return m
+}

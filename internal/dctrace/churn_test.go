@@ -1,0 +1,169 @@
+package dctrace
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestChurnDeterministic(t *testing.T) {
+	cfg := DefaultChurnConfig()
+	a := GenerateChurn(cfg)
+	b := GenerateChurn(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different traces (%d vs %d events)", len(a), len(b))
+	}
+	cfg.Seed = 2
+	c := GenerateChurn(cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced identical traces")
+	}
+}
+
+func TestChurnSortedAndWellFormed(t *testing.T) {
+	cfg := DefaultChurnConfig()
+	evs := GenerateChurn(cfg)
+	if len(evs) == 0 {
+		t.Fatal("empty trace")
+	}
+	duration := float64(cfg.Minutes) * 60
+	attachAt := map[int]float64{}
+	for i, e := range evs {
+		if i > 0 && evs[i-1].At > e.At {
+			t.Fatalf("event %d out of order: %f after %f", i, e.At, evs[i-1].At)
+		}
+		if e.At < 0 || e.At >= duration+1 {
+			t.Fatalf("event %d time %f outside trace", i, e.At)
+		}
+		switch e.Kind {
+		case ChurnAttach:
+			if e.Compute == e.Donor {
+				t.Fatalf("attach %d: compute == donor == %d", e.Seq, e.Compute)
+			}
+			if e.Compute < 0 || e.Compute >= cfg.Hosts || e.Donor < 0 || e.Donor >= cfg.Hosts {
+				t.Fatalf("attach %d: host out of range", e.Seq)
+			}
+			if e.Bytes < cfg.MinBytes || e.Bytes > cfg.MaxBytes {
+				t.Fatalf("attach %d: bytes %d outside [%d,%d]", e.Seq, e.Bytes, cfg.MinBytes, cfg.MaxBytes)
+			}
+			if _, dup := attachAt[e.Seq]; dup {
+				t.Fatalf("duplicate attach seq %d", e.Seq)
+			}
+			attachAt[e.Seq] = e.At
+		case ChurnDepart:
+			at, ok := attachAt[e.Ref]
+			if !ok {
+				t.Fatalf("depart references unseen attach %d", e.Ref)
+			}
+			if e.At < at {
+				t.Fatalf("depart for %d at %f before its attach at %f", e.Ref, e.At, at)
+			}
+		case ChurnFlap:
+			if e.Host < 0 || e.Host >= cfg.Hosts {
+				t.Fatalf("flap host %d out of range", e.Host)
+			}
+		case ChurnPressure:
+			if e.Bytes == 0 {
+				t.Fatal("pressure event with zero delta")
+			}
+		}
+	}
+}
+
+func TestChurnMixMatchesConfig(t *testing.T) {
+	cfg := DefaultChurnConfig()
+	m := MixOf(GenerateChurn(cfg))
+
+	// Arrival count should be near rate*minutes (diurnal + burst modulation
+	// averages out close to the base rate; allow a wide band).
+	want := cfg.AttachPerMinute * float64(cfg.Minutes)
+	if float64(m.Attaches) < 0.6*want || float64(m.Attaches) > 1.8*want {
+		t.Fatalf("attaches %d not near expected %.0f", m.Attaches, want)
+	}
+	if m.Departs > m.Attaches {
+		t.Fatalf("departs %d exceed attaches %d", m.Departs, m.Attaches)
+	}
+	// Mean lifetime 2.4 s << the 2-minute trace: nearly every attach departs.
+	if float64(m.Departs) < 0.8*float64(m.Attaches) {
+		t.Fatalf("only %d/%d attaches depart; lifetimes too long", m.Departs, m.Attaches)
+	}
+	if m.Flaps != cfg.FlapStorms*cfg.FlapsPerStorm {
+		t.Fatalf("flaps %d, want %d", m.Flaps, cfg.FlapStorms*cfg.FlapsPerStorm)
+	}
+	if m.FlapStorms != cfg.FlapStorms {
+		t.Fatalf("storms %d, want %d", m.FlapStorms, cfg.FlapStorms)
+	}
+	wantPressure := int(cfg.PressurePerMinute * float64(cfg.Minutes))
+	if m.Pressure != wantPressure {
+		t.Fatalf("pressure events %d, want %d", m.Pressure, wantPressure)
+	}
+	if m.ScaleEvals == 0 {
+		t.Fatal("no scale evaluations")
+	}
+}
+
+func TestChurnBurstDensity(t *testing.T) {
+	// With one burst window and a strong factor, arrival density inside the
+	// window must exceed the trace-wide average.
+	cfg := DefaultChurnConfig()
+	cfg.Bursts = 1
+	cfg.BurstFactor = 4
+	cfg.DiurnalAmplitude = 0
+	evs := GenerateChurn(cfg)
+	duration := float64(cfg.Minutes) * 60
+	width := duration / 4
+	lo, hi := duration/2-width/2, duration/2+width/2
+	inWindow, total := 0, 0
+	for _, e := range evs {
+		if e.Kind != ChurnAttach {
+			continue
+		}
+		total++
+		if e.At >= lo && e.At < hi {
+			inWindow++
+		}
+	}
+	windowDensity := float64(inWindow) / width
+	avgDensity := float64(total) / duration
+	if windowDensity < 1.5*avgDensity {
+		t.Fatalf("burst window density %.2f/s not above average %.2f/s", windowDensity, avgDensity)
+	}
+}
+
+func TestChurnRateScaling(t *testing.T) {
+	lowCfg := DefaultChurnConfig()
+	lowCfg.AttachPerMinute = 200
+	highCfg := DefaultChurnConfig()
+	highCfg.AttachPerMinute = 800
+	low := MixOf(GenerateChurn(lowCfg)).Attaches
+	high := MixOf(GenerateChurn(highCfg)).Attaches
+	ratio := float64(high) / float64(low)
+	if math.Abs(ratio-4) > 1.5 {
+		t.Fatalf("rate 4x should yield ~4x attaches, got %d vs %d (ratio %.2f)", high, low, ratio)
+	}
+}
+
+func TestChurnStormEndMarksLastFlap(t *testing.T) {
+	cfg := DefaultChurnConfig()
+	cfg.FlapStorms = 3
+	cfg.FlapsPerStorm = 4
+	var flaps []ChurnEvent
+	for _, e := range GenerateChurn(cfg) {
+		if e.Kind == ChurnFlap {
+			flaps = append(flaps, e)
+		}
+	}
+	if len(flaps) != 12 {
+		t.Fatalf("got %d flaps, want 12", len(flaps))
+	}
+	if !sort.SliceIsSorted(flaps, func(i, j int) bool { return flaps[i].At < flaps[j].At }) {
+		t.Fatal("flaps not time-ordered")
+	}
+	for i, f := range flaps {
+		wantEnd := i%4 == 3
+		if f.StormEnd != wantEnd {
+			t.Fatalf("flap %d StormEnd=%v, want %v", i, f.StormEnd, wantEnd)
+		}
+	}
+}

@@ -15,11 +15,15 @@
 #   * control-plane saga path with tracing off vs on (ns/op, allocs/op) —
 #     the off row documents that the disabled-tracing saga path adds zero
 #     allocations over the pre-tracing baseline
+#   * churn replay: two simulated minutes of datacenter-shaped load
+#     (tfbench -experiment replay) through the real saga engine with
+#     transport faults on — committed sagas per simulated minute plus the
+#     wall clock for the whole replay
 # The parallel and sequential suites print byte-identical output (asserted
 # by internal/bench tests); only wall-clock may differ.
 set -eu
 
-out=${1:-BENCH_PR6.json}
+out=${1:-BENCH_PR8.json}
 bin=$(mktemp -t tfbench.XXXXXX)
 trap 'rm -f "$bin"' EXIT
 
@@ -85,6 +89,19 @@ attr_off_allocs=$(echo "$attr" | awk '/BenchmarkClusterLoadAttrOff/ {print $7}')
 attr_on_ns=$(echo "$attr" | awk '/BenchmarkClusterLoadAttrOn/ {print $3}')
 attr_on_allocs=$(echo "$attr" | awk '/BenchmarkClusterLoadAttrOn/ {print $7}')
 
+# Churn replay: 2 simulated minutes of seeded datacenter load through the
+# real control plane (sagas over a lossy transport, journal, reconciler,
+# autoscaler). The stdout line reads
+#   sagas committed    NNNN (RRRR.R per sim-minute, SS.SS per sim-second)
+t0=$(now_s)
+replay_out=$("$bin" -experiment replay -replay-minutes 2 -seed 1 2>/dev/null)
+t1=$(now_s)
+replay_s=$(elapsed "$t0" "$t1")
+replay_committed=$(printf '%s\n' "$replay_out" | \
+	awk '/sagas committed/ {print $3}')
+replay_per_min=$(printf '%s\n' "$replay_out" | \
+	awk '/sagas committed/ {gsub(/\(/, "", $4); print $4}')
+
 # Real scheduler-visible core count. BENCH_PR4.json recorded 1 because
 # getconf _NPROCESSORS_ONLN reports the container host's online-processor
 # view on some runtimes; nproc respects the cpuset/affinity mask actually
@@ -93,7 +110,7 @@ cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 
 cat > "$out" <<EOF
 {
-  "snapshot": "quick-suite wall clock + kernel/placement/attribution micro-benchmarks + sharded rack scaling",
+  "snapshot": "quick-suite wall clock + kernel/placement/attribution micro-benchmarks + sharded rack scaling + churn-replay saga throughput",
   "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
   "host_cores": $cores,
   "quick_suite_wall_seconds": {
@@ -124,6 +141,12 @@ $rack_rows
     "note": "one journaled attach+detach saga pair against 3 agents; off = tracing disabled (nil-guarded emission sites add zero allocations), on = default 16Ki event log on the monotonic clock",
     "off": { "ns_per_op": $saga_off_ns, "allocs_per_op": $saga_off_allocs },
     "on": { "ns_per_op": $saga_on_ns, "allocs_per_op": $saga_on_allocs }
+  },
+  "churn_replay": {
+    "note": "tfbench -experiment replay -replay-minutes 2 -seed 1: seeded attach/detach churn with flap storms and pressure walks driven through the journaled saga engine over a lossy transport (faults + autoscaler on)",
+    "sagas_committed": $replay_committed,
+    "sagas_per_sim_minute": $replay_per_min,
+    "wall_seconds": $replay_s
   }
 }
 EOF
