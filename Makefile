@@ -2,11 +2,11 @@
 # build + race-enabled tests — the parallel experiment engine and the
 # sharded simulation runtime are real concurrency, so the race detector is
 # load-bearing). `make bench-quick` snapshots wall-clock and allocation
-# numbers into BENCH_PR8.json.
+# numbers into BENCH_PR9.json.
 
 GO ?= go
 
-.PHONY: check ci test build vet lint race chaos fuzz-smoke replay-smoke bench-quick bench trace-demo
+.PHONY: check ci test build vet lint race chaos fuzz-smoke replay-smoke detect-smoke bench-quick bench trace-demo
 
 check: lint vet build
 	$(GO) test -race ./...
@@ -14,9 +14,10 @@ check: lint vet build
 # Full CI gate: everything `check` runs, plus an uncached race pass over the
 # concurrency-bearing packages, the chaos conformance campaign through the
 # tfbench binary, a one-simulated-minute churn replay against the real
-# control plane, and a short fuzz smoke of the frame decoder. This is the
-# target a pipeline should invoke.
-ci: check race chaos replay-smoke fuzz-smoke
+# control plane, a single-scenario anomaly-detection scorecard, and a short
+# fuzz smoke of the frame and snapshot decoders. This is the target a
+# pipeline should invoke.
+ci: check race chaos replay-smoke detect-smoke fuzz-smoke
 
 # Uncached (-count=1) race-detector pass over the packages with real
 # concurrency: the LLC protocol under the parallel experiment engine, the
@@ -29,7 +30,8 @@ race:
 	$(GO) test -race -count=1 ./internal/llc/ ./internal/core/ \
 		./internal/sim/ ./internal/sim/shard/ ./internal/chaos/ \
 		./internal/metrics/ ./internal/trace/ ./internal/controlplane/ \
-		./internal/agent/ ./internal/dctrace/ ./internal/bench/
+		./internal/agent/ ./internal/dctrace/ ./internal/bench/ \
+		./internal/timeseries/...
 
 # Run the fault-injection conformance campaigns (docs/RELIABILITY.md):
 # the datapath catalogue and the control-plane saga/recovery/reconciliation
@@ -43,10 +45,16 @@ chaos:
 replay-smoke:
 	$(GO) run ./cmd/tfbench -experiment replay -replay-minutes 1 -seed 1 >/dev/null
 
-# Brief coverage-guided fuzz of the LLC frame decoder against corrupted
-# and truncated wire images.
+# One chaos scenario scored against its ground-truth labels through the
+# online anomaly detector — exits non-zero below the precision/recall gate.
+detect-smoke:
+	$(GO) run ./cmd/tfbench -experiment detect -detect-scenario replay-storm -seed 1 >/dev/null
+
+# Brief coverage-guided fuzz of the LLC frame decoder and the flight-
+# recorder snapshot decoder against corrupted and truncated wire images.
 fuzz-smoke:
 	$(GO) test ./internal/llc/ -fuzz FuzzDecodeCorrupted -fuzztime 10s
+	$(GO) test ./internal/timeseries/ -fuzz FuzzSeriesDecode -fuzztime 10s
 
 vet:
 	$(GO) vet ./...
@@ -71,10 +79,11 @@ bench:
 # Wall-clock / allocation snapshot: sequential vs parallel quick suite,
 # kernel/placement micro-benchmarks, the sharded rack-scaling sweep
 # (tfbench -experiment rack at 1/2/4/8 shards), the saga path with
-# tracing off vs on, and the churn-replay saga throughput, written to
-# BENCH_PR8.json.
+# tracing off vs on, the churn-replay saga throughput, the flight
+# recorder off vs on, and the journal fsync group-commit sweep, written
+# to BENCH_PR9.json.
 bench-quick:
-	sh scripts/benchsnap.sh BENCH_PR8.json
+	sh scripts/benchsnap.sh BENCH_PR9.json
 
 # Produce a sample cross-layer trace (and metrics snapshot) from the quick
 # Figure 5 run: open trace_fig5.json in Perfetto (https://ui.perfetto.dev)

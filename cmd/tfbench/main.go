@@ -93,6 +93,10 @@ func main() {
 	replayMinutes := flag.Int("replay-minutes", 0, "with -experiment replay: simulated trace minutes (0 = 2 quick / 5 full)")
 	replayRate := flag.Float64("replay-rate", 0, "with -experiment replay: attach arrivals per simulated minute (0 = 800)")
 	replayOut := flag.String("replay-out", "", "with -experiment replay: also write the replay report JSON to this file")
+	replayWorkers := flag.Int("replay-workers", 1, "with -experiment replay: concurrent saga-issuing goroutines (1 = deterministic sequential driver; N > 1 races issuers against the saga admission limit)")
+	detectOut := flag.String("detect-out", "", "with -experiment detect: also write the scorecard JSON to this file")
+	detectScenario := flag.String("detect-scenario", "", "with -experiment detect: score a single chaos scenario by name (default: full catalogue)")
+	snapshotOut := flag.String("snapshot-out", "", "with -experiment detect -detect-scenario: write the recorded series as a binary TFTS snapshot for tfmon")
 	flag.Parse()
 	if *shards <= 0 {
 		*shards = runtime.NumCPU()
@@ -148,8 +152,14 @@ func main() {
 		{[]string{"projection-switching"}, func() { bench.ProjectionSwitching(w) }},
 		{[]string{"rack"}, func() { runRack(w, scale, *shards, *chaosSeed) }},
 		{[]string{"replay"}, func() {
-			runReplayExperiment(w, scale, *chaosSeed, *replayMinutes, *replayRate, *replayOut, reg)
+			runReplayExperiment(w, scale, *chaosSeed, *replayMinutes, *replayRate, *replayWorkers, *replayOut, reg)
 		}},
+	}
+	if want := strings.ToLower(*experiment); want == "detect" {
+		// Not part of "all": the detect scorecard re-runs the whole chaos
+		// catalogue with telemetry enabled, and its pass/fail drives the exit
+		// status like -chaos does.
+		os.Exit(runDetect(w, *chaosSeed, *shards, *detectScenario, *detectOut, *snapshotOut))
 	}
 
 	want := strings.ToLower(*experiment)
@@ -219,8 +229,8 @@ func runRack(w *os.File, scale bench.Scale, shards int, seed int64) {
 // the real control plane (sagas over a lossy transport, journal,
 // reconciler, autoscaler). Stdout is a pure function of the seed; wall
 // clock goes to stderr.
-func runReplayExperiment(w *os.File, scale bench.Scale, seed int64, minutes int, rate float64, out string, reg *metrics.Registry) {
-	cfg := bench.ReplayConfig{Seed: seed, Minutes: minutes, RatePerMinute: rate}
+func runReplayExperiment(w *os.File, scale bench.Scale, seed int64, minutes int, rate float64, workers int, out string, reg *metrics.Registry) {
+	cfg := bench.ReplayConfig{Seed: seed, Minutes: minutes, RatePerMinute: rate, Workers: workers}
 	if cfg.Minutes == 0 && scale == bench.Full {
 		cfg.Minutes = 5
 	}
@@ -252,6 +262,47 @@ func runReplayExperiment(w *os.File, scale bench.Scale, seed int64, minutes int,
 		fmt.Fprintf(os.Stderr, "tfbench: replay invariants violated: %v\n", rep.Invariants)
 		os.Exit(1)
 	}
+}
+
+// runDetect scores the online anomaly detector against the chaos
+// catalogue's ground-truth labels (docs/OBSERVABILITY.md). Stdout is a pure
+// function of the seed; exit status reflects the precision/recall gate.
+func runDetect(w *os.File, seed int64, shards int, scenario, out, snapshotOut string) int {
+	cfg := bench.DetectConfig{Seed: seed, Shards: shards, Scenario: scenario}
+	if snapshotOut != "" {
+		f, err := os.Create(snapshotOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tfbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		cfg.SnapshotOut = f
+	}
+	rep, err := bench.Detect(w, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tfbench: %v\n", err)
+		return 2
+	}
+	if snapshotOut != "" {
+		fmt.Fprintf(w, "flight-recorder snapshot (seed %d, %s) -> %s\n", seed, scenario, snapshotOut)
+	}
+	if out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tfbench: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tfbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(w, "detect scorecard (seed %d) -> %s\n", seed, out)
+	}
+	if !rep.Passed {
+		fmt.Fprintf(os.Stderr, "tfbench: detect scorecard FAILED (reproduce with -experiment detect -seed %d)\n", seed)
+		return 1
+	}
+	return 0
 }
 
 // runChaos executes the fault-injection campaigns — the datapath catalogue

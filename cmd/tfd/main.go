@@ -26,11 +26,14 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"time"
 
 	"thymesisflow/internal/agent"
 	"thymesisflow/internal/controlplane"
 	"thymesisflow/internal/core"
 	"thymesisflow/internal/metrics"
+	"thymesisflow/internal/timeseries"
+	"thymesisflow/internal/timeseries/detect"
 	"thymesisflow/internal/trace"
 )
 
@@ -45,7 +48,10 @@ func main() {
 	latencyAttr := flag.Bool("latency", false, "enable per-stage latency attribution, served under /v1/latency")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (admin token required)")
 	journalPath := flag.String("journal", "", "write-ahead saga journal file; replayed on boot for crash recovery (empty = in-memory)")
+	journalSyncEvery := flag.Int("journal-sync-every", 1, "with -journal: fsync group-commit threshold; 1 syncs per record (safest), N batches up to N records per fsync (a crash may lose the last N-1)")
 	reconcileEvery := flag.Duration("reconcile-interval", 0, "run the reconciliation loop at this interval (0 disables)")
+	flightRecorder := flag.Bool("flight-recorder", false, "sample control-plane saga counters into flight-recorder time series with online anomaly detection, served under /v1/timeseries and /v1/anomalies")
+	flightInterval := flag.Duration("flight-interval", time.Second, "with -flight-recorder: wall-clock sampling period")
 	flag.Parse()
 
 	names := strings.Split(*hosts, ",")
@@ -97,6 +103,12 @@ func main() {
 		if err != nil {
 			log.Fatalf("tfd: %v", err)
 		}
+		if *journalSyncEvery > 1 {
+			// Cap batching delay at 50ms so a quiet daemon still commits
+			// promptly.
+			j.SetSyncEvery(*journalSyncEvery, 50*time.Millisecond)
+			log.Printf("tfd: journal group commit: fsync every %d records", *journalSyncEvery)
+		}
 		svc.SetJournal(j)
 		rep, err := svc.Recover()
 		if err != nil {
@@ -134,6 +146,19 @@ func main() {
 	}
 	if *enablePprof {
 		api.EnablePprof()
+	}
+	if *flightRecorder {
+		rec := timeseries.NewRecorder(0)
+		det := detect.New(detect.ControlPlaneRules())
+		svc.SetFlightRecorder(rec, det)
+		sampler := controlplane.NewFlightSampler(svc, rec, det)
+		start := time.Now()
+		go func() {
+			for range time.Tick(*flightInterval) {
+				sampler.Sample(time.Since(start).Nanoseconds())
+			}
+		}()
+		log.Printf("tfd: flight recorder on (%s tick), /v1/timeseries and /v1/anomalies live", *flightInterval)
 	}
 
 	log.Printf("tfd: rack of %d hosts up, serving on %s", len(names), *listen)

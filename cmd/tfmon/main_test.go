@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"thymesisflow/internal/timeseries"
+	"thymesisflow/internal/timeseries/detect"
+)
+
+func TestSparklineShapes(t *testing.T) {
+	ramp := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	if got := sparkline(ramp, 8); got != "▁▂▃▄▅▆▇█" {
+		t.Fatalf("ramp sparkline = %q", got)
+	}
+	flat := []float64{3, 3, 3, 3}
+	if got := sparkline(flat, 8); got != "▁▁▁▁" {
+		t.Fatalf("flat sparkline = %q (want floor level, width clamped to data)", got)
+	}
+	if got := sparkline(nil, 8); got != "" {
+		t.Fatalf("empty sparkline = %q", got)
+	}
+	// Downsampling averages buckets: 16 values into 4 cells.
+	wide := make([]float64, 16)
+	for i := range wide {
+		wide[i] = float64(i)
+	}
+	if got := sparkline(wide, 4); len([]rune(got)) != 4 {
+		t.Fatalf("downsampled sparkline = %q", got)
+	}
+}
+
+func TestRawValuesCounterDeltas(t *testing.T) {
+	ss := timeseries.SeriesSnapshot{
+		Kind: "counter",
+		Points: []timeseries.Point{
+			{TS: 1, V: 0}, {TS: 2, V: 5}, {TS: 3, V: 5}, {TS: 4, V: 2},
+		},
+	}
+	got := rawValues(ss)
+	want := []float64{5, 0, 0} // reset at the last point clamps to zero
+	if len(got) != len(want) {
+		t.Fatalf("deltas = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("deltas = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEventBarSpansTimeline(t *testing.T) {
+	e := detect.Event{OnsetTS: 50, ClearTS: 100}
+	bar := eventBar(e, 0, 100, 10)
+	if !strings.HasPrefix(bar, "|") || !strings.HasSuffix(bar, "|") {
+		t.Fatalf("bar = %q", bar)
+	}
+	cells := []rune(bar[1 : len(bar)-1])
+	if len(cells) != 10 {
+		t.Fatalf("bar width = %d", len(cells))
+	}
+	if cells[0] != '·' || cells[5] != '█' || cells[9] != '█' {
+		t.Fatalf("bar = %q, want second half filled", bar)
+	}
+	// Open events extend to the end of the snapshot.
+	open := eventBar(detect.Event{OnsetTS: 90}, 0, 100, 10)
+	if !strings.HasSuffix(open, "█|") {
+		t.Fatalf("open bar = %q", open)
+	}
+}
+
+// TestRenderDeterministic: the full text report over a synthetic snapshot is
+// byte-identical across runs and detects the anomaly planted in the data.
+func TestRenderDeterministic(t *testing.T) {
+	rec := timeseries.NewRecorder(64)
+	depth := rec.Series("llc.att-0.p0.replay_depth", timeseries.Gauge)
+	credits := rec.Series("llc.att-0.p0.credits", timeseries.Gauge)
+	for i := 0; i < 32; i++ {
+		v := 0.0
+		if i >= 10 && i < 24 {
+			v = 8 // sustained replay depth: a ReplayStorm
+		}
+		depth.Record(int64(i)*100, v)
+		credits.Record(int64(i)*100, 256)
+	}
+	snap := rec.Snapshot()
+	events := detect.Analyze(snap, detect.DatapathRules())
+	if len(events) != 1 || events[0].Class != detect.ReplayStorm {
+		t.Fatalf("events = %+v", events)
+	}
+
+	renderTo := func() string {
+		f, err := os.CreateTemp(t.TempDir(), "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		render(f, snap, events, 24)
+		f.Close()
+		b, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	a, b := renderTo(), renderTo()
+	if a != b {
+		t.Fatalf("render not deterministic:\n%s\n---\n%s", a, b)
+	}
+	for _, want := range []string{"2 series", "1 anomalies", "ReplayStorm", "llc.att-0.p0.replay_depth"} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("render missing %q:\n%s", want, a)
+		}
+	}
+}
+
+// TestSnapshotFileRoundTrip: a binary TFTS file written to disk decodes via
+// the same sniffing path main uses, in both binary and JSON forms.
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	rec := timeseries.NewRecorder(8)
+	rec.Series("cp.saga_retries", timeseries.Counter).Record(100, 3)
+	snap := rec.Snapshot()
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "flight.tfts")
+	if err := os.WriteFile(bin, timeseries.EncodeSnapshot(snap), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := timeseries.DecodeSnapshotAny(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Series) != 1 || got.Series[0].Name != "cp.saga_retries" {
+		t.Fatalf("decoded = %+v", got)
+	}
+	asJSON, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = timeseries.DecodeSnapshotAny(asJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Series) != 1 || got.Series[0].Kind != "counter" {
+		t.Fatalf("decoded JSON = %+v", got)
+	}
+}

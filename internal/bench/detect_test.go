@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+)
+
+func detectJSON(t *testing.T, cfg DetectConfig) []byte {
+	t.Helper()
+	rep, err := Detect(io.Discard, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shard count is the one field allowed to differ across runs being
+	// compared; everything else must be byte-stable.
+	rep.Shards = 0
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestDetectShardCountInvariant is the closed-loop determinism property:
+// the whole scorecard — series counts, anomaly events with their virtual
+// timestamps, per-class scores, latency histogram — is byte-identical
+// whether the chaos scenarios ran on one kernel or on a sharded group.
+func TestDetectShardCountInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalogue x 3 shard counts")
+	}
+	base := detectJSON(t, DetectConfig{Seed: 42, Shards: 1})
+	for _, shards := range []int{2, 3} {
+		got := detectJSON(t, DetectConfig{Seed: 42, Shards: shards})
+		if !bytes.Equal(base, got) {
+			t.Fatalf("detect report differs between 1 and %d shards", shards)
+		}
+	}
+}
+
+func TestDetectRepeatRunByteIdentical(t *testing.T) {
+	cfg := DetectConfig{Seed: 7, Shards: 1, Scenario: "crc-burst"}
+	a := detectJSON(t, cfg)
+	b := detectJSON(t, cfg)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same-seed detect runs differ")
+	}
+}
+
+// TestDetectScorecardGates runs the full catalogue on the default seed and
+// asserts the acceptance gates hold: every scenario's own invariants pass
+// under recording, and every anomaly class clears precision 0.8 / recall
+// 0.9 against the chaos ground truth.
+func TestDetectScorecardGates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalogue")
+	}
+	rep, err := Detect(io.Discard, DetectConfig{Seed: 1, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatal("scorecard failed")
+	}
+	if len(rep.Scenarios) < 14 {
+		t.Fatalf("only %d scenarios scored", len(rep.Scenarios))
+	}
+	for _, s := range rep.Scenarios {
+		if !s.ScenarioPassed {
+			t.Errorf("scenario %s failed under recording", s.Name)
+		}
+	}
+	for _, c := range rep.Classes {
+		if c.Precision < detectMinPrecision || c.Recall < detectMinRecall {
+			t.Errorf("class %s: precision %.3f recall %.3f below gates", c.Class, c.Precision, c.Recall)
+		}
+	}
+	if rep.Latency.Count == 0 {
+		t.Error("no detection latencies measured")
+	}
+}
+
+func TestDetectScenarioFilter(t *testing.T) {
+	rep, err := Detect(io.Discard, DetectConfig{Seed: 1, Scenario: "cp-duplicate-command-storm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 1 || rep.Scenarios[0].Domain != "controlplane" {
+		t.Fatalf("scenarios = %+v", rep.Scenarios)
+	}
+	if _, err := Detect(io.Discard, DetectConfig{Scenario: "no-such-scenario"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

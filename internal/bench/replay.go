@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"thymesisflow/internal/agent"
 	"thymesisflow/internal/controlplane"
@@ -34,9 +35,18 @@ type ReplayConfig struct {
 	Hosts             int
 	TransceiversPerEP int
 	// MaxInflightSagas is forwarded to Service.SetMaxInflightSagas — the
-	// admission knob; the single-threaded driver never trips it, but load
-	// harnesses layering goroutines on top will.
-	MaxInflightSagas  int
+	// admission knob; the single-threaded driver never trips it, but the
+	// concurrent driver (Workers > 1) races its issuers against it and
+	// surfaces the shed load as SagasRejected.
+	MaxInflightSagas int
+	// Workers is the number of concurrent saga-issuing goroutines. 1 (the
+	// default) is the deterministic sequential driver — byte-identical per
+	// seed. N > 1 shards attach/depart events across N issuers routed by
+	// attachment sequence (so each attachment's lifecycle stays ordered)
+	// while flap storms, autoscaler evaluations, and periodic reconciles
+	// run at pool barriers; totals then depend on scheduling, which is the
+	// point — it is the load harness that makes admission control trip.
+	Workers           int
 	ReconcileEverySec float64 // periodic reconciler cadence (simulated)
 	LocalBytes        int64   // synthetic local DRAM per host for the pressure model
 
@@ -67,6 +77,9 @@ func (cfg *ReplayConfig) defaults() {
 	}
 	if cfg.MaxInflightSagas <= 0 {
 		cfg.MaxInflightSagas = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
 	}
 	if cfg.ReconcileEverySec <= 0 {
 		cfg.ReconcileEverySec = 20
@@ -129,6 +142,7 @@ type ReplayReport struct {
 	FaultsEnabled    bool    `json:"faults_enabled"`
 	AutoscaleEnabled bool    `json:"autoscale_enabled"`
 	MaxInflightSagas int     `json:"max_inflight_sagas"`
+	Workers          int     `json:"workers"`
 
 	Trace dctrace.ChurnMix `json:"trace"`
 
@@ -317,6 +331,12 @@ type replayDriver struct {
 	crashQueue []int
 	banked     controlplane.SagaCounters
 	rep        *ReplayReport
+
+	// Concurrent-driver state (Workers > 1 only): mu guards live/known/rep
+	// against the issuer pool, pending counts submitted-but-unfinished
+	// events so the dispatcher can barrier before global actions.
+	mu      sync.Mutex
+	pending sync.WaitGroup
 }
 
 func (d *replayDriver) bank() {
@@ -507,6 +527,116 @@ func (d *replayDriver) apply(ev dctrace.ChurnEvent) error {
 	return nil
 }
 
+// applyConcurrent performs one attach/depart event from a pool issuer. The
+// saga call itself runs outside the driver lock — admission and execution
+// are the service's concern, and racing issuers against SetMaxInflightSagas
+// is exactly what this mode exists for — while driver bookkeeping happens
+// under d.mu. Crash errors cannot occur here (runConcurrent refuses crash
+// points), so every failure is a tally.
+func (d *replayDriver) applyConcurrent(ev dctrace.ChurnEvent) {
+	switch ev.Kind {
+	case dctrace.ChurnAttach:
+		rec, err := d.svc.Attach(controlplane.AttachRequest{
+			ComputeHost: d.w.hosts[ev.Compute], DonorHost: d.w.hosts[ev.Donor],
+			Bytes: ev.Bytes, Channels: 1,
+		})
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if err != nil {
+			d.rep.AttachErrors++
+			return
+		}
+		d.live[ev.Seq] = rec.ID
+		d.known[rec.ID] = true
+		d.rep.AttachesOK++
+
+	case dctrace.ChurnDepart:
+		d.mu.Lock()
+		id, ok := d.live[ev.Ref]
+		d.mu.Unlock()
+		if !ok {
+			d.mu.Lock()
+			d.rep.DepartsSkipped++ // its attach failed or was shed
+			d.mu.Unlock()
+			return
+		}
+		if _, alive := d.svc.Attachment(id); !alive {
+			// The autoscaler shrank it away first.
+			d.mu.Lock()
+			delete(d.live, ev.Ref)
+			delete(d.known, id)
+			d.rep.DepartsSkipped++
+			d.mu.Unlock()
+			return
+		}
+		err := d.svc.Detach(id)
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if err != nil {
+			d.rep.DetachErrors++
+			return
+		}
+		delete(d.live, ev.Ref)
+		delete(d.known, id)
+		d.rep.DetachesOK++
+	}
+}
+
+// runConcurrent walks the trace with cfg.Workers goroutines issuing the
+// attach/depart sagas against the admission-controlled service. Events are
+// routed by attachment sequence, so each attachment's attach and depart
+// stay ordered on one issuer; everything that acts on global state — flap
+// storms, autoscaler evaluations, periodic reconciles — runs inline on the
+// dispatcher after draining the pool.
+func (d *replayDriver) runConcurrent(events []dctrace.ChurnEvent, reconcileEvery float64) {
+	queues := make([]chan dctrace.ChurnEvent, d.cfg.Workers)
+	var issuers sync.WaitGroup
+	for i := range queues {
+		queues[i] = make(chan dctrace.ChurnEvent, 64)
+		issuers.Add(1)
+		go func(ch chan dctrace.ChurnEvent) {
+			defer issuers.Done()
+			for ev := range ch {
+				d.applyConcurrent(ev)
+				d.pending.Done()
+			}
+		}(queues[i])
+	}
+	barrier := func() { d.pending.Wait() }
+	submit := func(ev dctrace.ChurnEvent, key int) {
+		d.pending.Add(1)
+		queues[key%len(queues)] <- ev
+	}
+
+	nextReconcile := reconcileEvery
+	for _, ev := range events {
+		for ev.At >= nextReconcile {
+			barrier()
+			d.svc.Reconcile()
+			d.rep.Reconciler.PeriodicSweeps++
+			nextReconcile += reconcileEvery
+		}
+		switch ev.Kind {
+		case dctrace.ChurnAttach:
+			submit(ev, ev.Seq)
+		case dctrace.ChurnDepart:
+			submit(ev, ev.Ref)
+		case dctrace.ChurnPressure:
+			// Demand is dispatcher-local (the inspector only reads it at
+			// scale barriers), so no drain needed.
+			d.apply(ev) //nolint:errcheck // cannot crash: no crash points armed
+		default: // flap, scale
+			barrier()
+			d.apply(ev) //nolint:errcheck // cannot crash: no crash points armed
+		}
+	}
+	barrier()
+	for _, ch := range queues {
+		close(ch)
+	}
+	issuers.Wait()
+}
+
 // finalState builds the ID-free converged-state summary and checks the
 // end-state invariants.
 func (d *replayDriver) finalState() {
@@ -619,6 +749,9 @@ func (d *replayDriver) finalState() {
 // Replay runs the churn replay experiment and prints a summary table.
 func Replay(w io.Writer, cfg ReplayConfig) (ReplayReport, error) {
 	cfg.defaults()
+	if cfg.Workers > 1 && len(cfg.crashPoints) > 0 {
+		return ReplayReport{}, fmt.Errorf("replay: crash points require the sequential driver (workers=1), got workers=%d", cfg.Workers)
+	}
 	world, err := buildReplayWorld(cfg)
 	if err != nil {
 		return ReplayReport{}, err
@@ -637,6 +770,7 @@ func Replay(w io.Writer, cfg ReplayConfig) (ReplayReport, error) {
 		FaultsEnabled:    !cfg.NoFaults,
 		AutoscaleEnabled: !cfg.NoAutoscale,
 		MaxInflightSagas: cfg.MaxInflightSagas,
+		Workers:          cfg.Workers,
 	}
 
 	d := &replayDriver{
@@ -664,14 +798,18 @@ func Replay(w io.Writer, cfg ReplayConfig) (ReplayReport, error) {
 	trace_ := dctrace.GenerateChurn(ch)
 	rep.Trace = dctrace.MixOf(trace_)
 
-	nextReconcile := cfg.ReconcileEverySec
-	for _, ev := range trace_ {
-		for ev.At >= nextReconcile {
-			d.svc.Reconcile()
-			rep.Reconciler.PeriodicSweeps++
-			nextReconcile += cfg.ReconcileEverySec
+	if cfg.Workers > 1 {
+		d.runConcurrent(trace_, cfg.ReconcileEverySec)
+	} else {
+		nextReconcile := cfg.ReconcileEverySec
+		for _, ev := range trace_ {
+			for ev.At >= nextReconcile {
+				d.svc.Reconcile()
+				rep.Reconciler.PeriodicSweeps++
+				nextReconcile += cfg.ReconcileEverySec
+			}
+			d.handle(ev)
 		}
-		d.handle(ev)
 	}
 
 	// Settle: sweep until clean, then snapshot the converged state.
@@ -707,8 +845,8 @@ func printReplay(w io.Writer, rep *ReplayReport) {
 		return "off"
 	}
 	fmt.Fprintf(w, "Replay: churn trace vs the real control plane (seed %d)\n", rep.Seed)
-	fmt.Fprintf(w, "  %d sim-minutes, %d hosts, %.0f attach/min, faults %s, autoscale %s\n",
-		rep.Minutes, rep.Hosts, rep.RatePerMinute,
+	fmt.Fprintf(w, "  %d sim-minutes, %d hosts, %.0f attach/min, %d issuer(s), faults %s, autoscale %s\n",
+		rep.Minutes, rep.Hosts, rep.RatePerMinute, rep.Workers,
 		onOff(rep.FaultsEnabled), onOff(rep.AutoscaleEnabled))
 	fmt.Fprintf(w, "  trace events       %d attach / %d depart / %d flap (%d storms) / %d pressure / %d scale\n",
 		rep.Trace.Attaches, rep.Trace.Departs, rep.Trace.Flaps, rep.Trace.FlapStorms,

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// TestReplayWorkersDefaultIsSequential pins the workers=1 contract: the
+// explicit value and the zero-value default take the same deterministic
+// sequential driver, so their reports and stdout are byte-identical.
+func TestReplayWorkersDefaultIsSequential(t *testing.T) {
+	_, jsonDefault, outDefault := runReplayOnce(t, ReplayConfig{Seed: 9, Minutes: 1})
+	rep, jsonOne, outOne := runReplayOnce(t, ReplayConfig{Seed: 9, Minutes: 1, Workers: 1})
+	if rep.Workers != 1 {
+		t.Fatalf("report workers = %d, want 1", rep.Workers)
+	}
+	if !bytes.Equal(jsonDefault, jsonOne) || outDefault != outOne {
+		t.Fatal("workers=1 report differs from the default sequential driver")
+	}
+}
+
+// TestReplayConcurrentAdmissionSheds is the satellite property: with many
+// issuers racing a tight SetMaxInflightSagas limit, the service must shed
+// load at admission (SagasRejected > 0) while the surviving state stays
+// fully consistent — every end-state invariant holds.
+func TestReplayConcurrentAdmissionSheds(t *testing.T) {
+	rep, _, _ := runReplayOnce(t, ReplayConfig{
+		Seed: 1, Minutes: 1, Workers: 8, MaxInflightSagas: 1,
+		NoFaults: true, NoAutoscale: true,
+	})
+	if rep.Counters.SagasRejected == 0 {
+		t.Fatal("8 issuers against MaxInflightSagas=1 shed nothing — admission control not exercised")
+	}
+	if rep.AttachesOK == 0 {
+		t.Fatal("no attaches survived admission")
+	}
+	if len(rep.Invariants) != 0 {
+		t.Fatalf("invariant violations after concurrent shedding: %v", rep.Invariants)
+	}
+}
+
+// TestReplayConcurrentConverges drives the full churn mix — faults,
+// autoscaler, flap storms — through a concurrent pool with headroom and
+// asserts the run converges: every trace event is accounted for and the
+// end-state invariants hold.
+func TestReplayConcurrentConverges(t *testing.T) {
+	rep, _, _ := runReplayOnce(t, ReplayConfig{Seed: 3, Minutes: 1, Workers: 4})
+	if got := rep.AttachesOK + rep.AttachErrors; got != rep.Trace.Attaches {
+		t.Fatalf("attach events lost: %d issued of %d in trace", got, rep.Trace.Attaches)
+	}
+	if got := rep.DetachesOK + rep.DepartsSkipped + rep.DetachErrors; got != rep.Trace.Departs {
+		t.Fatalf("depart events lost: %d issued of %d in trace", got, rep.Trace.Departs)
+	}
+	if len(rep.Invariants) != 0 {
+		t.Fatalf("invariant violations: %v", rep.Invariants)
+	}
+	if !rep.Reconciler.FinalClean {
+		t.Fatalf("final reconcile not clean after %d passes", rep.Reconciler.FinalPasses)
+	}
+}
+
+// TestReplayConcurrentRefusesCrashPoints: the crash-recovery machinery is
+// sequential by construction (reboot swaps the live Service under the
+// driver), so arming crash points with a pool must fail loudly instead of
+// racing.
+func TestReplayConcurrentRefusesCrashPoints(t *testing.T) {
+	_, err := Replay(io.Discard, ReplayConfig{
+		Seed: 1, Minutes: 1, Workers: 2, crashPoints: []int{25},
+	})
+	if err == nil {
+		t.Fatal("crash points with workers>1 accepted")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"thymesisflow/internal/llc"
 	"thymesisflow/internal/phy"
 	"thymesisflow/internal/sim"
+	"thymesisflow/internal/timeseries"
 )
 
 // DetachMode selects the detach-under-load behaviour of a scenario.
@@ -123,6 +124,23 @@ func Run(s Scenario, campaignSeed int64) ScenarioReport {
 // describes the runtime itself (and is still deterministic per seed at a
 // fixed shard count).
 func RunSharded(s Scenario, campaignSeed int64, shards int) ScenarioReport {
+	rep, _ := runScenario(s, campaignSeed, shards, nil)
+	return rep
+}
+
+// RunRecorded is RunSharded with the fabric flight recorder enabled on the
+// scenario's cluster: alongside the report it returns the frozen telemetry
+// snapshot the run produced, sampled on the virtual tick grid for as long
+// as the run has live events. Recording adds no simulation events, so the
+// report is identical to the unrecorded run's; series hold only
+// virtual-time measurements, so the snapshot — minus the shard.* runtime
+// series, which describe wall-clock barrier stalls — is byte-identical per
+// seed at any shard count, exactly like the report.
+func RunRecorded(s Scenario, campaignSeed int64, shards int, fopts core.FlightOptions) (ScenarioReport, timeseries.Snapshot) {
+	return runScenario(s, campaignSeed, shards, &fopts)
+}
+
+func runScenario(s Scenario, campaignSeed int64, shards int, fopts *core.FlightOptions) (ScenarioReport, timeseries.Snapshot) {
 	s.defaults()
 	seed := deriveSeed(campaignSeed, s.Name)
 	rep := ScenarioReport{
@@ -142,11 +160,15 @@ func RunSharded(s Scenario, campaignSeed int64, shards int) ScenarioReport {
 	if int64(rep.Ops)*capi.Cacheline > s.AttachBytes {
 		fail("scenario writes %d lines into %d bytes", rep.Ops, s.AttachBytes)
 		rep.Passed = false
-		return rep
+		return rep, timeseries.Snapshot{}
 	}
 
 	c := core.NewClusterShards(shards)
 	sink := c.EnableLatency()
+	var rec *timeseries.Recorder
+	if fopts != nil {
+		rec = c.EnableFlightRecorder(*fopts)
+	}
 	for _, name := range []string{"compute", "donor"} {
 		hc := core.DefaultHostConfig(name)
 		hc.DRAMPerSocket = 4 << 30
@@ -154,7 +176,7 @@ func RunSharded(s Scenario, campaignSeed int64, shards int) ScenarioReport {
 		hc.RMMUSections = 64
 		if _, err := c.AddHost(hc); err != nil {
 			fail("add host: %v", err)
-			return rep
+			return rep, timeseries.Snapshot{}
 		}
 	}
 	att, err := c.Attach(core.AttachSpec{
@@ -163,7 +185,7 @@ func RunSharded(s Scenario, campaignSeed int64, shards int) ScenarioReport {
 	})
 	if err != nil {
 		fail("attach: %v", err)
-		return rep
+		return rep, timeseries.Snapshot{}
 	}
 	if s.Faults != nil {
 		sched := *s.Faults
@@ -394,7 +416,11 @@ func RunSharded(s Scenario, campaignSeed int64, shards int) ScenarioReport {
 	}
 
 	rep.Passed = len(rep.Failures) == 0
-	return rep
+	var snap timeseries.Snapshot
+	if rec != nil {
+		snap = rec.Snapshot()
+	}
+	return rep, snap
 }
 
 // RunCampaign executes the scenarios serially in order and assembles the

@@ -21,6 +21,7 @@ import (
 	"thymesisflow/internal/agent"
 	"thymesisflow/internal/controlplane"
 	"thymesisflow/internal/core"
+	"thymesisflow/internal/timeseries"
 	"thymesisflow/internal/trace"
 )
 
@@ -30,7 +31,60 @@ const cpToken = "chaos-cp-token"
 type CPScenario struct {
 	Name        string
 	Description string
-	run         func(seed int64, rep *CPScenarioReport)
+	run         func(seed int64, rep *CPScenarioReport, obs *CPObserver)
+}
+
+// CPObserver is the control-plane flight-recorder tap: the scenario world's
+// deterministic step clock is wrapped with a timeseries.ClockSampler, so
+// every few clock readings the observer records the service's saga counters
+// and inflight gauge into cp.* series. It reads only atomic counters — the
+// clock fires while the saga engine holds its own locks — and folds in the
+// counters banked across crash-restarts so the series stay cumulative over
+// the whole scenario, not one process lifetime.
+type CPObserver struct {
+	rec *timeseries.Recorder
+	rep *CPScenarioReport
+
+	svc *controlplane.Service
+
+	retries, repairs, parked, rejected, inflight *timeseries.Series
+}
+
+// NewCPObserver builds an observer recording into rec (which must be
+// non-nil); pass it to RunCPRecorded.
+func NewCPObserver(rec *timeseries.Recorder) *CPObserver {
+	return &CPObserver{
+		rec:      rec,
+		retries:  rec.Series("cp.saga_retries", timeseries.Counter),
+		repairs:  rec.Series("cp.reconcile_repairs", timeseries.Counter),
+		parked:   rec.Series("cp.sagas_parked", timeseries.Counter),
+		rejected: rec.Series("cp.sagas_rejected", timeseries.Counter),
+		inflight: rec.Series("cp.saga_inflight", timeseries.Gauge),
+	}
+}
+
+// wrap installs the sampling tap on the world clock.
+func (o *CPObserver) wrap(inner trace.WallClock) trace.WallClock {
+	cs := &timeseries.ClockSampler{Every: 8, Sample: o.sample}
+	return cs.Wrap(inner)
+}
+
+// observe points the tap at the current control-plane process (boot calls
+// it on every restart).
+func (o *CPObserver) observe(svc *controlplane.Service) { o.svc = svc }
+
+func (o *CPObserver) sample(ts int64) {
+	svc := o.svc
+	if svc == nil {
+		return
+	}
+	cur := svc.Counters()
+	banked := o.rep.Counters
+	o.retries.Record(ts, float64(banked.SagaRetries+cur.SagaRetries))
+	o.repairs.Record(ts, float64(banked.ReconcileRepairs+cur.ReconcileRepairs))
+	o.parked.Record(ts, float64(banked.SagasParked+cur.SagasParked))
+	o.rejected.Record(ts, float64(banked.SagasRejected+cur.SagasRejected))
+	o.inflight.Record(ts, float64(svc.InflightSagas()))
 }
 
 // CPScenarioReport is one control-plane scenario's outcome. Every field is
@@ -99,9 +153,12 @@ type cpWorld struct {
 	// saga that spans a crash keeps one coherent timeline across processes.
 	elog  *trace.EventLog
 	clock trace.WallClock
+
+	// obs, when non-nil, is the flight-recorder tap riding the clock.
+	obs *CPObserver
 }
 
-func newCPWorld(rep *CPScenarioReport, faults controlplane.TransportFaults) *cpWorld {
+func newCPWorld(rep *CPScenarioReport, faults controlplane.TransportFaults, obs *CPObserver) *cpWorld {
 	c := core.NewCluster()
 	hosts := []string{"node0", "node1", "node2"}
 	m := controlplane.NewModel()
@@ -139,7 +196,7 @@ func newCPWorld(rep *CPScenarioReport, faults controlplane.TransportFaults) *cpW
 	for _, n := range hosts {
 		inner.Register(agent.New(n, cpToken))
 	}
-	return &cpWorld{
+	w := &cpWorld{
 		cluster: c,
 		model:   m,
 		inner:   inner,
@@ -148,7 +205,13 @@ func newCPWorld(rep *CPScenarioReport, faults controlplane.TransportFaults) *cpW
 		hosts:   hosts,
 		elog:    trace.NewEventLog(1 << 14),
 		clock:   trace.StepClock(0, 25),
+		obs:     obs,
 	}
+	if obs != nil {
+		obs.rep = rep
+		w.clock = obs.wrap(w.clock)
+	}
+	return w
 }
 
 // boot starts a control-plane "process" over the world with zero-backoff
@@ -159,6 +222,9 @@ func (w *cpWorld) boot(tr controlplane.Transport) *controlplane.Service {
 	svc.SetTransport(tr)
 	svc.SetRetryPolicy(controlplane.RetryPolicy{MaxAttempts: 6})
 	svc.SetSagaTracing(w.elog, w.clock)
+	if w.obs != nil {
+		w.obs.observe(svc)
+	}
 	return svc
 }
 
@@ -352,10 +418,10 @@ func CPCatalogue() []CPScenario {
 	}
 }
 
-func runAgentFlap(seed int64, rep *CPScenarioReport) {
+func runAgentFlap(seed int64, rep *CPScenarioReport, obs *CPObserver) {
 	w := newCPWorld(rep, controlplane.TransportFaults{
 		DropProb: 0.05, DupProb: 0.10, AmbiguousProb: 0.10, Seed: seed,
-	})
+	}, obs)
 	if w == nil {
 		return
 	}
@@ -400,10 +466,10 @@ func runAgentFlap(seed int64, rep *CPScenarioReport) {
 	}
 }
 
-func runOrchestratorCrash(seed int64, rep *CPScenarioReport) {
+func runOrchestratorCrash(seed int64, rep *CPScenarioReport, obs *CPObserver) {
 	w := newCPWorld(rep, controlplane.TransportFaults{
 		DropProb: 0.05, DupProb: 0.10, AmbiguousProb: 0.10, Seed: seed,
-	})
+	}, obs)
 	if w == nil {
 		return
 	}
@@ -467,10 +533,10 @@ func runOrchestratorCrash(seed int64, rep *CPScenarioReport) {
 	}
 }
 
-func runDuplicateStorm(seed int64, rep *CPScenarioReport) {
+func runDuplicateStorm(seed int64, rep *CPScenarioReport, obs *CPObserver) {
 	w := newCPWorld(rep, controlplane.TransportFaults{
 		DupProb: 0.90, AmbiguousProb: 0.40, Seed: seed,
-	})
+	}, obs)
 	if w == nil {
 		return
 	}
@@ -512,9 +578,22 @@ func runDuplicateStorm(seed int64, rep *CPScenarioReport) {
 func RunCP(s CPScenario, campaignSeed int64) CPScenarioReport {
 	seed := deriveSeed(campaignSeed, s.Name)
 	rep := CPScenarioReport{Name: s.Name, Description: s.Description, Seed: seed}
-	s.run(seed, &rep)
+	s.run(seed, &rep, nil)
 	rep.Passed = len(rep.Failures) == 0
 	return rep
+}
+
+// RunCPRecorded is RunCP with a flight-recorder tap on the scenario world:
+// alongside the report it returns the cp.* telemetry snapshot, timestamped
+// by the world's deterministic step clock (so the snapshot is byte-identical
+// per seed, like the report).
+func RunCPRecorded(s CPScenario, campaignSeed int64, capacity int) (CPScenarioReport, timeseries.Snapshot) {
+	seed := deriveSeed(campaignSeed, s.Name)
+	rep := CPScenarioReport{Name: s.Name, Description: s.Description, Seed: seed}
+	obs := NewCPObserver(timeseries.NewRecorder(capacity))
+	s.run(seed, &rep, obs)
+	rep.Passed = len(rep.Failures) == 0
+	return rep, obs.rec.Snapshot()
 }
 
 // RunCPCampaign executes the control-plane catalogue serially.

@@ -1,0 +1,172 @@
+package controlplane
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func syncTestEntry(i int) JournalEntry {
+	return JournalEntry{
+		Seq: uint64(i + 1), SagaID: fmt.Sprintf("saga-%03d", i), Op: OpAttach,
+		Event: EvIntent, Step: StepStealMemory, Compute: "c0", Donor: "d0",
+		Bytes: 1 << 20, Channels: 2,
+	}
+}
+
+// TestFileJournalGroupCommitCommittedPrefix is the crash-point sweep for
+// fsync batching: for every (SyncEvery, crash-after-N-appends) pair, a
+// journal abandoned without Close — the unflushed batch dies with the
+// "process" — must leave on disk an exact prefix of the append sequence,
+// no shorter than the last group-commit boundary, with every surviving
+// record byte-intact. That is the committed-prefix invariant recovery
+// depends on: group commit may cost the tail, never the middle.
+func TestFileJournalGroupCommitCommittedPrefix(t *testing.T) {
+	for _, every := range []int{1, 3, 4, 7} {
+		for crashAt := 0; crashAt <= 11; crashAt++ {
+			name := fmt.Sprintf("every%d_crash%d", every, crashAt)
+			t.Run(name, func(t *testing.T) {
+				path := filepath.Join(t.TempDir(), "journal")
+				j, err := OpenFileJournal(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				j.SetSyncEvery(every, 0)
+				var want []JournalEntry
+				for i := 0; i < crashAt; i++ {
+					e := syncTestEntry(i)
+					if err := j.Append(e); err != nil {
+						t.Fatal(err)
+					}
+					want = append(want, e)
+				}
+				// Crash: abandon j. Nothing still in the batch buffer
+				// reaches the file.
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, got := journalValidPrefix(data)
+				if len(got) > crashAt {
+					t.Fatalf("disk holds %d records, only %d were appended", len(got), crashAt)
+				}
+				if floor := (crashAt / every) * every; len(got) < floor {
+					t.Fatalf("disk holds %d records, group commit promised at least %d", len(got), floor)
+				}
+				for i := range got {
+					if !reflect.DeepEqual(got[i], want[i]) {
+						t.Fatalf("record %d corrupted:\n got %+v\nwant %+v", i, got[i], want[i])
+					}
+				}
+
+				// Recovery over the survivor: reopen, append, and the new
+				// record lands cleanly after the committed prefix.
+				j2, err := OpenFileJournal(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				extra := syncTestEntry(crashAt)
+				if err := j2.Append(extra); err != nil {
+					t.Fatal(err)
+				}
+				after, err := j2.Entries()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(after) != len(got)+1 || !reflect.DeepEqual(after[len(after)-1], extra) {
+					t.Fatalf("post-recovery journal = %d records, want committed prefix %d + 1", len(after), len(got))
+				}
+				if err := j2.Close(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestFileJournalSyncEveryAmortizes asserts group commit actually batches:
+// 64 appends at SyncEvery 8 cost at most 64/8 fsyncs (plus the one Close
+// commit), and Close makes every record durable.
+func TestFileJournalSyncEveryAmortizes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	j, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSyncEvery(8, 0)
+	for i := 0; i < 64; i++ {
+		if err := j.Append(syncTestEntry(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appends, syncs := j.SyncStats()
+	if appends != 64 || syncs != 8 {
+		t.Fatalf("SyncStats = %d appends / %d syncs, want 64/8", appends, syncs)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, got := journalValidPrefix(data); len(got) != 64 {
+		t.Fatalf("after Close disk holds %d records, want 64", len(got))
+	}
+}
+
+// TestFileJournalSyncForcesBatch: an explicit Sync commits a partial batch.
+func TestFileJournalSyncForcesBatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	j, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSyncEvery(100, 0)
+	for i := 0; i < 3; i++ {
+		if err := j.Append(syncTestEntry(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, got := journalValidPrefix(data); len(got) != 3 {
+		t.Fatalf("after Sync disk holds %d records, want 3", len(got))
+	}
+}
+
+// benchJournalAppend measures the per-record append cost at a given group-
+// commit threshold — the benchsnap "journal_append" section. SyncEvery 1
+// is the write-through baseline paying one fsync per record.
+func benchJournalAppend(b *testing.B, every int) {
+	path := filepath.Join(b.TempDir(), "journal")
+	j, err := OpenFileJournal(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	j.SetSyncEvery(every, 0)
+	e := syncTestEntry(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Seq = uint64(i + 1)
+		if err := j.Append(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := j.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkJournalAppendSyncEvery1(b *testing.B)  { benchJournalAppend(b, 1) }
+func BenchmarkJournalAppendSyncEvery8(b *testing.B)  { benchJournalAppend(b, 8) }
+func BenchmarkJournalAppendSyncEvery64(b *testing.B) { benchJournalAppend(b, 64) }

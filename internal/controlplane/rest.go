@@ -59,6 +59,8 @@ func NewAPI(svc *Service, auth AuthConfig) *API {
 	a.mux.HandleFunc("/v1/latency", a.handleLatency)
 	a.mux.HandleFunc("/v1/trace/snapshot", a.handleTraceSnapshot)
 	a.mux.HandleFunc("/v1/events", a.handleEvents)
+	a.mux.HandleFunc("/v1/timeseries", a.handleTimeseries)
+	a.mux.HandleFunc("/v1/anomalies", a.handleAnomalies)
 	a.mux.HandleFunc("/v1/healthz", a.handleHealthz)
 	a.mux.HandleFunc("/v1/readyz", a.handleReadyz)
 	return a

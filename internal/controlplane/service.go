@@ -13,6 +13,8 @@ import (
 	"thymesisflow/internal/core"
 	"thymesisflow/internal/mem"
 	"thymesisflow/internal/metrics"
+	"thymesisflow/internal/timeseries"
+	"thymesisflow/internal/timeseries/detect"
 	"thymesisflow/internal/trace"
 )
 
@@ -264,6 +266,12 @@ type Service struct {
 	// reconciler liveness (0 disabled, 1 running, 2 stopped).
 	lastJournalErr string
 	reconState     atomic.Int32
+
+	// Flight-recorder telemetry (flight.go): nil until SetFlightRecorder.
+	// Atomics, not s.mu — samplers tick these from clock taps and timer
+	// goroutines that must never contend with the saga engine.
+	flightRec atomic.Pointer[timeseries.Recorder]
+	flightDet atomic.Pointer[detect.Detector]
 }
 
 // parkedSaga is a saga whose datapath work is finished but whose agent

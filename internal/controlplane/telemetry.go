@@ -3,9 +3,11 @@ package controlplane
 import (
 	"net/http"
 	"net/http/pprof"
+	"strings"
 
 	"thymesisflow/internal/core"
 	"thymesisflow/internal/metrics"
+	"thymesisflow/internal/timeseries/detect"
 	"thymesisflow/internal/trace"
 )
 
@@ -54,6 +56,41 @@ func (s *Service) collectSagaCounters(reg *metrics.Registry) {
 		reg.Gauge("cp.events_recorded").Set(float64(elog.Recorded()))
 		reg.Gauge("cp.events_dropped").Set(float64(elog.Dropped()))
 	}
+	// Flight-recorder health (timeseries_*) and anomaly tallies (anomaly_*).
+	// Every class appears even at zero, so the exposition's instrument set is
+	// stable from the first scrape.
+	if rec := s.flightRec.Load(); rec != nil {
+		series, points, dropped := rec.Stats()
+		reg.Gauge("timeseries.series").Set(float64(series))
+		reg.Gauge("timeseries.points").Set(float64(points))
+		reg.Gauge("timeseries.dropped").Set(float64(dropped))
+	}
+	if det := s.flightDet.Load(); det != nil {
+		reg.Gauge("anomaly.active").Set(float64(det.Active()))
+		totals := det.Totals()
+		for _, class := range detect.Classes() {
+			ctr := reg.Counter("anomaly.total." + snakeClass(class))
+			ctr.Reset()
+			ctr.Add(int64(totals[class])) //nolint:gosec // event counts, far below int64
+		}
+	}
+}
+
+// snakeClass maps a CamelCase anomaly class to its snake_case metric
+// suffix (ReplayStorm -> replay_storm).
+func snakeClass(class string) string {
+	var b strings.Builder
+	b.Grow(len(class) + 4)
+	for i, r := range class {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 {
+				b.WriteByte('_')
+			}
+			r += 'a' - 'A'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
 }
 
 // SetLatency attaches the latency-attribution source served under

@@ -37,6 +37,9 @@ type Cluster struct {
 	// lat is the cluster-wide latency-attribution sink (nil = disabled).
 	lat *latency.Sink
 
+	// flight is the fabric flight recorder (nil = disabled).
+	flight *flightRecorder
+
 	// Sharded execution (nil group = classic single-kernel cluster; the
 	// single-kernel code paths are byte-identical to the pre-sharding ones).
 	group     *shard.Group
@@ -144,10 +147,18 @@ func (c *Cluster) ShardHealth() (shard.Health, bool) {
 	return c.group.Health(), true
 }
 
+// flightRunLimit bounds a recorded Run(): the sampling grid needs a finite
+// limit to step toward, and stepping stops at queue drain exactly like an
+// unbounded run would.
+const flightRunLimit = sim.Time(1) << 62
+
 // Run advances the cluster until all queues drain, returning the final
 // virtual time. Sharded clusters step their kernels in conservative
 // windows; unsharded ones run the kernel directly.
 func (c *Cluster) Run() sim.Time {
+	if c.flight != nil {
+		return c.runSampled(flightRunLimit)
+	}
 	if c.group == nil {
 		return c.K.Run()
 	}
@@ -155,12 +166,68 @@ func (c *Cluster) Run() sim.Time {
 }
 
 // RunUntil advances the cluster through virtual time limit (see
-// sim.Kernel.RunUntil for clock semantics).
+// sim.Kernel.RunUntil for clock semantics). With the flight recorder
+// enabled the advance is chopped into sampling-grid steps; the event chain
+// is identical either way.
 func (c *Cluster) RunUntil(limit sim.Time) sim.Time {
+	if c.flight != nil {
+		return c.runSampled(limit)
+	}
+	return c.runUntil(limit)
+}
+
+func (c *Cluster) runUntil(limit sim.Time) sim.Time {
 	if c.group == nil {
 		return c.K.RunUntil(limit)
 	}
 	return c.group.RunUntil(limit)
+}
+
+// runSampled advances to limit in flight-recorder tick steps, sampling every
+// registered series at each grid instant the run reaches. Sampling happens
+// between windows, while all shards are parked at the grid time, so it never
+// races the parallel runtime and observes a globally consistent state.
+// Because sampling schedules no events, a recorded run executes the exact
+// event chain of an unrecorded one — phases that end at queue drain (chaos
+// read-back) keep their timing — and because grid instants are absolute
+// multiples of the tick, the sample set is independent of shard count.
+// Stepping stops at queue drain, matching RunUntil's early return.
+func (c *Cluster) runSampled(limit sim.Time) sim.Time {
+	fr := c.flight
+	now := c.K.Now()
+	for {
+		next := (now/fr.tick + 1) * fr.tick
+		if next > limit {
+			now = c.runUntil(limit)
+			break
+		}
+		now = c.runUntil(next)
+		if now < next {
+			// Drained (or stopped) short of the grid instant.
+			break
+		}
+		fr.sampleAll(c, int64(next))
+		if !c.pendingEvents() {
+			break
+		}
+	}
+	// One final sample at the phase boundary (queue drain or the limit):
+	// off-grid, but the virtual end time is shard-invariant, and it captures
+	// terminal transitions — a port fencing itself moments before the run
+	// drains — that land after the last grid instant.
+	fr.sampleAll(c, int64(now))
+	return now
+}
+
+// pendingEvents reports whether any shard kernel still has live events
+// queued. Only meaningful while the cluster is quiescent.
+func (c *Cluster) pendingEvents() bool {
+	for _, k := range c.Kernels() {
+		if _, ok := k.NextAt(); ok {
+			return true
+		}
+	}
+	return false
 }
 
 // injectFrom runs fn on shard dst, ordered after the current instant on
@@ -201,6 +268,9 @@ func (c *Cluster) AddHost(cfg HostConfig) (*Host, error) {
 	c.hostOrder = append(c.hostOrder, cfg.Name)
 	if c.hostShard != nil {
 		c.hostShard[cfg.Name] = si
+	}
+	if c.flight != nil {
+		c.flight.addHost(si, h)
 	}
 	return h, nil
 }
@@ -639,6 +709,9 @@ func (c *Cluster) Attach(spec AttachSpec) (*Attachment, error) {
 	}
 
 	c.attachments[id] = att
+	if c.flight != nil {
+		c.flight.addAttachment(c, att)
+	}
 	return att, nil
 }
 

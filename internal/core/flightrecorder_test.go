@@ -1,0 +1,165 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"thymesisflow/internal/capi"
+	"thymesisflow/internal/sim"
+	"thymesisflow/internal/timeseries"
+)
+
+// driveLoads pushes n synchronous cacheline loads through the testbed's
+// datapath and runs the cluster (through the Cluster run path, so a enabled
+// flight recorder samples) until it drains.
+func driveLoads(t *testing.T, tb *Testbed, n int) sim.Time {
+	t.Helper()
+	var loadErr error
+	tb.Cluster.K.Go("loads", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			off := int64(i%256) * capi.Cacheline
+			if _, err := tb.Cluster.Load(p, tb.Att, off, capi.Cacheline); err != nil {
+				loadErr = err
+				return
+			}
+		}
+	})
+	end := tb.Cluster.Run()
+	if loadErr != nil {
+		t.Fatal(loadErr)
+	}
+	return end
+}
+
+func TestFlightRecorderSamplesOnGrid(t *testing.T) {
+	tb, err := NewTestbed(ConfigSingleDisaggregated, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := tb.Cluster.EnableFlightRecorder(FlightOptions{})
+	if tb.Cluster.EnableFlightRecorder(FlightOptions{}) != rec {
+		t.Fatal("second enable returned a different recorder")
+	}
+	if tb.Cluster.FlightRecorder() != rec {
+		t.Fatal("FlightRecorder() mismatch")
+	}
+	end := driveLoads(t, tb, 2000)
+
+	snap := rec.Snapshot()
+	if len(snap.Series) == 0 {
+		t.Fatal("no series recorded")
+	}
+	prefixes := map[string]bool{}
+	for _, ss := range snap.Series {
+		dot := strings.IndexByte(ss.Name, '.')
+		prefixes[ss.Name[:dot+1]] = true
+		if len(ss.Points) == 0 {
+			t.Fatalf("series %s recorded no points", ss.Name)
+		}
+		prev := int64(-1)
+		for i, p := range ss.Points {
+			if p.TS <= prev {
+				t.Fatalf("series %s: non-increasing TS at %d", ss.Name, i)
+			}
+			prev = p.TS
+			// Every instant lies on the tick grid except the final
+			// phase-boundary sample at queue drain.
+			if p.TS%int64(DefaultFlightTick) != 0 && p.TS != int64(end) {
+				t.Fatalf("series %s: off-grid sample at %d (end %d)", ss.Name, p.TS, end)
+			}
+		}
+	}
+	for _, want := range []string{"llc.", "phy.", "capi."} {
+		if !prefixes[want] {
+			t.Fatalf("no %s* series in snapshot (have %v)", want, prefixes)
+		}
+	}
+}
+
+// TestFlightRecorderPreservesTimeline is the no-perturbation guarantee: the
+// recorder schedules no simulation events, so a recorded run must drain at
+// the exact virtual instant — having moved the exact same traffic — as an
+// unrecorded one.
+func TestFlightRecorderPreservesTimeline(t *testing.T) {
+	run := func(record bool) (sim.Time, llcStats) {
+		tb, err := NewTestbed(ConfigSingleDisaggregated, 64<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if record {
+			tb.Cluster.EnableFlightRecorder(FlightOptions{Tick: 777_777})
+		}
+		end := driveLoads(t, tb, 500)
+		p := tb.Att.computePorts[0]
+		st := p.Stats()
+		return end, llcStats{st.TxFrames, st.RxFrames}
+	}
+	endOff, statsOff := run(false)
+	endOn, statsOn := run(true)
+	if endOff != endOn {
+		t.Fatalf("recorded run drained at %d, unrecorded at %d", endOn, endOff)
+	}
+	if statsOff != statsOn {
+		t.Fatalf("recorded traffic %+v != unrecorded %+v", statsOn, statsOff)
+	}
+}
+
+type llcStats struct{ tx, rx int64 }
+
+// TestFlightRecorderDisabledAddsNothing pins the zero-overhead-off idiom at
+// the cluster run path: with no recorder, RunUntil falls straight through to
+// the kernel and the recorder pointer stays nil.
+func TestFlightRecorderDisabledAddsNothing(t *testing.T) {
+	tb, err := NewTestbed(ConfigSingleDisaggregated, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveLoads(t, tb, 100)
+	if tb.Cluster.FlightRecorder() != nil {
+		t.Fatal("recorder non-nil without EnableFlightRecorder")
+	}
+}
+
+func TestFlightRecorderSharded(t *testing.T) {
+	// A sharded cluster gets per-shard barrier-stall series and samples all
+	// shard-owned targets; series timestamps stay on the same global grid.
+	c := NewClusterShards(2)
+	rec := c.EnableFlightRecorder(FlightOptions{})
+	for _, name := range []string{"compute", "donor"} {
+		hc := DefaultHostConfig(name)
+		hc.DRAMPerSocket = 1 << 30
+		hc.SectionSize = 1 << 20
+		hc.RMMUSections = 16
+		if _, err := c.AddHost(hc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	att, err := c.Attach(AttachSpec{ComputeHost: "compute", DonorHost: "donor", Bytes: 16 << 20, Channels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loadErr error
+	c.K.Go("loads", func(p *sim.Proc) {
+		for i := 0; i < 500; i++ {
+			if _, err := c.Load(p, att, int64(i%64)*capi.Cacheline, capi.Cacheline); err != nil {
+				loadErr = err
+				return
+			}
+		}
+	})
+	c.Run()
+	if loadErr != nil {
+		t.Fatal(loadErr)
+	}
+	snap := rec.Snapshot()
+	haveStall := false
+	for _, ss := range snap.Series {
+		if strings.HasPrefix(ss.Name, "shard.") && strings.HasSuffix(ss.Name, ".barrier_stall_ns") {
+			haveStall = true
+		}
+	}
+	if !haveStall {
+		t.Fatal("sharded cluster recorded no shard.*.barrier_stall_ns series")
+	}
+	var _ timeseries.Snapshot = snap
+}

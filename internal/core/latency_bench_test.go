@@ -49,3 +49,40 @@ func benchClusterLoads(b *testing.B, attrOn bool) {
 
 func BenchmarkClusterLoadAttrOff(b *testing.B) { benchClusterLoads(b, false) }
 func BenchmarkClusterLoadAttrOn(b *testing.B)  { benchClusterLoads(b, true) }
+
+// BenchmarkClusterLoadRecorderOn measures the same load loop with the
+// flight recorder sampling on the default grid (driven through Cluster.Run,
+// the pump path). The delta against AttrOff is the whole recording cost;
+// with the recorder off the run never touches the recorder code at all, so
+// AttrOff doubles as the recorder-disabled allocation guard.
+func BenchmarkClusterLoadRecorderOn(b *testing.B) {
+	tb, err := NewTestbed(ConfigSingleDisaggregated, 64<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, att := tb.Cluster, tb.Att
+	c.EnableFlightRecorder(FlightOptions{})
+
+	var loadErr error
+	b.ReportAllocs()
+	b.ResetTimer()
+	c.K.Go("bench-loads", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			off := int64(i%256) * capi.Cacheline
+			if _, err := c.Load(p, att, off, capi.Cacheline); err != nil {
+				loadErr = err
+				return
+			}
+		}
+	})
+	c.Run()
+	b.StopTimer()
+	if loadErr != nil {
+		b.Fatal(loadErr)
+	}
+	if rec := c.FlightRecorder(); rec != nil {
+		if _, points, _ := rec.Stats(); points == 0 {
+			b.Fatal("recorder sampled nothing")
+		}
+	}
+}

@@ -249,6 +249,11 @@ func (p *Port) Channel() *phy.Channel { return p.out }
 // Down reports whether the port has escalated to the link-down state.
 func (p *Port) Down() bool { return p.down }
 
+// ReplayDepth returns the number of transmitted frames held in the replay
+// buffer awaiting acknowledgement — the flight recorder's gauge of how far
+// behind its ack horizon the link is running.
+func (p *Port) ReplayDepth() int { return len(p.replayBuf) }
+
 // Send queues a transaction for transmission. Transactions arriving within
 // the same event cascade are packed into common frames. If the transmitter
 // is out of credits the transaction waits (backpressure) — Send itself never

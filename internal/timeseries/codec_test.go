@@ -1,0 +1,85 @@
+package timeseries
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func sampleSnapshot() Snapshot {
+	return Snapshot{Series: []SeriesSnapshot{
+		{Name: "llc.att-0.p0.credits", Kind: "gauge", Points: []Point{{5_000_000, 256}, {10_000_000, 250.5}}},
+		{Name: "phy.att-0.c0.fwd.dropped", Kind: "counter", Points: []Point{{5_000_000, 0}, {10_000_000, 3}}},
+		{Name: "empty", Kind: "gauge", Points: []Point{}},
+	}}
+}
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	want := sampleSnapshot()
+	got, err := DecodeSnapshot(EncodeSnapshot(want))
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestDecodeSnapshotAnySniffs(t *testing.T) {
+	want := sampleSnapshot()
+	if got, err := DecodeSnapshotAny(EncodeSnapshot(want)); err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("binary sniff: %v", err)
+	}
+	js, _ := json.Marshal(want)
+	got, err := DecodeSnapshotAny(js)
+	if err != nil {
+		t.Fatalf("json sniff: %v", err)
+	}
+	// JSON round trip loses the empty-vs-nil points distinction only.
+	if len(got.Series) != len(want.Series) || got.Series[0].Name != want.Series[0].Name {
+		t.Fatalf("json decode = %+v", got)
+	}
+	if _, err := DecodeSnapshotAny([]byte("not json")); err == nil {
+		t.Fatal("garbage decoded without error")
+	}
+}
+
+func TestDecodeSnapshotRejectsCorrupt(t *testing.T) {
+	enc := EncodeSnapshot(sampleSnapshot())
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": enc[:5],
+		"bad magic":    append([]byte("XXXX"), enc[4:]...),
+		"bad version":  append([]byte("TFTS\xff"), enc[5:]...),
+		"truncated":    enc[:len(enc)-3],
+		"trailing":     append(append([]byte{}, enc...), 0),
+	}
+	// Hostile claimed counts must fail before allocating.
+	huge := append([]byte{}, enc...)
+	huge[5], huge[6], huge[7], huge[8] = 0xff, 0xff, 0xff, 0xff
+	cases["huge series count"] = huge
+	for name, data := range cases {
+		if _, err := DecodeSnapshot(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func FuzzSeriesDecode(f *testing.F) {
+	f.Add(EncodeSnapshot(sampleSnapshot()))
+	f.Add(EncodeSnapshot(Snapshot{}))
+	f.Add([]byte("TFTS"))
+	f.Add([]byte(`{"series":[{"name":"x","kind":"gauge","points":[{"ts":1,"v":2}]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode to the identical bytes: the wire
+		// format has exactly one representation per snapshot.
+		if enc := EncodeSnapshot(s); !bytes.Equal(enc, data) {
+			t.Fatalf("re-encode mismatch: %d bytes in, %d out", len(data), len(enc))
+		}
+	})
+}

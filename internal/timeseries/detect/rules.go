@@ -1,0 +1,75 @@
+package detect
+
+// Default rule catalogues. Series-name suffixes bind rules to the flight
+// recorder's schema (docs/OBSERVABILITY.md): datapath series are sampled on
+// the virtual ~5 us tick, control-plane series on the wall/step clock.
+//
+// Thresholds are calibrated against the chaos catalogue: each rule must
+// fire inside its scenario's fault windows (recall) while staying quiet on
+// the clean baseline, detach scenarios, and the faintest sustained-loss
+// sweep point (precision). The `tfbench -experiment detect` scorecard is
+// the regression harness for these numbers.
+
+// DatapathRules detects datapath anomalies from llc/phy series.
+func DatapathRules() []Rule {
+	return []Rule{
+		// Credit starvation: the sender exhausted its credit window and had
+		// to park. Any stall activity sustained across two ticks counts —
+		// correctly-sized windows never stall at all.
+		{
+			Class: CreditStarvation, Suffix: ".credit_stalls",
+			Delta: true, Threshold: 1, OnsetCount: 2, ClearCount: 8,
+		},
+		// Replay storm, amplitude signal: the retransmission buffer stays
+		// deep — many frames outstanding past their ack deadline at once.
+		// Onset needs 25 us of sustained depth: faint background loss bounces
+		// off the threshold for a tick or two but never holds it.
+		{
+			Class: ReplayStorm, Suffix: ".replay_depth",
+			Threshold: 4, OnsetCount: 5, ClearCount: 8,
+		},
+		// Replay storm, rate signal: frames are actually being retransmitted
+		// every tick for 15 us straight. A healthy link replays nothing, so
+		// this catches sustained moderate loss whose shallow pipeline never
+		// builds amplitude (the depth signal saturates at the worker count).
+		{
+			Class: ReplayStorm, Suffix: ".tx_replayed",
+			Delta: true, Threshold: 1, OnsetCount: 3, ClearCount: 8,
+		},
+		// Link degraded: the channel is actively dropping or corrupting
+		// frames. Clearing is generous (12 quiet ticks) so sparse sustained
+		// loss reads as one degradation, not hundreds.
+		{
+			Class: LinkDegraded, Suffix: ".dropped",
+			Delta: true, Threshold: 1, OnsetCount: 1, ClearCount: 12,
+		},
+		{
+			Class: LinkDegraded, Suffix: ".corrupted",
+			Delta: true, Threshold: 1, OnsetCount: 1, ClearCount: 12,
+		},
+		// Link dead: the port latched its fenced state. Terminal: latched,
+		// never clears.
+		{
+			Class: LinkDead, Suffix: ".down",
+			Threshold: 1, OnsetCount: 1, Latch: true,
+		},
+	}
+}
+
+// ControlPlaneRules detects control-plane anomalies from cp.* series.
+func ControlPlaneRules() []Rule {
+	return []Rule{
+		// Saga retry storm: command retries accumulate between samples —
+		// the transport is eating messages or acks.
+		{
+			Class: SagaRetryStorm, Suffix: "cp.saga_retries",
+			Delta: true, Threshold: 1, OnsetCount: 1, ClearCount: 6,
+		},
+		// Reconciler backlog: reconcile sweeps are finding and repairing
+		// drift — agents lost state the records still own.
+		{
+			Class: ReconcilerBacklog, Suffix: "cp.reconcile_repairs",
+			Delta: true, Threshold: 1, OnsetCount: 1, ClearCount: 6,
+		},
+	}
+}

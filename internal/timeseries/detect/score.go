@@ -1,0 +1,121 @@
+package detect
+
+import "sort"
+
+// Label is one ground-truth anomaly window: the chaos engine knows exactly
+// when and how it hurt the fabric (phy.FaultSchedule windows, FaultyTransport
+// scripts), and exports that knowledge as labels the detector is scored
+// against. From/To are in the same tick domain as the series the class is
+// detected from (virtual picoseconds for datapath classes, step-clock
+// nanoseconds for control-plane classes).
+type Label struct {
+	Class string `json:"class"`
+	From  int64  `json:"from"`
+	To    int64  `json:"to"`
+	// Optional marks a window where the anomaly is plausible but not
+	// guaranteed — faint sustained loss that may or may not build a replay
+	// storm on a given seed. Events overlapping an optional window are not
+	// false positives, but missing one costs no recall: optional labels are
+	// excluded from the recall denominator and the latency histogram.
+	Optional bool `json:"optional,omitempty"`
+}
+
+// ClassScore is the per-anomaly-class confusion summary. Precision counts
+// detected events that overlap a same-class label; recall counts labels
+// touched by at least one same-class event.
+type ClassScore struct {
+	Class          string  `json:"class"`
+	Labels         int     `json:"labels"`
+	LabelsDetected int     `json:"labels_detected"`
+	Events         int     `json:"events"`
+	EventsMatched  int     `json:"events_matched"`
+	Precision      float64 `json:"precision"`
+	Recall         float64 `json:"recall"`
+}
+
+// Finalize computes precision/recall from the counts. Empty denominators
+// score 1.0: a class with no labels and no events is perfectly detected.
+func (c *ClassScore) Finalize() {
+	c.Precision, c.Recall = 1, 1
+	if c.Events > 0 {
+		c.Precision = float64(c.EventsMatched) / float64(c.Events)
+	}
+	if c.Labels > 0 {
+		c.Recall = float64(c.LabelsDetected) / float64(c.Labels)
+	}
+}
+
+// overlaps reports whether [a0,a1] and [b0,b1] intersect.
+func overlaps(a0, a1, b0, b1 int64) bool { return a0 <= b1 && b0 <= a1 }
+
+// Score matches events against labels with a tolerance pad on both window
+// edges and returns per-class counts plus the detection latencies (one per
+// detected required label: the earliest matching event's onset minus the
+// label start, clamped at zero) in the labels' tick domain. Optional labels
+// absorb matching events for precision but add nothing to recall. Classes
+// are returned sorted by name; callers aggregate counts across scenarios
+// before finalizing precision/recall.
+func Score(labels []Label, events []Event, pad int64) ([]ClassScore, []int64) {
+	byClass := make(map[string]*ClassScore)
+	class := func(name string) *ClassScore {
+		c := byClass[name]
+		if c == nil {
+			c = &ClassScore{Class: name}
+			byClass[name] = c
+		}
+		return c
+	}
+	var latencies []int64
+	const open = int64(1) << 62
+	for _, l := range labels {
+		if l.Optional {
+			continue
+		}
+		c := class(l.Class)
+		c.Labels++
+		best := int64(-1)
+		for _, e := range events {
+			if e.Class != l.Class {
+				continue
+			}
+			end := e.ClearTS
+			if end == 0 {
+				end = open
+			}
+			if !overlaps(e.OnsetTS, end, l.From-pad, l.To+pad) {
+				continue
+			}
+			lat := e.OnsetTS - l.From
+			if lat < 0 {
+				lat = 0
+			}
+			if best < 0 || lat < best {
+				best = lat
+			}
+		}
+		if best >= 0 {
+			c.LabelsDetected++
+			latencies = append(latencies, best)
+		}
+	}
+	for _, e := range events {
+		c := class(e.Class)
+		c.Events++
+		end := e.ClearTS
+		if end == 0 {
+			end = open
+		}
+		for _, l := range labels {
+			if l.Class == e.Class && overlaps(e.OnsetTS, end, l.From-pad, l.To+pad) {
+				c.EventsMatched++
+				break
+			}
+		}
+	}
+	out := make([]ClassScore, 0, len(byClass))
+	for _, c := range byClass {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out, latencies
+}

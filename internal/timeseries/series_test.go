@@ -1,0 +1,89 @@
+package timeseries
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSeriesRingWraps(t *testing.T) {
+	r := NewRecorder(4)
+	s := r.Series("x", Gauge)
+	for i := 0; i < 10; i++ {
+		s.Record(int64(i), float64(i))
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	if s.Recorded() != 10 {
+		t.Fatalf("Recorded = %d, want 10", s.Recorded())
+	}
+	want := []Point{{6, 6}, {7, 7}, {8, 8}, {9, 9}}
+	if got := s.Points(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Points = %v, want %v", got, want)
+	}
+	_, points, dropped := r.Stats()
+	if points != 10 || dropped != 6 {
+		t.Fatalf("Stats points=%d dropped=%d, want 10/6", points, dropped)
+	}
+}
+
+func TestRecorderSeriesIdempotent(t *testing.T) {
+	r := NewRecorder(0)
+	a := r.Series("a", Counter)
+	if r.Series("a", Gauge) != a {
+		t.Fatal("second Series call returned a different handle")
+	}
+	if r.Lookup("a") != a || r.Lookup("missing") != nil {
+		t.Fatal("Lookup mismatch")
+	}
+	if a.Kind() != Counter || a.Name() != "a" {
+		t.Fatalf("kind/name = %v/%q", a.Kind(), a.Name())
+	}
+}
+
+func TestRecordDoesNotAllocate(t *testing.T) {
+	r := NewRecorder(64)
+	s := r.Series("x", Gauge)
+	ts := int64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		ts++
+		s.Record(ts, 1.0)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestSnapshotSortedAndFiltered(t *testing.T) {
+	r := NewRecorder(8)
+	r.Series("b.two", Gauge).Record(1, 2)
+	r.Series("a.one", Counter).Record(1, 1)
+	r.Series("c.three", Gauge).Record(1, 3)
+	snap := r.Snapshot()
+	var names []string
+	for _, ss := range snap.Series {
+		names = append(names, ss.Name)
+	}
+	want := []string{"a.one", "b.two", "c.three"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("snapshot order = %v, want %v", names, want)
+	}
+	sub := snap.Filter(func(name string) bool { return name != "b.two" })
+	if len(sub.Series) != 2 || sub.Series[0].Name != "a.one" || sub.Series[1].Name != "c.three" {
+		t.Fatalf("filtered snapshot = %+v", sub.Series)
+	}
+}
+
+func TestClockSamplerCadence(t *testing.T) {
+	var got []int64
+	cs := &ClockSampler{Every: 4, Sample: func(ts int64) { got = append(got, ts) }}
+	var n int64
+	clock := cs.Wrap(func() int64 { n += 10; return n })
+	for i := 0; i < 12; i++ {
+		clock()
+	}
+	want := []int64{40, 80, 120}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sampled at %v, want %v", got, want)
+	}
+}

@@ -19,11 +19,17 @@
 #     (tfbench -experiment replay) through the real saga engine with
 #     transport faults on — committed sagas per simulated minute plus the
 #     wall clock for the whole replay
+#   * flight recorder: the full-datapath cacheline load with the recorder
+#     sampling at the default 5 us tick vs off — the off row must stay
+#     allocation-identical to the latency-attribution off row (the
+#     disabled recorder is not on the datapath at all)
+#   * journal append: FileJournal appends at fsync group-commit sizes
+#     1/8/64 — the per-record fsync cost amortized across the batch
 # The parallel and sequential suites print byte-identical output (asserted
 # by internal/bench tests); only wall-clock may differ.
 set -eu
 
-out=${1:-BENCH_PR8.json}
+out=${1:-BENCH_PR9.json}
 bin=$(mktemp -t tfbench.XXXXXX)
 trap 'rm -f "$bin"' EXIT
 
@@ -89,6 +95,17 @@ attr_off_allocs=$(echo "$attr" | awk '/BenchmarkClusterLoadAttrOff/ {print $7}')
 attr_on_ns=$(echo "$attr" | awk '/BenchmarkClusterLoadAttrOn/ {print $3}')
 attr_on_allocs=$(echo "$attr" | awk '/BenchmarkClusterLoadAttrOn/ {print $7}')
 
+rec=$(go test -run xxx -bench 'BenchmarkClusterLoadRecorderOn' -benchmem \
+	-benchtime 2000x ./internal/core/)
+rec_on_ns=$(echo "$rec" | awk '/BenchmarkClusterLoadRecorderOn/ {print $3}')
+rec_on_allocs=$(echo "$rec" | awk '/BenchmarkClusterLoadRecorderOn/ {print $7}')
+
+jrnl=$(go test -run xxx -bench 'BenchmarkJournalAppendSyncEvery' -benchmem \
+	-benchtime 200x ./internal/controlplane/)
+jrnl_1_ns=$(echo "$jrnl" | awk '$1 ~ /^BenchmarkJournalAppendSyncEvery1(-[0-9]+)?$/ {print $3}')
+jrnl_8_ns=$(echo "$jrnl" | awk '$1 ~ /^BenchmarkJournalAppendSyncEvery8(-[0-9]+)?$/ {print $3}')
+jrnl_64_ns=$(echo "$jrnl" | awk '$1 ~ /^BenchmarkJournalAppendSyncEvery64(-[0-9]+)?$/ {print $3}')
+
 # Churn replay: 2 simulated minutes of seeded datacenter load through the
 # real control plane (sagas over a lossy transport, journal, reconciler,
 # autoscaler). The stdout line reads
@@ -110,7 +127,7 @@ cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 
 cat > "$out" <<EOF
 {
-  "snapshot": "quick-suite wall clock + kernel/placement/attribution micro-benchmarks + sharded rack scaling + churn-replay saga throughput",
+  "snapshot": "quick-suite wall clock + kernel/placement/attribution micro-benchmarks + sharded rack scaling + churn-replay saga throughput + flight-recorder overhead + journal group-commit sweep",
   "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
   "host_cores": $cores,
   "quick_suite_wall_seconds": {
@@ -147,6 +164,17 @@ $rack_rows
     "sagas_committed": $replay_committed,
     "sagas_per_sim_minute": $replay_per_min,
     "wall_seconds": $replay_s
+  },
+  "flight_recorder": {
+    "note": "full-datapath cacheline load with the flight recorder sampling at the default 5 us tick; off = recorder never enabled, which must stay allocation-identical to cluster_load_latency_attr.off (the disabled recorder adds no events and no allocations)",
+    "off": { "ns_per_op": $attr_off_ns, "allocs_per_op": $attr_off_allocs },
+    "on": { "ns_per_op": $rec_on_ns, "allocs_per_op": $rec_on_allocs }
+  },
+  "journal_append": {
+    "note": "FileJournal.Append with fsync group commit (SetSyncEvery): batch sizes 1 (write-through, the default), 8, and 64; the batched rows amortize one fsync across the batch, a crash may lose at most the last N-1 records",
+    "sync_every_1_ns_per_op": $jrnl_1_ns,
+    "sync_every_8_ns_per_op": $jrnl_8_ns,
+    "sync_every_64_ns_per_op": $jrnl_64_ns
   }
 }
 EOF
