@@ -21,6 +21,14 @@
 //	tfbench -experiment replay -replay-minutes 5 -replay-rate 2000
 //	tfbench -experiment replay -replay-out replay.json -metrics m.json
 //
+// -replay-ha N replicates the saga write-ahead journal across an
+// in-process Raft replica set of N control-plane nodes (sagas run on the
+// elected leader); -replay-leader-kills K kills the leader mid-saga K
+// times at deterministic journal offsets and fails over to a freshly
+// elected successor, asserting zero committed-saga loss:
+//
+//	tfbench -experiment replay -replay-ha 3 -replay-leader-kills 2 -seed 7
+//
 // The report (stdout table + -replay-out JSON + replay_* metrics) is byte-
 // identical per seed.
 //
@@ -94,6 +102,8 @@ func main() {
 	replayRate := flag.Float64("replay-rate", 0, "with -experiment replay: attach arrivals per simulated minute (0 = 800)")
 	replayOut := flag.String("replay-out", "", "with -experiment replay: also write the replay report JSON to this file")
 	replayWorkers := flag.Int("replay-workers", 1, "with -experiment replay: concurrent saga-issuing goroutines (1 = deterministic sequential driver; N > 1 races issuers against the saga admission limit)")
+	replayHA := flag.Int("replay-ha", 0, "with -experiment replay: replicate the saga journal across this many Raft control-plane nodes (0 = single node; requires -replay-workers 1)")
+	replayKills := flag.Int("replay-leader-kills", 0, "with -experiment replay -replay-ha N: kill the Raft leader mid-saga this many times at deterministic journal offsets and fail over")
 	detectOut := flag.String("detect-out", "", "with -experiment detect: also write the scorecard JSON to this file")
 	detectScenario := flag.String("detect-scenario", "", "with -experiment detect: score a single chaos scenario by name (default: full catalogue)")
 	snapshotOut := flag.String("snapshot-out", "", "with -experiment detect -detect-scenario: write the recorded series as a binary TFTS snapshot for tfmon")
@@ -152,7 +162,7 @@ func main() {
 		{[]string{"projection-switching"}, func() { bench.ProjectionSwitching(w) }},
 		{[]string{"rack"}, func() { runRack(w, scale, *shards, *chaosSeed) }},
 		{[]string{"replay"}, func() {
-			runReplayExperiment(w, scale, *chaosSeed, *replayMinutes, *replayRate, *replayWorkers, *replayOut, reg)
+			runReplayExperiment(w, scale, *chaosSeed, *replayMinutes, *replayRate, *replayWorkers, *replayHA, *replayKills, *replayOut, reg)
 		}},
 	}
 	if want := strings.ToLower(*experiment); want == "detect" {
@@ -229,8 +239,11 @@ func runRack(w *os.File, scale bench.Scale, shards int, seed int64) {
 // the real control plane (sagas over a lossy transport, journal,
 // reconciler, autoscaler). Stdout is a pure function of the seed; wall
 // clock goes to stderr.
-func runReplayExperiment(w *os.File, scale bench.Scale, seed int64, minutes int, rate float64, workers int, out string, reg *metrics.Registry) {
-	cfg := bench.ReplayConfig{Seed: seed, Minutes: minutes, RatePerMinute: rate, Workers: workers}
+func runReplayExperiment(w *os.File, scale bench.Scale, seed int64, minutes int, rate float64, workers, haNodes, leaderKills int, out string, reg *metrics.Registry) {
+	cfg := bench.ReplayConfig{
+		Seed: seed, Minutes: minutes, RatePerMinute: rate, Workers: workers,
+		HANodes: haNodes, LeaderKills: leaderKills,
+	}
 	if cfg.Minutes == 0 && scale == bench.Full {
 		cfg.Minutes = 5
 	}

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -49,6 +51,16 @@ type ReplayConfig struct {
 	Workers           int
 	ReconcileEverySec float64 // periodic reconciler cadence (simulated)
 	LocalBytes        int64   // synthetic local DRAM per host for the pressure model
+
+	// HANodes > 1 replicates the saga write-ahead journal across an
+	// in-process Raft replica set of that many control-plane nodes; sagas
+	// execute on the elected leader behind the leader gate. LeaderKills
+	// schedules that many deterministic leader kills during the trace (HA
+	// mode only): each kill crashes the journal mid-saga, stops the Raft
+	// leader, and recovery fails over to a freshly elected leader instead
+	// of rebooting the same node. Both require the sequential driver.
+	HANodes     int
+	LeaderKills int
 
 	// NoFaults zeroes the transport fault probabilities and NoAutoscale
 	// disables the autoscaler — the crash-equality tests use both so a
@@ -120,6 +132,22 @@ type ReplayAttachment struct {
 	Count   int    `json:"count"`
 }
 
+// ReplayRaft summarizes the replica set after an HA replay run: the
+// surviving leader, its committed log, and the failover/partition tallies.
+// Present only when HANodes > 1 (pointer + omitempty keeps single-node
+// reports byte-identical with earlier versions).
+type ReplayRaft struct {
+	Nodes           int    `json:"nodes"`
+	FinalLeader     string `json:"final_leader,omitempty"`
+	FinalTerm       uint64 `json:"final_term"`
+	FinalCommit     uint64 `json:"final_commit"`
+	LeaderChanges   uint64 `json:"leader_changes"`
+	DroppedMessages uint64 `json:"dropped_messages"`
+	// Converged: every running replica exposes the identical committed
+	// journal prefix at the end of the run.
+	Converged bool `json:"converged"`
+}
+
 // ReplayFinalState is the converged end-of-trace state — the section the
 // crash-point property test asserts byte-equal between a crashed and an
 // uncrashed run.
@@ -143,6 +171,8 @@ type ReplayReport struct {
 	AutoscaleEnabled bool    `json:"autoscale_enabled"`
 	MaxInflightSagas int     `json:"max_inflight_sagas"`
 	Workers          int     `json:"workers"`
+	HANodes          int     `json:"ha_nodes,omitempty"`
+	LeaderKills      int     `json:"leader_kills,omitempty"`
 
 	Trace dctrace.ChurnMix `json:"trace"`
 
@@ -172,6 +202,8 @@ type ReplayReport struct {
 	EventsRecorded uint64 `json:"events_recorded"`
 	EventsDropped  uint64 `json:"events_dropped"`
 
+	Raft *ReplayRaft `json:"raft,omitempty"`
+
 	FinalState ReplayFinalState `json:"final_state"`
 	// Invariants lists end-state invariant violations (empty on a healthy
 	// run; the crash tests assert it stays empty).
@@ -193,6 +225,44 @@ type replayWorld struct {
 	elog     *trace.EventLog
 	clock    trace.WallClock
 	hosts    []string
+
+	// HA mode (cfg.HANodes > 1): the counting/crash chain bottoms out in
+	// swap, which routes to the current leader's ReplicatedJournal and is
+	// re-pointed on failover; leader is the node sagas currently run on and
+	// haDown the killed node awaiting restart (at most one down at a time).
+	rs     *controlplane.ReplicaSet
+	swap   *switchJournal
+	leader string
+	haDown string
+}
+
+// switchJournal routes Journal calls to a swappable inner journal so the
+// counting/crash wrappers above it — whose inner is fixed at construction —
+// survive a leader failover: the driver re-points it at the new leader's
+// ReplicatedJournal without rebuilding the chain.
+type switchJournal struct {
+	mu    sync.Mutex
+	inner controlplane.Journal
+}
+
+func (s *switchJournal) SetInner(j controlplane.Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner = j
+}
+
+func (s *switchJournal) Append(e controlplane.JournalEntry) error {
+	s.mu.Lock()
+	j := s.inner
+	s.mu.Unlock()
+	return j.Append(e)
+}
+
+func (s *switchJournal) Entries() ([]controlplane.JournalEntry, error) {
+	s.mu.Lock()
+	j := s.inner
+	s.mu.Unlock()
+	return j.Entries()
 }
 
 func buildReplayWorld(cfg ReplayConfig) (*replayWorld, error) {
@@ -254,17 +324,36 @@ func buildReplayWorld(cfg ReplayConfig) (*replayWorld, error) {
 		capEvents <<= 1
 	}
 
-	return &replayWorld{
-		cfg:      cfg,
-		cluster:  cluster,
-		model:    model,
-		inner:    inner,
-		faulty:   controlplane.NewFaultyTransport(inner, faults),
-		counting: controlplane.NewCountingJournal(controlplane.NewMemJournal()),
-		elog:     trace.NewEventLog(capEvents),
-		clock:    trace.StepClock(0, 25),
-		hosts:    hosts,
-	}, nil
+	w := &replayWorld{
+		cfg:     cfg,
+		cluster: cluster,
+		model:   model,
+		inner:   inner,
+		faulty:  controlplane.NewFaultyTransport(inner, faults),
+		elog:    trace.NewEventLog(capEvents),
+		clock:   trace.StepClock(0, 25),
+		hosts:   hosts,
+	}
+	if cfg.HANodes > 1 {
+		ids := make([]string, cfg.HANodes)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("cp-%02d", i)
+		}
+		rs, err := controlplane.NewReplicaSet(ids, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("replay: replica set: %w", err)
+		}
+		leader, err := rs.ElectLeader(800)
+		if err != nil {
+			return nil, fmt.Errorf("replay: initial election: %w", err)
+		}
+		w.rs, w.leader = rs, leader
+		w.swap = &switchJournal{inner: rs.Journal(leader)}
+		w.counting = controlplane.NewCountingJournal(w.swap)
+	} else {
+		w.counting = controlplane.NewCountingJournal(controlplane.NewMemJournal())
+	}
+	return w, nil
 }
 
 // boot starts a control-plane "process" over the shared world. Transport
@@ -278,7 +367,33 @@ func (w *replayWorld) boot() *controlplane.Service {
 	svc.SetRetryPolicy(controlplane.RetryPolicy{MaxAttempts: 6})
 	svc.SetMaxInflightSagas(w.cfg.MaxInflightSagas)
 	svc.SetSagaTracing(w.elog, w.clock)
+	if w.rs != nil {
+		id := w.leader
+		svc.SetLeaderGate(w.rs.Gate(id))
+		svc.SetRaftStatus(func() controlplane.RaftStatus { return w.rs.StatusFor(id) })
+	}
 	return svc
+}
+
+// failover handles a leader crash in HA mode: restart the previously
+// killed node (at most one replica stays down), stop the current leader,
+// and re-point the journal chain at a freshly elected successor. boot()
+// afterwards binds the new Service to that leader.
+func (w *replayWorld) failover() error {
+	if w.haDown != "" {
+		if err := w.rs.Restart(w.haDown); err != nil {
+			return fmt.Errorf("replay: restart %s: %w", w.haDown, err)
+		}
+	}
+	w.rs.Stop(w.leader)
+	w.haDown = w.leader
+	next, err := w.rs.ElectLeader(800)
+	if err != nil {
+		return fmt.Errorf("replay: failover election: %w", err)
+	}
+	w.leader = next
+	w.swap.SetInner(w.rs.Journal(next))
+	return nil
 }
 
 // replayInspector feeds the autoscaler a synthetic per-host memory view:
@@ -362,6 +477,13 @@ func (d *replayDriver) reboot() {
 		d.crashQueue = d.crashQueue[1:]
 	} else {
 		d.w.crash.FailAfter(-1)
+	}
+	if d.w.rs != nil {
+		// In HA mode a crash is a leader kill: the successor recovers from
+		// the replicated journal, not the dead node's local state.
+		if err := d.w.failover(); err != nil {
+			d.rep.Invariants = append(d.rep.Invariants, err.Error())
+		}
 	}
 	d.svc = d.w.boot()
 	if d.scaler != nil {
@@ -746,11 +868,106 @@ func (d *replayDriver) finalState() {
 	}
 }
 
+// haFinal restarts any still-killed replica, ticks the replica set until
+// every running member has caught up to the leader's log, verifies the
+// committed journal is byte-identical on all replicas (zero committed-saga
+// loss across every failover), and fills the Raft report section.
+func (d *replayDriver) haFinal() {
+	w := d.w
+	bad := func(format string, args ...interface{}) {
+		d.rep.Invariants = append(d.rep.Invariants, fmt.Sprintf(format, args...))
+	}
+	if w.haDown != "" {
+		if err := w.rs.Restart(w.haDown); err != nil {
+			bad("restart %s: %v", w.haDown, err)
+		}
+		w.haDown = ""
+	}
+	caughtUp := func() bool {
+		lead := w.rs.Leader()
+		if lead == "" {
+			return false
+		}
+		st := w.rs.StatusFor(lead)
+		if st.CommitIndex != st.LastIndex {
+			return false
+		}
+		for _, m := range w.rs.Members() {
+			if m.Stopped {
+				continue
+			}
+			if m.Commit != st.CommitIndex || m.LastIndex != st.LastIndex {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < 800 && !caughtUp(); i++ {
+		if err := w.rs.Tick(1); err != nil {
+			bad("raft settle tick: %v", err)
+			break
+		}
+	}
+	if !caughtUp() {
+		bad("replicas never caught up to the leader's log")
+	}
+	if lead := w.rs.Leader(); lead != "" {
+		w.leader = lead
+	}
+	st := w.rs.StatusFor(w.leader)
+	summary := &ReplayRaft{
+		Nodes:           d.cfg.HANodes,
+		FinalLeader:     w.leader,
+		FinalTerm:       st.Term,
+		FinalCommit:     st.CommitIndex,
+		LeaderChanges:   w.rs.LeaderChanges(),
+		DroppedMessages: w.rs.DroppedMessages(),
+		Converged:       true,
+	}
+	want, err := w.rs.CommittedEntries(w.leader)
+	if err != nil {
+		bad("leader committed entries: %v", err)
+		summary.Converged = false
+	}
+	wantJSON, _ := json.Marshal(want)
+	for _, id := range w.rs.IDs() {
+		if id == w.leader {
+			continue
+		}
+		got, err := w.rs.CommittedEntries(id)
+		if err != nil {
+			bad("replica %s committed entries: %v", id, err)
+			summary.Converged = false
+			continue
+		}
+		if gotJSON, _ := json.Marshal(got); !bytes.Equal(gotJSON, wantJSON) {
+			bad("replica %s committed journal diverges from leader %s (%d vs %d entries)",
+				id, w.leader, len(got), len(want))
+			summary.Converged = false
+		}
+	}
+	d.rep.Raft = summary
+}
+
 // Replay runs the churn replay experiment and prints a summary table.
 func Replay(w io.Writer, cfg ReplayConfig) (ReplayReport, error) {
 	cfg.defaults()
 	if cfg.Workers > 1 && len(cfg.crashPoints) > 0 {
 		return ReplayReport{}, fmt.Errorf("replay: crash points require the sequential driver (workers=1), got workers=%d", cfg.Workers)
+	}
+	if cfg.HANodes > 1 && cfg.Workers > 1 {
+		return ReplayReport{}, fmt.Errorf("replay: the replicated journal requires the sequential driver (workers=1), got workers=%d", cfg.Workers)
+	}
+	if cfg.LeaderKills > 0 && cfg.HANodes <= 1 {
+		return ReplayReport{}, fmt.Errorf("replay: leader kills require a replica set (ha nodes > 1)")
+	}
+	for i := 0; i < cfg.LeaderKills; i++ {
+		// Fixed append offsets (43, 136, 229, ...) keep the kill schedule —
+		// and with it the whole report — a pure function of the seed. The
+		// offsets are deliberately off the ~10-entry per-saga journal stride
+		// so kills land mid-saga, exercising in-flight recovery on the
+		// successor, not just journal hand-off.
+		cfg.crashPoints = append(cfg.crashPoints, 43+93*i)
 	}
 	world, err := buildReplayWorld(cfg)
 	if err != nil {
@@ -771,6 +988,8 @@ func Replay(w io.Writer, cfg ReplayConfig) (ReplayReport, error) {
 		AutoscaleEnabled: !cfg.NoAutoscale,
 		MaxInflightSagas: cfg.MaxInflightSagas,
 		Workers:          cfg.Workers,
+		HANodes:          cfg.HANodes,
+		LeaderKills:      cfg.LeaderKills,
 	}
 
 	d := &replayDriver{
@@ -815,6 +1034,9 @@ func Replay(w io.Writer, cfg ReplayConfig) (ReplayReport, error) {
 	// Settle: sweep until clean, then snapshot the converged state.
 	rep.Reconciler.FinalPasses, rep.Reconciler.FinalClean = d.svc.ReconcileUntilClean(8)
 	d.finalState()
+	if world.rs != nil {
+		d.haFinal()
+	}
 
 	d.bank()
 	rep.Counters = d.banked
@@ -857,6 +1079,11 @@ func printReplay(w io.Writer, rep *ReplayReport) {
 	fmt.Fprintf(w, "  autoscaler         %d attaches, %d detaches, %d errors\n",
 		rep.ScaleAttaches, rep.ScaleDetaches, rep.ScaleErrors)
 	fmt.Fprintf(w, "  crashes            %d\n", rep.Crashes)
+	if rep.Raft != nil {
+		fmt.Fprintf(w, "  raft               %d nodes, leader %s, term %d, commit %d; %d leader changes, %d dropped msgs, converged=%v\n",
+			rep.Raft.Nodes, rep.Raft.FinalLeader, rep.Raft.FinalTerm, rep.Raft.FinalCommit,
+			rep.Raft.LeaderChanges, rep.Raft.DroppedMessages, rep.Raft.Converged)
+	}
 	fmt.Fprintf(w, "  sagas committed    %d (%.1f per sim-minute, %.2f per sim-second)\n",
 		rep.SagasCommitted, rep.SagasPerSimMinute, rep.SagasPerSimSecond)
 	for _, p := range rep.Profiles {
@@ -910,6 +1137,13 @@ func RegisterReplayMetrics(reg *metrics.Registry, rep *ReplayReport) {
 	set("replay.sagas_parked", rep.Counters.SagasParked)
 	set("replay.sagas_rejected", rep.Counters.SagasRejected)
 	set("replay.transport_drops", rep.Transport.Drops)
+
+	if rep.Raft != nil {
+		set("replay.raft_nodes", int64(rep.Raft.Nodes))
+		set("replay.raft_leader_changes", int64(rep.Raft.LeaderChanges))
+		set("replay.raft_commit_index", int64(rep.Raft.FinalCommit))
+		set("replay.raft_dropped_messages", int64(rep.Raft.DroppedMessages))
+	}
 
 	reg.Gauge("replay.sagas_per_sim_minute").Set(rep.SagasPerSimMinute)
 	reg.Gauge("replay.final_attachments").Set(float64(rep.FinalState.Count))

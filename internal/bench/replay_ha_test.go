@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// TestReplayHAHealth drives the churn replay against a 3-node replicated
+// control plane with two scripted leader kills, under the default lossy
+// transport. Every kill must fail over to a freshly elected leader, the
+// run must converge with zero invariant violations, and the committed
+// journal must be identical on all replicas at the end.
+func TestReplayHAHealth(t *testing.T) {
+	rep, _, _ := runReplayOnce(t, ReplayConfig{
+		Seed: 3, Minutes: 1, RatePerMinute: 400, HANodes: 3, LeaderKills: 2,
+	})
+	if rep.Crashes < 2 {
+		t.Fatalf("scheduled 2 leader kills, observed %d crashes", rep.Crashes)
+	}
+	if rep.Raft == nil {
+		t.Fatal("HA run produced no raft report section")
+	}
+	if rep.Raft.LeaderChanges < 2 {
+		t.Fatalf("2 leader kills but only %d leader changes", rep.Raft.LeaderChanges)
+	}
+	if !rep.Raft.Converged {
+		t.Fatal("replicas did not converge on an identical committed journal")
+	}
+	if rep.Raft.FinalLeader == "" || rep.Raft.FinalCommit == 0 {
+		t.Fatalf("raft summary not filled: %+v", rep.Raft)
+	}
+	if len(rep.Invariants) != 0 {
+		t.Fatalf("invariant violations: %v", rep.Invariants)
+	}
+	if !rep.Reconciler.FinalClean {
+		t.Fatal("HA run did not reconcile clean")
+	}
+	if rep.AttachesOK == 0 || rep.SagasCommitted == 0 {
+		t.Fatalf("HA run committed no work: %+v", rep)
+	}
+	if rep.Counters.RecoveryReplays == 0 {
+		t.Fatal("failover never replayed the replicated journal")
+	}
+}
+
+// TestReplayHADeterminism: the HA replay — elections, failovers, and all —
+// is still a pure function of the seed.
+func TestReplayHADeterminism(t *testing.T) {
+	cfg := ReplayConfig{Seed: 5, Minutes: 1, RatePerMinute: 400, HANodes: 3, LeaderKills: 1}
+	_, json1, out1 := runReplayOnce(t, cfg)
+	_, json2, out2 := runReplayOnce(t, cfg)
+	if !bytes.Equal(json1, json2) {
+		t.Fatalf("same seed produced different HA report JSON:\n--- run1\n%s\n--- run2\n%s", json1, json2)
+	}
+	if out1 != out2 {
+		t.Fatal("same seed produced different HA stdout")
+	}
+}
+
+// TestReplayHACrashEquality is the zero-committed-saga-loss property at
+// replay scale: a 3-node run that kills the leader twice mid-trace must
+// converge to a final state byte-identical to an unkilled single-node run
+// of the same seed — the replicated journal hands the successor exactly
+// the committed prefix a local journal would have handed a rebooted
+// orchestrator. Faults and the autoscaler are off for the same RNG-stream
+// reason as TestReplayCrashPointEquality.
+func TestReplayHACrashEquality(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			base := ReplayConfig{
+				Seed: seed, Minutes: 1, RatePerMinute: 400,
+				NoFaults: true, NoAutoscale: true,
+			}
+			ref, _, _ := runReplayOnce(t, base)
+			if len(ref.Invariants) != 0 {
+				t.Fatalf("reference run violated invariants: %v", ref.Invariants)
+			}
+			refState, err := json.MarshalIndent(ref.FinalState, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ha := base
+			ha.HANodes = 3
+			ha.LeaderKills = 2
+			rep, _, _ := runReplayOnce(t, ha)
+			if rep.Crashes < 2 {
+				t.Fatalf("leader kills never fired: crashes=%d", rep.Crashes)
+			}
+			if len(rep.Invariants) != 0 {
+				t.Fatalf("HA run violated invariants: %v", rep.Invariants)
+			}
+			state, err := json.MarshalIndent(rep.FinalState, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(refState, state) {
+				t.Fatalf("HA final state diverged from single-node reference:\n--- reference\n%s\n--- ha\n%s", refState, state)
+			}
+		})
+	}
+}
+
+// TestReplayHAConfigValidation: leader kills require a replica set, and
+// the replicated journal requires the sequential driver.
+func TestReplayHAConfigValidation(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := Replay(&out, ReplayConfig{Seed: 1, LeaderKills: 1}); err == nil {
+		t.Fatal("leader kills without a replica set should be rejected")
+	}
+	if _, err := Replay(&out, ReplayConfig{Seed: 1, HANodes: 3, Workers: 4}); err == nil {
+		t.Fatal("HA mode with a concurrent driver should be rejected")
+	}
+}

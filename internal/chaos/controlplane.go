@@ -48,6 +48,11 @@ type CPObserver struct {
 	svc *controlplane.Service
 
 	retries, repairs, parked, rejected, inflight *timeseries.Series
+
+	// cp.raft.* series, created only by observeRaft (HA scenarios), so the
+	// single-node scenarios' snapshots keep their pre-HA series set.
+	raftStatus                       func() controlplane.RaftStatus
+	raftTerm, raftCommit, raftElects *timeseries.Series
 }
 
 // NewCPObserver builds an observer recording into rec (which must be
@@ -73,6 +78,17 @@ func (o *CPObserver) wrap(inner trace.WallClock) trace.WallClock {
 // it on every restart).
 func (o *CPObserver) observe(svc *controlplane.Service) { o.svc = svc }
 
+// observeRaft adds the cp.raft.* series to the recording, fed from status.
+// Only the HA scenarios call it, so single-node snapshots are unchanged.
+func (o *CPObserver) observeRaft(status func() controlplane.RaftStatus) {
+	o.raftStatus = status
+	if o.raftTerm == nil {
+		o.raftTerm = o.rec.Series("cp.raft.term", timeseries.Gauge)
+		o.raftCommit = o.rec.Series("cp.raft.commit_index", timeseries.Counter)
+		o.raftElects = o.rec.Series("cp.raft.leader_changes", timeseries.Counter)
+	}
+}
+
 func (o *CPObserver) sample(ts int64) {
 	svc := o.svc
 	if svc == nil {
@@ -85,6 +101,12 @@ func (o *CPObserver) sample(ts int64) {
 	o.parked.Record(ts, float64(banked.SagasParked+cur.SagasParked))
 	o.rejected.Record(ts, float64(banked.SagasRejected+cur.SagasRejected))
 	o.inflight.Record(ts, float64(svc.InflightSagas()))
+	if o.raftStatus != nil {
+		st := o.raftStatus()
+		o.raftTerm.Record(ts, float64(st.Term))
+		o.raftCommit.Record(ts, float64(st.CommitIndex))
+		o.raftElects.Record(ts, float64(st.LeaderChanges))
+	}
 }
 
 // CPScenarioReport is one control-plane scenario's outcome. Every field is
@@ -110,6 +132,10 @@ type CPScenarioReport struct {
 
 	Counters  controlplane.SagaCounters   `json:"counters"`
 	Transport controlplane.TransportStats `json:"transport"`
+
+	// Raft summarizes the replica set at scenario end. Only the HA scenarios
+	// set it (pointer + omitempty keeps single-node reports byte-identical).
+	Raft *CPRaftSummary `json:"raft,omitempty"`
 
 	// Trace summarizes the scenario's saga traces. The event log lives in
 	// the world, not the Service, so traces span crash-restarts; timestamps
@@ -394,9 +420,10 @@ func (w *cpWorld) hostPair(i int) (compute, donor string) {
 	return w.hosts[i%n], w.hosts[(i+1)%n]
 }
 
-// CPCatalogue returns the control-plane scenario set.
+// CPCatalogue returns the control-plane scenario set: the single-node
+// scenarios below plus the HA replica-set scenarios (ha.go).
 func CPCatalogue() []CPScenario {
-	return []CPScenario{
+	return append([]CPScenario{
 		{
 			Name: "cp-agent-flap",
 			Description: "agents crash-restart under a lossy transport, losing volatile state; " +
@@ -415,7 +442,7 @@ func CPCatalogue() []CPScenario {
 				"idempotent (AttachmentID, Epoch) application must keep agents exact",
 			run: runDuplicateStorm,
 		},
-	}
+	}, haCatalogue()...)
 }
 
 func runAgentFlap(seed int64, rep *CPScenarioReport, obs *CPObserver) {

@@ -37,6 +37,38 @@ func TestCPScenariosExerciseFaults(t *testing.T) {
 	if rep := byName["cp-duplicate-command-storm"]; rep.Transport.Dups == 0 || rep.Counters.SagaRetries == 0 {
 		t.Errorf("cp-duplicate-command-storm: dups=%d retries=%d", rep.Transport.Dups, rep.Counters.SagaRetries)
 	}
+	if rep := byName["cp-ha-leader-kill-midsaga"]; rep.Crashes == 0 || rep.Raft == nil || rep.Raft.LeaderChanges == 0 {
+		t.Errorf("cp-ha-leader-kill-midsaga: crashes=%d raft=%+v", rep.Crashes, rep.Raft)
+	}
+	if rep := byName["cp-ha-minority-partition"]; rep.Raft == nil || !rep.Raft.Converged || rep.Transport.PartitionDrops == 0 {
+		t.Errorf("cp-ha-minority-partition: raft=%+v partition_drops=%d", rep.Raft, rep.Transport.PartitionDrops)
+	}
+	if rep := byName["cp-ha-majority-partition"]; rep.Raft == nil || rep.Raft.FencedWrites == 0 {
+		t.Errorf("cp-ha-majority-partition: raft=%+v", rep.Raft)
+	}
+	if rep := byName["cp-ha-split-brain-fencing"]; rep.Raft == nil || rep.Raft.FencedWrites < 2 || !rep.Raft.Converged {
+		t.Errorf("cp-ha-split-brain-fencing: raft=%+v", rep.Raft)
+	}
+	if rep := byName["cp-ha-follower-lag-catchup"]; rep.Raft == nil || !rep.Raft.Converged || rep.Raft.DroppedMessages == 0 {
+		t.Errorf("cp-ha-follower-lag-catchup: raft=%+v", rep.Raft)
+	}
+}
+
+// TestCPHAGroundTruthLabels: every HA scenario exports ground-truth labels
+// (optional — the dominant faults live in the raft layer, outside the
+// anomaly rules' scored series).
+func TestCPHAGroundTruthLabels(t *testing.T) {
+	for _, s := range haCatalogue() {
+		labels := CPGroundTruth(s)
+		if len(labels) == 0 {
+			t.Errorf("%s exports no ground-truth labels", s.Name)
+		}
+		for _, l := range labels {
+			if !l.Optional {
+				t.Errorf("%s exports required label %+v; HA labels must be optional", s.Name, l)
+			}
+		}
+	}
 }
 
 // TestCPCampaignTraceSummaries asserts every scenario report carries a saga

@@ -3,6 +3,7 @@ package controlplane
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strconv"
 	"strings"
@@ -22,6 +23,32 @@ type saga struct {
 	intents map[string]bool
 	dones   map[string]bool
 	ctx     trace.SpanContext // root span; zero when tracing is off
+	// rng drives this saga's backoff jitter, seeded from the saga ID so
+	// the jitter sequence is a function of the saga alone — the same saga
+	// replayed on another replica (or re-run by a crash-point test) sleeps
+	// identically regardless of how other sagas interleave. Lazily created
+	// on the first backoff so the retry-free happy path allocates nothing.
+	rng *rand.Rand
+}
+
+// sagaJitterSeed hashes a saga ID to its jitter seed (inline FNV-1a, no
+// allocation).
+func sagaJitterSeed(id string) int64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return int64(h)
+}
+
+// jitterRNG returns the saga's lazily-created backoff RNG.
+func (sg *saga) jitterRNG() *rand.Rand {
+	if sg.rng == nil {
+		sg.rng = rand.New(rand.NewSource(sagaJitterSeed(sg.id)))
+	}
+	return sg.rng
 }
 
 // newSaga allocates the next saga ID and registers its status.
@@ -122,7 +149,7 @@ func (s *Service) step(sg *saga, step string, epoch uint64, fn func() error, pay
 	if s.elog != nil {
 		runT0 = s.wall()
 	}
-	if err := s.retry(fn); err != nil {
+	if err := s.retrySaga(sg, fn); err != nil {
 		if s.elog != nil {
 			s.emit(trace.LogEvent{Source: "saga", Kind: trace.KindStepFail, Saga: sg.id, Op: sg.op, Step: step, Err: err.Error()})
 		}
@@ -148,8 +175,21 @@ func (s *Service) step(sg *saga, step string, epoch uint64, fn func() error, pay
 
 // retry runs fn under the service retry policy: transient failures are
 // retried with exponential backoff plus +/-50% jitter, permanent failures
-// return immediately.
-func (s *Service) retry(fn func() error) error {
+// return immediately. Jitter draws from the given RNG; saga-scoped work
+// must go through retrySaga so the jitter sequence is a pure function of
+// the saga ID (byte-reproducible across replicas and crash-point replays),
+// while service-scoped sweeps (the reconciler) use the service RNG.
+func (s *Service) retry(fn func() error) error { return s.retryWith(s.jitter, nil, fn) }
+
+// retrySaga retries fn with backoff jitter from the saga's seeded RNG.
+func (s *Service) retrySaga(sg *saga, fn func() error) error {
+	return s.retryWith(nil, sg, fn)
+}
+
+// retryWith implements the retry loop. When a saga is supplied (rng nil)
+// its RNG is created lazily on the first backoff, so a saga that never
+// retries never allocates one.
+func (s *Service) retryWith(rng *rand.Rand, sg *saga, fn func() error) error {
 	backoff := s.policy.BaseBackoff
 	for attempt := 1; ; attempt++ {
 		err := fn()
@@ -162,7 +202,11 @@ func (s *Service) retry(fn func() error) error {
 		s.ctrRetries.Add(1)
 		var slept time.Duration
 		if backoff > 0 {
-			slept = backoff/2 + time.Duration(s.jitter.Int63n(int64(backoff)))
+			r := rng
+			if r == nil {
+				r = sg.jitterRNG()
+			}
+			slept = backoff/2 + time.Duration(r.Int63n(int64(backoff)))
 			s.sleep(slept)
 		}
 		if s.elog != nil {
@@ -584,6 +628,7 @@ func (s *Service) recoverDetach(sagaID string, begin *JournalEntry, rep *Recover
 	if s.execHas(begin.ExecID) {
 		s.exec.Detach(begin.ExecID) //nolint:errcheck // unknown-ID means already gone
 	}
+	sg := &saga{id: sagaID, op: OpDetach}
 	pending := make(map[string]string)
 	for _, st := range []struct{ step, host string }{
 		{StepDetachCompute, begin.Compute},
@@ -592,7 +637,7 @@ func (s *Service) recoverDetach(sagaID string, begin *JournalEntry, rep *Recover
 		if !s.agentMayHold(st.host, begin.AttID) {
 			continue
 		}
-		err := s.retry(func() error {
+		err := s.retrySaga(sg, func() error {
 			return s.send(st.host, agent.Command{
 				Kind: agent.CmdDetach, AttachmentID: begin.AttID, Epoch: s.nextEpoch(),
 			})

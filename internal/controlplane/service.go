@@ -272,6 +272,14 @@ type Service struct {
 	// goroutines that must never contend with the saga engine.
 	flightRec atomic.Pointer[timeseries.Recorder]
 	flightDet atomic.Pointer[detect.Detector]
+
+	// HA replication (replicated.go): leaderGate rejects mutations on
+	// non-leader replicas before the saga mutex (mirroring admit), and
+	// raftStatus backs /v1/raft/status and the readyz role/quorum fields.
+	// Both nil on a single-node control plane.
+	leaderGate   atomic.Pointer[func() error]
+	raftStatus   atomic.Pointer[func() RaftStatus]
+	ctrNotLeader atomic.Int64
 }
 
 // parkedSaga is a saga whose datapath work is finished but whose agent
@@ -369,6 +377,59 @@ func (s *Service) admit() error {
 // release frees an admitted slot.
 func (s *Service) release() { s.inflight.Add(-1) }
 
+// SetLeaderGate installs the HA leader gate: a func returning nil when
+// this replica may accept mutations and *NotLeaderError otherwise
+// (ReplicaSet.Gate builds one). Like the admission limit it is checked
+// before s.mu, so followers shed misdirected writes immediately even while
+// the leader gate-keeps a long saga. nil removes the gate.
+func (s *Service) SetLeaderGate(gate func() error) {
+	if gate == nil {
+		s.leaderGate.Store(nil)
+		return
+	}
+	s.leaderGate.Store(&gate)
+}
+
+// checkLeader applies the leader gate (nil when unset or leading).
+func (s *Service) checkLeader() error {
+	g := s.leaderGate.Load()
+	if g == nil {
+		return nil
+	}
+	if err := (*g)(); err != nil {
+		s.ctrNotLeader.Add(1)
+		return err
+	}
+	return nil
+}
+
+// SetRaftStatus installs the replica-status source backing
+// /v1/raft/status and the readyz role/quorum fields (ReplicaSet.StatusFor
+// wrapped for this node). nil removes it.
+func (s *Service) SetRaftStatus(fn func() RaftStatus) {
+	if fn == nil {
+		s.raftStatus.Store(nil)
+		return
+	}
+	s.raftStatus.Store(&fn)
+}
+
+// RaftStatusReport returns this replica's Raft status with the service's
+// not-leader rejection counter folded in; ok is false on a single-node
+// control plane with no replication bound.
+func (s *Service) RaftStatusReport() (RaftStatus, bool) {
+	fn := s.raftStatus.Load()
+	if fn == nil {
+		return RaftStatus{}, false
+	}
+	st := (*fn)()
+	st.NotLeaderRejects = s.ctrNotLeader.Load()
+	return st, true
+}
+
+// NotLeaderRejects counts mutations shed by the leader gate.
+func (s *Service) NotLeaderRejects() int64 { return s.ctrNotLeader.Load() }
+
 // RegisterAgent attaches a node agent for a host (delegating to the
 // transport's registry when it has one).
 func (s *Service) RegisterAgent(a *agent.Agent) {
@@ -438,6 +499,9 @@ type AttachRequest struct {
 // *compensating* rollback — a failed compute-side push issues a donor-side
 // detach (not just a path release), so no donor memory leaks.
 func (s *Service) Attach(req AttachRequest) (*AttachmentRecord, error) {
+	if err := s.checkLeader(); err != nil {
+		return nil, err
+	}
 	if err := s.admit(); err != nil {
 		return nil, err
 	}
@@ -602,7 +666,7 @@ func (s *Service) failAttach(sg *saga, req AttachRequest, paths []Path, netID ui
 // compensateAgent sends an idempotent detach for a (possibly) applied
 // command; exhausted retries land the step in pending for the reconciler.
 func (s *Service) compensateAgent(sg *saga, step, host string, pending map[string]string) {
-	err := s.retry(func() error {
+	err := s.retrySaga(sg, func() error {
 		return s.send(host, agent.Command{
 			Kind: agent.CmdDetach, AttachmentID: sg.id, Epoch: s.nextEpoch(),
 		})
@@ -629,6 +693,9 @@ func compensationStep(step string) string {
 // detaches are parked for the reconciliation loop (counted in
 // detach_agent_failures) instead of silently dropped.
 func (s *Service) Detach(id string) error {
+	if err := s.checkLeader(); err != nil {
+		return err
+	}
 	if err := s.admit(); err != nil {
 		return err
 	}

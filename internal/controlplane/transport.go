@@ -140,12 +140,15 @@ type TransportFaults struct {
 }
 
 // TransportStats counts what a FaultyTransport actually did.
+// PartitionDrops is omitempty so reports from scenarios that never
+// partition stay byte-identical to earlier PRs.
 type TransportStats struct {
-	Sends     int64 `json:"sends"`
-	Drops     int64 `json:"drops"`
-	Dups      int64 `json:"dups"`
-	Ambiguous int64 `json:"ambiguous"`
-	Crashes   int64 `json:"crashes"`
+	Sends          int64 `json:"sends"`
+	Drops          int64 `json:"drops"`
+	Dups           int64 `json:"dups"`
+	Ambiguous      int64 `json:"ambiguous"`
+	Crashes        int64 `json:"crashes"`
+	PartitionDrops int64 `json:"partition_drops,omitempty"`
 }
 
 // FaultyTransport wraps a DirectTransport with seeded fault injection:
@@ -164,13 +167,23 @@ type FaultyTransport struct {
 	// failNext scripts deterministic failures: the next n sends to a host
 	// are dropped regardless of probabilities (for targeted tests).
 	failNext map[string]int
+	// cuts holds directed [source, destination] partition cuts. The base
+	// transport sends with source DefaultSource; WithSource derives a view
+	// carrying another identity, so a chaos scenario can sever one
+	// control-plane node from one agent while its peers still get through.
+	cuts map[[2]string]bool
 
-	sends     atomic.Int64
-	drops     atomic.Int64
-	dups      atomic.Int64
-	ambiguous atomic.Int64
-	crashes   atomic.Int64
+	sends          atomic.Int64
+	drops          atomic.Int64
+	dups           atomic.Int64
+	ambiguous      atomic.Int64
+	crashes        atomic.Int64
+	partitionDrops atomic.Int64
 }
+
+// DefaultSource is the source identity of sends through the base
+// FaultyTransport (views made with WithSource carry their own).
+const DefaultSource = "cp"
 
 // ErrTransportDrop is the transient failure a dropped or ambiguous send
 // surfaces to the saga engine.
@@ -183,8 +196,70 @@ func NewFaultyTransport(inner *DirectTransport, faults TransportFaults) *FaultyT
 		faults:   faults,
 		rng:      rand.New(rand.NewSource(faults.Seed)),
 		failNext: make(map[string]int),
+		cuts:     make(map[[2]string]bool),
 	}
 }
+
+// Partition cuts the link between a and b symmetrically: sends and queries
+// in both directions fail as transient partition drops until healed.
+// Either endpoint may be a source identity (a control-plane node) or a
+// destination host (an agent).
+func (f *FaultyTransport) Partition(a, b string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cuts[[2]string{a, b}] = true
+	f.cuts[[2]string{b, a}] = true
+}
+
+// PartitionOneWay cuts only traffic flowing from -> to (asymmetric
+// partition: replies and reverse traffic still pass).
+func (f *FaultyTransport) PartitionOneWay(from, to string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cuts[[2]string{from, to}] = true
+}
+
+// HealPartition removes cuts between a and b in both directions.
+func (f *FaultyTransport) HealPartition(a, b string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.cuts, [2]string{a, b})
+	delete(f.cuts, [2]string{b, a})
+}
+
+// HealAllPartitions removes every cut.
+func (f *FaultyTransport) HealAllPartitions() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cuts = make(map[[2]string]bool)
+}
+
+func (f *FaultyTransport) partitioned(src, dst string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cuts[[2]string{src, dst}]
+}
+
+// WithSource returns a Transport view whose sends and queries carry the
+// given source identity for partition matching. Fault probabilities,
+// counters, and the PRNG are shared with the base transport.
+func (f *FaultyTransport) WithSource(src string) Transport {
+	return &sourcedTransport{f: f, src: src}
+}
+
+// sourcedTransport is a FaultyTransport view with a fixed source identity.
+type sourcedTransport struct {
+	f   *FaultyTransport
+	src string
+}
+
+func (s *sourcedTransport) Send(host, token string, cmd agent.Command) error {
+	return s.f.sendFrom(s.src, host, token, cmd)
+}
+func (s *sourcedTransport) Query(host string) (agent.Status, error) {
+	return s.f.queryFrom(s.src, host)
+}
+func (s *sourcedTransport) Hosts() []string { return s.f.Hosts() }
 
 // Register delegates to the inner registry so Service.RegisterAgent works
 // transparently through a faulty transport.
@@ -210,9 +285,19 @@ func (f *FaultyTransport) CrashAgent(host string) error {
 	return nil
 }
 
-// Send implements Transport with fault injection.
+// Send implements Transport with fault injection, using DefaultSource as
+// the partition-matching source identity.
 func (f *FaultyTransport) Send(host, token string, cmd agent.Command) error {
+	return f.sendFrom(DefaultSource, host, token, cmd)
+}
+
+func (f *FaultyTransport) sendFrom(src, host, token string, cmd agent.Command) error {
 	f.sends.Add(1)
+	if f.partitioned(src, host) {
+		f.drops.Add(1)
+		f.partitionDrops.Add(1)
+		return Transient(fmt.Errorf("%w (partitioned, %s -> %s)", ErrTransportDrop, src, host))
+	}
 	f.mu.Lock()
 	if n := f.failNext[host]; n > 0 {
 		f.failNext[host] = n - 1
@@ -251,8 +336,17 @@ func (f *FaultyTransport) Send(host, token string, cmd agent.Command) error {
 	return nil
 }
 
-// Query implements Transport (reliable).
+// Query implements Transport (reliable except across a partition cut — a
+// severed control-plane node cannot see ground truth either).
 func (f *FaultyTransport) Query(host string) (agent.Status, error) {
+	return f.queryFrom(DefaultSource, host)
+}
+
+func (f *FaultyTransport) queryFrom(src, host string) (agent.Status, error) {
+	if f.partitioned(src, host) {
+		f.partitionDrops.Add(1)
+		return agent.Status{}, Transient(fmt.Errorf("%w (partitioned, %s -> %s)", ErrTransportDrop, src, host))
+	}
 	return f.inner.Query(host)
 }
 
@@ -265,10 +359,11 @@ func (f *FaultyTransport) AgentList() []*agent.Agent { return f.inner.AgentList(
 // Stats returns the injection counters.
 func (f *FaultyTransport) Stats() TransportStats {
 	return TransportStats{
-		Sends:     f.sends.Load(),
-		Drops:     f.drops.Load(),
-		Dups:      f.dups.Load(),
-		Ambiguous: f.ambiguous.Load(),
-		Crashes:   f.crashes.Load(),
+		Sends:          f.sends.Load(),
+		Drops:          f.drops.Load(),
+		Dups:           f.dups.Load(),
+		Ambiguous:      f.ambiguous.Load(),
+		Crashes:        f.crashes.Load(),
+		PartitionDrops: f.partitionDrops.Load(),
 	}
 }

@@ -1,0 +1,491 @@
+// Package raft is a small, deterministic, embedded Raft: leader election
+// with randomized timeouts on a virtual tick clock, log replication with
+// follower catch-up, quorum commit, and persistent term/vote/log through a
+// pluggable Storage. It exists to replicate the control plane's write-ahead
+// saga journal across 3/5 orchestrator nodes (controlplane.ReplicaSet); the
+// whole protocol runs single-threaded under the owning Cluster, so chaos
+// campaigns and crash-point tests reproduce byte-identically from a seed.
+//
+// The implementation follows the Raft paper (Ongaro & Ousterhout, 2014)
+// restricted to what a replicated journal needs: no membership changes, no
+// snapshots/compaction (journals are bounded per scenario), no client
+// sessions. Safety-critical rules are all here: election restriction
+// (§5.4.1, votes only for up-to-date candidates), commit only through a
+// current-term entry (§5.4.2, via the leader's no-op), and conflict
+// truncation on divergent follower logs (§5.3).
+package raft
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Role is a node's protocol role.
+type Role uint8
+
+// Roles.
+const (
+	Follower Role = iota
+	Candidate
+	Leader
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	}
+	return fmt.Sprintf("role(%d)", uint8(r))
+}
+
+// Entry is one replicated log record. Index is 1-based and dense; Data is
+// opaque to the protocol (the control plane stores encoded journal
+// entries). A nil Data marks a leader no-op appended on election win so the
+// new leader can commit inherited entries immediately (§5.4.2).
+type Entry struct {
+	Index uint64 `json:"index"`
+	Term  uint64 `json:"term"`
+	Data  []byte `json:"data,omitempty"`
+}
+
+// MsgKind discriminates protocol messages.
+type MsgKind uint8
+
+// Message kinds.
+const (
+	MsgVote MsgKind = iota
+	MsgVoteResp
+	MsgApp
+	MsgAppResp
+)
+
+// Message is one protocol message in flight between nodes.
+type Message struct {
+	Kind MsgKind
+	From string
+	To   string
+	Term uint64
+
+	// MsgVote: candidate's log position for the up-to-date check.
+	LastLogIndex uint64
+	LastLogTerm  uint64
+
+	// MsgApp: replication batch.
+	PrevLogIndex uint64
+	PrevLogTerm  uint64
+	Entries      []Entry
+	Commit       uint64
+
+	// MsgVoteResp.
+	Granted bool
+	// MsgAppResp: Success with MatchIndex = highest replicated index, or a
+	// rejection whose MatchIndex hints where the follower's log ends.
+	Success    bool
+	MatchIndex uint64
+}
+
+// Config bounds the protocol timers, all in virtual ticks.
+type Config struct {
+	// ElectionTimeoutMin/Max bracket the randomized election timeout; each
+	// reset draws uniformly from [Min, Max).
+	ElectionTimeoutMin int
+	ElectionTimeoutMax int
+	// HeartbeatEvery is the leader's idle append cadence.
+	HeartbeatEvery int
+	// MaxAppendEntries caps one replication batch.
+	MaxAppendEntries int
+}
+
+// DefaultConfig returns the standard timer set: 10-20 tick elections, 3
+// tick heartbeats.
+func DefaultConfig() Config {
+	return Config{ElectionTimeoutMin: 10, ElectionTimeoutMax: 20, HeartbeatEvery: 3, MaxAppendEntries: 64}
+}
+
+func (c *Config) defaults() {
+	if c.ElectionTimeoutMin <= 0 {
+		c.ElectionTimeoutMin = 10
+	}
+	if c.ElectionTimeoutMax <= c.ElectionTimeoutMin {
+		c.ElectionTimeoutMax = 2 * c.ElectionTimeoutMin
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 3
+	}
+	if c.MaxAppendEntries <= 0 {
+		c.MaxAppendEntries = 64
+	}
+}
+
+// ErrNotLeader is returned by Propose on a non-leader node. Use errors.As
+// with *NotLeaderError to extract the leader hint.
+var ErrNotLeader = errors.New("raft: not the leader")
+
+// NotLeaderError carries the last known leader as a redirect hint.
+type NotLeaderError struct{ Leader string }
+
+// Error implements error.
+func (e *NotLeaderError) Error() string {
+	if e.Leader == "" {
+		return "raft: not the leader (no leader known)"
+	}
+	return fmt.Sprintf("raft: not the leader (leader is %s)", e.Leader)
+}
+
+// Is makes errors.Is(err, ErrNotLeader) match.
+func (e *NotLeaderError) Is(target error) bool { return target == ErrNotLeader }
+
+// node is one Raft participant. All methods run single-threaded under the
+// owning Cluster's lock; sends go through the injected send func.
+type node struct {
+	id      string
+	members []string // all member IDs including self, sorted by the Cluster
+	cfg     Config
+	storage Storage
+	rng     *rand.Rand
+
+	// Persistent state (mirrored to storage before any message that
+	// depends on it leaves the node).
+	term     uint64
+	votedFor string
+	log      []Entry // log[i].Index == i+1
+
+	// Volatile state.
+	role    Role
+	leader  string // last known leader (redirect hint)
+	commit  uint64
+	applied uint64 // drained by TakeCommitted
+	votes   map[string]bool
+	next    map[string]uint64
+	match   map[string]uint64
+
+	elapsed int // ticks since last election-timer reset
+	timeout int // current randomized election timeout
+}
+
+// newNode restores a node from storage (a fresh storage yields term 0 and
+// an empty log).
+func newNode(id string, members []string, cfg Config, st Storage, rng *rand.Rand) (*node, error) {
+	term, votedFor, log, err := st.Load()
+	if err != nil {
+		return nil, fmt.Errorf("raft: load %s: %w", id, err)
+	}
+	n := &node{
+		id:       id,
+		members:  members,
+		cfg:      cfg,
+		storage:  st,
+		rng:      rng,
+		term:     term,
+		votedFor: votedFor,
+		log:      log,
+	}
+	n.resetTimer()
+	return n, nil
+}
+
+func (n *node) majority() int { return len(n.members)/2 + 1 }
+
+func (n *node) lastIndex() uint64 { return uint64(len(n.log)) }
+
+func (n *node) termAt(index uint64) uint64 {
+	if index == 0 || index > n.lastIndex() {
+		return 0
+	}
+	return n.log[index-1].Term
+}
+
+// resetTimer re-arms the randomized election timeout.
+func (n *node) resetTimer() {
+	n.elapsed = 0
+	span := n.cfg.ElectionTimeoutMax - n.cfg.ElectionTimeoutMin
+	n.timeout = n.cfg.ElectionTimeoutMin + n.rng.Intn(span)
+}
+
+// persistState mirrors term/vote to storage.
+func (n *node) persistState() error { return n.storage.SaveState(n.term, n.votedFor) }
+
+// tick advances virtual time by one tick: followers and candidates count
+// toward an election timeout, leaders heartbeat.
+func (n *node) tick(send func(Message)) error {
+	n.elapsed++
+	if n.role == Leader {
+		if n.elapsed >= n.cfg.HeartbeatEvery {
+			n.elapsed = 0
+			n.broadcastAppend(send)
+		}
+		return nil
+	}
+	if n.elapsed >= n.timeout {
+		return n.startElection(send)
+	}
+	return nil
+}
+
+// startElection begins a new term as candidate (§5.2).
+func (n *node) startElection(send func(Message)) error {
+	n.term++
+	n.role = Candidate
+	n.votedFor = n.id
+	n.leader = ""
+	n.votes = map[string]bool{n.id: true}
+	n.resetTimer()
+	if err := n.persistState(); err != nil {
+		return err
+	}
+	if len(n.votes) >= n.majority() { // single-node cluster
+		return n.becomeLeader(send)
+	}
+	for _, p := range n.members {
+		if p == n.id {
+			continue
+		}
+		send(Message{
+			Kind: MsgVote, From: n.id, To: p, Term: n.term,
+			LastLogIndex: n.lastIndex(), LastLogTerm: n.termAt(n.lastIndex()),
+		})
+	}
+	return nil
+}
+
+// becomeLeader initializes leader state and appends the no-op entry that
+// lets this term commit everything inherited from prior terms (§5.4.2).
+func (n *node) becomeLeader(send func(Message)) error {
+	n.role = Leader
+	n.leader = n.id
+	n.elapsed = 0
+	n.next = make(map[string]uint64, len(n.members))
+	n.match = make(map[string]uint64, len(n.members))
+	for _, p := range n.members {
+		n.next[p] = n.lastIndex() + 1
+		n.match[p] = 0
+	}
+	noop := Entry{Index: n.lastIndex() + 1, Term: n.term}
+	n.log = append(n.log, noop)
+	if err := n.storage.AppendEntries([]Entry{noop}); err != nil {
+		return err
+	}
+	n.match[n.id] = n.lastIndex()
+	n.maybeCommit()
+	n.broadcastAppend(send)
+	return nil
+}
+
+// stepDown converts to follower in term (which must be >= n.term).
+func (n *node) stepDown(term uint64) error {
+	changed := term != n.term
+	n.term = term
+	if changed {
+		n.votedFor = ""
+	}
+	n.role = Follower
+	n.resetTimer()
+	if changed {
+		return n.persistState()
+	}
+	return nil
+}
+
+// propose appends one entry to the leader's log and starts replication.
+func (n *node) propose(data []byte, send func(Message)) (uint64, error) {
+	if n.role != Leader {
+		return 0, &NotLeaderError{Leader: n.leader}
+	}
+	e := Entry{Index: n.lastIndex() + 1, Term: n.term, Data: data}
+	n.log = append(n.log, e)
+	if err := n.storage.AppendEntries([]Entry{e}); err != nil {
+		return 0, err
+	}
+	n.match[n.id] = n.lastIndex()
+	n.maybeCommit() // a single-node cluster commits on its own vote
+	n.broadcastAppend(send)
+	return e.Index, nil
+}
+
+// broadcastAppend sends one replication batch (possibly empty — a
+// heartbeat) to every peer.
+func (n *node) broadcastAppend(send func(Message)) {
+	for _, p := range n.members {
+		if p == n.id {
+			continue
+		}
+		n.sendAppend(p, send)
+	}
+}
+
+func (n *node) sendAppend(to string, send func(Message)) {
+	prev := n.next[to] - 1
+	var batch []Entry
+	if n.next[to] <= n.lastIndex() {
+		hi := n.lastIndex()
+		if hi-prev > uint64(n.cfg.MaxAppendEntries) {
+			hi = prev + uint64(n.cfg.MaxAppendEntries)
+		}
+		batch = append(batch, n.log[prev:hi]...)
+	}
+	send(Message{
+		Kind: MsgApp, From: n.id, To: to, Term: n.term,
+		PrevLogIndex: prev, PrevLogTerm: n.termAt(prev),
+		Entries: batch, Commit: n.commit,
+	})
+}
+
+// maybeCommit advances the leader commit index to the largest
+// quorum-replicated index of the current term (§5.4.2).
+func (n *node) maybeCommit() {
+	for idx := n.lastIndex(); idx > n.commit; idx-- {
+		if n.termAt(idx) != n.term {
+			break // only current-term entries commit by counting
+		}
+		count := 0
+		for _, p := range n.members {
+			if n.match[p] >= idx {
+				count++
+			}
+		}
+		if count >= n.majority() {
+			n.commit = idx
+			return
+		}
+	}
+}
+
+// step processes one incoming message.
+func (n *node) step(m Message, send func(Message)) error {
+	if m.Term > n.term {
+		if err := n.stepDown(m.Term); err != nil {
+			return err
+		}
+	}
+	switch m.Kind {
+	case MsgVote:
+		return n.onVote(m, send)
+	case MsgVoteResp:
+		return n.onVoteResp(m, send)
+	case MsgApp:
+		return n.onApp(m, send)
+	case MsgAppResp:
+		n.onAppResp(m, send)
+	}
+	return nil
+}
+
+// onVote applies the voting rules: one vote per term, candidates with stale
+// logs rejected (§5.4.1).
+func (n *node) onVote(m Message, send func(Message)) error {
+	grant := false
+	if m.Term >= n.term && (n.votedFor == "" || n.votedFor == m.From) {
+		last := n.lastIndex()
+		upToDate := m.LastLogTerm > n.termAt(last) ||
+			(m.LastLogTerm == n.termAt(last) && m.LastLogIndex >= last)
+		if upToDate {
+			grant = true
+			n.votedFor = m.From
+			n.resetTimer()
+			if err := n.persistState(); err != nil {
+				return err
+			}
+		}
+	}
+	send(Message{Kind: MsgVoteResp, From: n.id, To: m.From, Term: n.term, Granted: grant})
+	return nil
+}
+
+func (n *node) onVoteResp(m Message, send func(Message)) error {
+	if n.role != Candidate || m.Term != n.term || !m.Granted {
+		return nil
+	}
+	n.votes[m.From] = true
+	if len(n.votes) >= n.majority() {
+		return n.becomeLeader(send)
+	}
+	return nil
+}
+
+// onApp applies a replication batch: consistency check against the
+// previous entry, conflict truncation, append, commit advance (§5.3).
+func (n *node) onApp(m Message, send func(Message)) error {
+	if m.Term < n.term {
+		send(Message{Kind: MsgAppResp, From: n.id, To: m.From, Term: n.term, Success: false, MatchIndex: n.lastIndex()})
+		return nil
+	}
+	n.leader = m.From
+	if n.role != Follower {
+		if err := n.stepDown(m.Term); err != nil {
+			return err
+		}
+		n.leader = m.From
+	}
+	n.resetTimer()
+
+	if m.PrevLogIndex > n.lastIndex() || n.termAt(m.PrevLogIndex) != m.PrevLogTerm {
+		// Log mismatch: hint the leader where this log could match.
+		hint := n.lastIndex()
+		if m.PrevLogIndex > 0 && m.PrevLogIndex-1 < hint {
+			hint = m.PrevLogIndex - 1
+		}
+		send(Message{Kind: MsgAppResp, From: n.id, To: m.From, Term: n.term, Success: false, MatchIndex: hint})
+		return nil
+	}
+
+	// Append, truncating any conflicting suffix first.
+	for i, e := range m.Entries {
+		if e.Index <= n.lastIndex() {
+			if n.termAt(e.Index) == e.Term {
+				continue // already have it
+			}
+			n.log = n.log[:e.Index-1]
+			if err := n.storage.TruncateEntries(e.Index); err != nil {
+				return err
+			}
+		}
+		n.log = append(n.log, m.Entries[i:]...)
+		if err := n.storage.AppendEntries(m.Entries[i:]); err != nil {
+			return err
+		}
+		break
+	}
+
+	lastNew := m.PrevLogIndex + uint64(len(m.Entries))
+	if m.Commit > n.commit {
+		n.commit = m.Commit
+		if lastNew < n.commit {
+			n.commit = lastNew
+		}
+	}
+	send(Message{Kind: MsgAppResp, From: n.id, To: m.From, Term: n.term, Success: true, MatchIndex: lastNew})
+	return nil
+}
+
+func (n *node) onAppResp(m Message, send func(Message)) {
+	if n.role != Leader || m.Term != n.term {
+		return
+	}
+	if m.Success {
+		if m.MatchIndex > n.match[m.From] {
+			n.match[m.From] = m.MatchIndex
+		}
+		n.next[m.From] = n.match[m.From] + 1
+		n.maybeCommit()
+		if n.next[m.From] <= n.lastIndex() {
+			n.sendAppend(m.From, send) // follower catch-up: keep streaming
+		}
+		return
+	}
+	// Rejected: back next off to the follower's hint and retry.
+	next := m.MatchIndex + 1
+	if next >= n.next[m.From] {
+		next = n.next[m.From] - 1
+	}
+	if next < 1 {
+		next = 1
+	}
+	n.next[m.From] = next
+	n.sendAppend(m.From, send)
+}
