@@ -113,6 +113,15 @@ func main() {
 		// HA: the saga WAL is the Raft-replicated journal. With -journal,
 		// each replica persists its term/vote/log beside the journal path;
 		// without it, replication is in-memory (still quorum-acked).
+		//
+		// The replica set is an in-process simulation on a virtual clock
+		// that advances only inside journal appends (plus the boot-time
+		// election below), and the leader/gate/journal binding is fixed at
+		// boot. On an idle daemon /v1/raft/status and /v1/readyz therefore
+		// report state as of the last write, and no runtime re-election
+		// occurs; failover behavior is exercised by the chaos scenarios
+		// and crash-point tests, which drive the clock explicitly. See
+		// docs/RELIABILITY.md "HA control plane".
 		ids := make([]string, *haNodes)
 		for i := range ids {
 			ids[i] = fmt.Sprintf("cp-%02d", i)

@@ -250,12 +250,20 @@ type ReplicatedJournal struct {
 func (r *ReplicatedJournal) NodeID() string { return r.id }
 
 // Append implements Journal: marshal, propose, pump until quorum commit.
+// Success requires more than CommitIndex >= idx: under an asymmetric
+// partition (outbound cut, inbound open) the proposing leader can be
+// deposed mid-pump, its entry truncated and replaced by the new leader's
+// entry at the same index, and its commit index then advances past idx via
+// incoming AppendEntries. Acking on commit index alone would report
+// durable success for a write that was lost, so Append re-checks that the
+// entry at idx still carries the term Propose assigned before returning
+// nil; on mismatch it reports the deposition as NotLeaderError.
 func (r *ReplicatedJournal) Append(e JournalEntry) error {
 	data, err := json.Marshal(e)
 	if err != nil {
 		return err
 	}
-	idx, err := r.rs.cluster.Propose(r.id, data)
+	idx, term, err := r.rs.cluster.Propose(r.id, data)
 	if err != nil {
 		var nl *raft.NotLeaderError
 		if errors.As(err, &nl) {
@@ -265,7 +273,15 @@ func (r *ReplicatedJournal) Append(e JournalEntry) error {
 	}
 	for i := 0; i < r.rs.appendBudget; i++ {
 		if r.rs.cluster.CommitIndex(r.id) >= idx {
-			return nil
+			if at, ok := r.rs.cluster.TermAt(r.id, idx); ok && at == term {
+				return nil
+			}
+			// A newer leader overwrote index idx: the proposal is gone.
+			hint := r.rs.cluster.Status(r.id).Leader
+			if hint == r.id {
+				hint = ""
+			}
+			return &NotLeaderError{Leader: hint}
 		}
 		if err := r.rs.cluster.Tick(); err != nil {
 			return err

@@ -85,6 +85,54 @@ func TestReplicatedJournalQuorumLostIsCrash(t *testing.T) {
 	}
 }
 
+// TestAsymmetricPartitionLostAppendNotAcked is the regression test for the
+// overwritten-proposal ack bug: with the leader's outbound links cut but
+// inbound links open, its proposal can never replicate, yet the peers'
+// replacement leader replicates INTO it — truncating the proposed entry,
+// writing its own no-op at the same index, and advancing the old node's
+// commit index past that index. Acking on commit index alone would report
+// durable success for a journal write that was lost; Append must instead
+// detect the term mismatch at the proposed index and fail.
+func TestAsymmetricPartitionLostAppendNotAcked(t *testing.T) {
+	rs, leader := newTestReplicaSet(t, 7)
+	j := rs.Journal(leader)
+	if err := j.Append(JournalEntry{Seq: 1, SagaID: "saga-1", Op: OpAttach, Event: EvBegin}); err != nil {
+		t.Fatal(err)
+	}
+	lastBefore := rs.StatusFor(leader).LastIndex
+	for _, id := range rs.IDs() {
+		if id != leader {
+			rs.PartitionOneWay(leader, id)
+		}
+	}
+	err := j.Append(JournalEntry{Seq: 2, SagaID: "saga-1", Op: OpAttach, Event: EvIntent})
+	if err == nil {
+		t.Fatalf("append acked durable success for an entry overwritten by the new leader")
+	}
+	if !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("append: %v, want ErrNotLeader (deposed mid-pump)", err)
+	}
+	// Prove the dangerous path actually ran: the old node's commit index
+	// advanced past the doomed entry's index via incoming AppendEntries,
+	// which is exactly the state where a commit-index-only check acks.
+	doomed := lastBefore + 1
+	if st := rs.StatusFor(leader); st.CommitIndex < doomed {
+		t.Fatalf("commit index %d never passed doomed index %d — scenario did not exercise the overwrite", st.CommitIndex, doomed)
+	}
+	// The lost entry must not appear in any replica's committed journal.
+	for _, id := range rs.IDs() {
+		ents, err := rs.CommittedEntries(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			if e.Seq == 2 {
+				t.Fatalf("replica %s committed the lost entry %+v", id, e)
+			}
+		}
+	}
+}
+
 // TestLeaderGateShedsBeforeSaga: a follower-bound service rejects mutations
 // with ErrNotLeader before any saga (or journal entry) is created, exactly
 // like the admission limiter.

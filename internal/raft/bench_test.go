@@ -28,7 +28,7 @@ func BenchmarkRaftQuorumAppend(b *testing.B) {
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		idx, err := c.Propose(leader, payload)
+		idx, _, err := c.Propose(leader, payload)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -64,7 +64,7 @@ func BenchmarkRaftQuorumAppend5(b *testing.B) {
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		idx, err := c.Propose(leader, payload)
+		idx, _, err := c.Propose(leader, payload)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -174,19 +174,40 @@ func (c *Cluster) Leader() string {
 }
 
 // Propose submits data through node id. It returns the assigned log index
-// or *NotLeaderError (with hint) when id is not the leader. The entry is
-// not yet committed — pump Tick until CommitIndex reaches the index.
-func (c *Cluster) Propose(id string, data []byte) (uint64, error) {
+// and the proposing term, or *NotLeaderError (with hint) when id is not
+// the leader. The entry is not yet committed — pump Tick until CommitIndex
+// reaches the index, then confirm with TermAt that the entry at that index
+// still carries the returned term: a deposed leader's proposal can be
+// truncated and replaced by a new leader's entry at the same index, and
+// the commit index alone cannot tell the two apart.
+func (c *Cluster) Propose(id string, data []byte) (uint64, uint64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n, ok := c.nodes[id]
 	if !ok {
-		return 0, fmt.Errorf("raft: unknown member %q", id)
+		return 0, 0, fmt.Errorf("raft: unknown member %q", id)
 	}
 	if c.stopped[id] {
-		return 0, fmt.Errorf("raft: member %q is stopped", id)
+		return 0, 0, fmt.Errorf("raft: member %q is stopped", id)
 	}
-	return n.propose(data, c.send)
+	idx, err := n.propose(data, c.send)
+	if err != nil {
+		return 0, 0, err
+	}
+	return idx, n.term, nil
+}
+
+// TermAt returns the term of node id's log entry at index, or false when
+// the node's log does not extend that far. Proposers pair it with the term
+// returned by Propose to detect entries overwritten by a newer leader.
+func (c *Cluster) TermAt(id string, index uint64) (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[id]
+	if !ok || index == 0 || index > n.lastIndex() {
+		return 0, false
+	}
+	return n.termAt(index), true
 }
 
 // Stop crashes a node: it stops ticking and all its traffic drops. Its
@@ -343,9 +364,17 @@ func (c *Cluster) Members() []MemberStatus {
 	return out
 }
 
-// QuorumReachable reports whether id can currently exchange messages with
-// a majority of the cluster (itself included): no cut in either direction
-// and the peer is running. A stopped node reaches no one.
+// QuorumReachable reports whether id has a direct bidirectional link (no
+// cut in either direction, peer running) to a majority of the cluster,
+// itself included. A stopped node reaches no one.
+//
+// This is a direct-link heuristic, not true Raft reachability: commit
+// quorum is counted at the leader, so a node whose only surviving link is
+// to the leader can still replicate and learn commits even when this
+// reports false (e.g. in a 5-node cluster, A cut off from C, D, and E but
+// still linked to leader B reports quorum lost yet keeps committing).
+// Treat a false here as "degraded, may still commit" — a readyz routing
+// hint, not a fencing signal.
 func (c *Cluster) QuorumReachable(id string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -39,7 +39,7 @@ func electLeader(t *testing.T, c *Cluster) string {
 // running node has committed it.
 func proposeAndCommit(t *testing.T, c *Cluster, leader string, data []byte) uint64 {
 	t.Helper()
-	idx, err := c.Propose(leader, data)
+	idx, _, err := c.Propose(leader, data)
 	if err != nil {
 		t.Fatalf("propose: %v", err)
 	}
@@ -113,7 +113,7 @@ func TestProposeOnFollowerRejected(t *testing.T) {
 		if id == leader {
 			continue
 		}
-		_, err := c.Propose(id, []byte("x"))
+		_, _, err := c.Propose(id, []byte("x"))
 		var nl *NotLeaderError
 		if !asNotLeader(err, &nl) {
 			t.Fatalf("propose on follower %s: got %v, want NotLeaderError", id, err)
@@ -228,7 +228,8 @@ func TestSplitBrainStaleLeaderFenced(t *testing.T) {
 	// Isolate the leader: it keeps believing it leads, but nothing it
 	// accepts can commit (quorum lost).
 	c.Isolate(old)
-	if _, err := c.Propose(old, []byte("stale-uncommitted")); err != nil {
+	staleIdx, staleTerm, err := c.Propose(old, []byte("stale-uncommitted"))
+	if err != nil {
 		t.Fatalf("stale leader propose: %v", err)
 	}
 	commitBefore := c.CommitIndex(old)
@@ -273,6 +274,16 @@ func TestSplitBrainStaleLeaderFenced(t *testing.T) {
 		if string(e.Data) == "stale-uncommitted" {
 			t.Fatalf("uncommitted stale entry survived the heal")
 		}
+	}
+	// The proposer-side truncation detector: the entry now occupying the
+	// stale proposal's index carries the majority's term, so a proposer
+	// comparing TermAt against the term Propose returned sees the loss even
+	// though the old node's commit index has advanced past that index.
+	if c.CommitIndex(old) < staleIdx {
+		t.Fatalf("commit %d did not pass stale index %d after heal", c.CommitIndex(old), staleIdx)
+	}
+	if at, ok := c.TermAt(old, staleIdx); !ok || at == staleTerm {
+		t.Fatalf("TermAt(%d) = %d,%v — want the majority's term, not the stale proposal's %d", staleIdx, at, ok, staleTerm)
 	}
 }
 
